@@ -1,0 +1,374 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tlevelindex/internal/geom"
+)
+
+var hotels = [][]float64{
+	{0.62, 0.76}, // r1 VibesInn
+	{0.90, 0.48}, // r2 Artezen
+	{0.73, 0.33}, // r3 citizenM
+	{0.26, 0.64}, // r4 Yotel
+	{0.30, 0.24}, // r5 Royalton
+}
+
+func randData(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func randReduced(rng *rand.Rand, dim int) []float64 {
+	e := make([]float64, dim+1)
+	s := 0.0
+	for i := range e {
+		e[i] = -math.Log(math.Max(rng.Float64(), 1e-15))
+		s += e[i]
+	}
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = e[i] / s
+	}
+	return x
+}
+
+func TestBRSMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(200)
+		d := 2 + rng.Intn(4)
+		data := randData(rng, n, d)
+		brs := NewBRS(data)
+		x := randReduced(rng, d-1)
+		k := 1 + rng.Intn(8)
+		got := brs.TopK(x, k)
+		want := BruteTopK(data, x, k)
+		for i := range got {
+			gs := geom.Score(data[got[i]], x)
+			ws := geom.Score(data[want[i]], x)
+			if math.Abs(gs-ws) > 1e-12 {
+				t.Fatalf("trial %d rank %d: BRS %d (%.6f) vs brute %d (%.6f)",
+					trial, i+1, got[i], gs, want[i], ws)
+			}
+		}
+	}
+}
+
+func TestLPCTAHotelExample(t *testing.T) {
+	// kSPR(2, VibesInn): the union of regions must be w ∈ [0, 0.7963].
+	regions, st := LPCTA(hotels, 0, 2)
+	if len(regions) == 0 {
+		t.Fatal("no qualifying regions")
+	}
+	if st.LPCalls == 0 {
+		t.Error("stats not collected")
+	}
+	for _, w := range []float64{0.05, 0.3, 0.6, 0.79} {
+		in := false
+		for _, reg := range regions {
+			if reg.ContainsPoint([]float64{w}, 1e-7) {
+				in = true
+				break
+			}
+		}
+		if !in {
+			t.Errorf("w=%.2f should be in the kSPR answer", w)
+		}
+	}
+	for _, w := range []float64{0.81, 0.95} {
+		for _, reg := range regions {
+			if reg.ContainsPoint([]float64{w}, -1e-7) {
+				t.Errorf("w=%.2f should not be in the kSPR answer", w)
+			}
+		}
+	}
+}
+
+func TestLPCTAMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(20)
+		d := 2 + rng.Intn(2)
+		data := randData(rng, n, d)
+		focal := rng.Intn(n)
+		k := 1 + rng.Intn(3)
+		regions, _ := LPCTA(data, focal, k)
+		for probe := 0; probe < 60; probe++ {
+			x := randReduced(rng, d-1)
+			in := false
+			for _, reg := range regions {
+				if reg.ContainsPoint(x, 1e-7) {
+					in = true
+					break
+				}
+			}
+			rank := BruteRank(data, focal, x)
+			if rank <= k && !in {
+				t.Fatalf("trial %d: rank %d <= %d at %v but outside answer", trial, rank, k, x)
+			}
+			if rank > k && in {
+				// Boundary tolerance: re-check with a strict margin.
+				strict := false
+				for _, reg := range regions {
+					if reg.ContainsPoint(x, -1e-6) {
+						strict = true
+					}
+				}
+				if strict {
+					t.Fatalf("trial %d: rank %d > %d at %v but strictly inside answer", trial, rank, k, x)
+				}
+			}
+		}
+	}
+}
+
+func TestJAAHotelExample(t *testing.T) {
+	brs := NewBRS(hotels)
+	ans, _ := JAA(brs, geom.NewBox([]float64{0.35}, []float64{0.45}), 3)
+	if !reflect.DeepEqual(ans.Options, []int{0, 1, 2, 3}) {
+		t.Errorf("JAA options = %v, want [0 1 2 3]", ans.Options)
+	}
+	if len(ans.Partitions) != 2 {
+		t.Errorf("JAA partitions = %d, want 2", len(ans.Partitions))
+	}
+}
+
+func TestJAAMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(25)
+		d := 2 + rng.Intn(2)
+		k := 2 + rng.Intn(2)
+		data := randData(rng, n, d)
+		brs := NewBRS(data)
+		dim := d - 1
+		c := randReduced(rng, dim)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			lo[j] = math.Max(0, c[j]-0.08)
+			hi[j] = c[j] + 0.08
+		}
+		box := geom.NewBox(lo, hi)
+		ans, _ := JAA(brs, box, k)
+		gotSet := make(map[int]bool)
+		for _, o := range ans.Options {
+			gotSet[o] = true
+		}
+		pts := box.Region().RandomInteriorPoints(100, rng.Float64)
+		for _, x := range pts {
+			for _, oid := range BruteTopK(data, x, k) {
+				if !gotSet[oid] {
+					t.Fatalf("trial %d: brute top-%d member %d missing from JAA options", trial, k, oid)
+				}
+			}
+		}
+		// Partition sanity: sampled interior point's brute top-k set equals
+		// the partition's set.
+		for _, part := range ans.Partitions {
+			inner := part.Region.RandomInteriorPoints(3, rng.Float64)
+			if inner == nil {
+				continue // degenerate sliver
+			}
+			want := BruteTopK(data, inner[0], k)
+			ws := append([]int(nil), want...)
+			gs := append([]int(nil), part.TopK...)
+			sort.Ints(ws)
+			sort.Ints(gs)
+			if !reflect.DeepEqual(ws, gs) {
+				t.Fatalf("trial %d: partition set %v vs brute %v", trial, gs, ws)
+			}
+		}
+	}
+}
+
+func TestORUHotelExample(t *testing.T) {
+	brs := NewBRS(hotels)
+	ans, _ := ORU(brs, []float64{0.3}, 2, 3)
+	got := append([]int(nil), ans.Options...)
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Errorf("ORU options = %v, want [0 1 3]", got)
+	}
+	if math.Abs(ans.Rho-0.1) > 1e-6 {
+		t.Errorf("ORU rho = %v, want 0.1", ans.Rho)
+	}
+}
+
+func TestORUMatchesGridOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + rng.Intn(15)
+		data := randData(rng, n, 2)
+		brs := NewBRS(data)
+		k, m := 2, 4
+		x := []float64{rng.Float64()}
+		ans, _ := ORU(brs, x, k, m)
+		if len(ans.Options) != m {
+			t.Fatalf("trial %d: %d options, want %d", trial, len(ans.Options), m)
+		}
+		const grid = 4000
+		minDist := map[int]float64{}
+		for g := 0; g <= grid; g++ {
+			w := float64(g) / grid
+			for _, oid := range BruteTopK(data, []float64{w}, k) {
+				dd := math.Abs(w - x[0])
+				if cur, ok := minDist[oid]; !ok || dd < cur {
+					minDist[oid] = dd
+				}
+			}
+		}
+		var dists []float64
+		for _, d := range minDist {
+			dists = append(dists, d)
+		}
+		sort.Float64s(dists)
+		if len(dists) >= m && math.Abs(ans.Rho-dists[m-1]) > 2.0/grid+1e-6 {
+			t.Fatalf("trial %d: rho %v, oracle %v", trial, ans.Rho, dists[m-1])
+		}
+	}
+}
+
+func TestBoxDominates(t *testing.T) {
+	a := []float64{0.9, 0.5}
+	b := []float64{0.3, 0.4}
+	full := geom.NewBox([]float64{0}, []float64{1})
+	if !boxDominates(a, b, full) {
+		t.Error("coordinate dominance must imply box dominance")
+	}
+	// a=(0.9,0.1) vs c=(0.1,0.9): neither dominates over [0,1], but over
+	// [0.8, 1.0] a wins everywhere.
+	a2 := []float64{0.9, 0.1}
+	c2 := []float64{0.1, 0.9}
+	if boxDominates(a2, c2, full) || boxDominates(c2, a2, full) {
+		t.Error("no dominance expected over the full space")
+	}
+	high := geom.NewBox([]float64{0.8}, []float64{1})
+	if !boxDominates(a2, c2, high) {
+		t.Error("a2 should dominate c2 over [0.8, 1]")
+	}
+}
+
+func TestRegionSkybandSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randData(rng, 100, 3)
+	brs := NewBRS(data)
+	ids := kSkybandShortlist(brs.Tree(), 3)
+	box := geom.NewBox([]float64{0.3, 0.3}, []float64{0.4, 0.4})
+	sub := regionSkyband(data, ids, box, 3)
+	if len(sub) > len(ids) {
+		t.Errorf("region skyband (%d) larger than global (%d)", len(sub), len(ids))
+	}
+	// Every brute top-3 member at box points must be in the region skyband.
+	subSet := map[int]bool{}
+	for _, v := range sub {
+		subSet[v] = true
+	}
+	for probe := 0; probe < 50; probe++ {
+		x := []float64{0.3 + rng.Float64()*0.1, 0.3 + rng.Float64()*0.1}
+		for _, oid := range BruteTopK(data, x, 3) {
+			if !subSet[oid] {
+				t.Fatalf("top-3 member %d at %v missing from region skyband", oid, x)
+			}
+		}
+	}
+}
+
+func TestMaxRankHotelExample(t *testing.T) {
+	// From the paper's Figure 2: r1, r2 can rank 1st; r3, r4 rank 2nd at
+	// best; r5 at best 4th (dominated by r1, r2, r3).
+	want := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 4}
+	for focal, rank := range want {
+		got, _ := MaxRank(hotels, focal)
+		if got != rank {
+			t.Errorf("MaxRank(%d) = %d, want %d", focal, got, rank)
+		}
+	}
+}
+
+func TestMaxRankMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + rng.Intn(15)
+		data := randData(rng, n, 2)
+		const grid = 4000
+		best := make([]int, n)
+		for i := range best {
+			best[i] = n + 1
+		}
+		for g := 0; g <= grid; g++ {
+			x := []float64{float64(g) / grid}
+			for r, oid := range BruteTopK(data, x, n) {
+				if r+1 < best[oid] {
+					best[oid] = r + 1
+				}
+			}
+		}
+		for focal := 0; focal < n; focal++ {
+			got, _ := MaxRank(data, focal)
+			if got != best[focal] {
+				t.Fatalf("trial %d: MaxRank(%d) = %d, grid oracle %d", trial, focal, got, best[focal])
+			}
+		}
+	}
+}
+
+func TestMaxRankAgreesWithIndexQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randData(rng, 30, 3)
+	for focal := 0; focal < 30; focal += 5 {
+		got, st := MaxRank(data, focal)
+		if got < 1 || got > 30 {
+			t.Fatalf("MaxRank(%d) = %d out of range", focal, got)
+		}
+		if st.RegionsVisited == 0 {
+			t.Error("stats not collected")
+		}
+	}
+}
+
+// TestJAAPartitionsTileTheBox: the partition volumes must sum to the
+// (simplex-clipped) box volume — no gaps, no overlaps.
+func TestJAAPartitionsTileTheBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + rng.Intn(25)
+		d := 2 + rng.Intn(2)
+		k := 2
+		data := randData(rng, n, d)
+		brs := NewBRS(data)
+		dim := d - 1
+		c := randReduced(rng, dim)
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			lo[j] = math.Max(0, c[j]-0.07)
+			hi[j] = lo[j] + 0.07
+		}
+		box := geom.NewBox(lo, hi)
+		boxVol := box.Region().Volume(0, nil)
+		if boxVol <= 0 {
+			continue
+		}
+		ans, _ := JAA(brs, box, k)
+		total := 0.0
+		for _, part := range ans.Partitions {
+			total += part.Region.Volume(0, nil)
+		}
+		if math.Abs(total-boxVol) > 1e-6*math.Max(1, boxVol) && math.Abs(total-boxVol) > 1e-9 {
+			t.Fatalf("trial %d (d=%d): partitions sum to %v, box volume %v", trial, d, total, boxVol)
+		}
+	}
+}

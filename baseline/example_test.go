@@ -1,0 +1,48 @@
+package baseline_test
+
+import (
+	"fmt"
+	"sort"
+
+	"tlevelindex/baseline"
+	"tlevelindex/internal/geom"
+)
+
+var hotels = [][]float64{
+	{0.62, 0.76}, {0.90, 0.48}, {0.73, 0.33}, {0.26, 0.64}, {0.30, 0.24},
+}
+
+func ExampleBRS() {
+	brs := baseline.NewBRS(hotels)
+	// Reduced coordinates: w = (0.18, 0.82) is x = [0.18].
+	fmt.Println(brs.TopK([]float64{0.18}, 2))
+	// Output: [0 3]
+}
+
+func ExampleLPCTA() {
+	regions, _ := baseline.LPCTA(hotels, 0, 2) // kSPR(2, VibesInn)
+	fmt.Println("pieces:", len(regions))
+	// Output: pieces: 2
+}
+
+func ExampleJAA() {
+	brs := baseline.NewBRS(hotels)
+	ans, _ := baseline.JAA(brs, geom.NewBox([]float64{0.35}, []float64{0.45}), 3)
+	fmt.Println(ans.Options)
+	// Output: [0 1 2 3]
+}
+
+func ExampleORU() {
+	brs := baseline.NewBRS(hotels)
+	ans, _ := baseline.ORU(brs, []float64{0.3}, 2, 3)
+	opts := append([]int(nil), ans.Options...)
+	sort.Ints(opts)
+	fmt.Printf("%v rho=%.2f\n", opts, ans.Rho)
+	// Output: [0 1 3] rho=0.10
+}
+
+func ExampleMaxRank() {
+	rank, _ := baseline.MaxRank(hotels, 4) // Royalton
+	fmt.Println(rank)
+	// Output: 4
+}

@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"sort"
+
+	"tlevelindex/internal/geom"
+)
+
+// UTKAnswer is the result of the JAA baseline for the UTK query.
+type UTKAnswer struct {
+	// Options is the union of all options (original indices, ascending)
+	// that rank top-k somewhere in the query region.
+	Options []int
+	// Partitions subdivide the query region; each piece carries its top-k
+	// result set.
+	Partitions []UTKPart
+}
+
+// UTKPart is one piece of the arrangement inside the query region.
+type UTKPart struct {
+	Region *geom.Region
+	TopK   []int
+}
+
+// JAA answers the UTK query the way the joint-arrangement approach of [30]
+// does: shortlist the candidates with an R-tree k-skyband restricted to the
+// query region, then compute the arrangement of their pairwise hyperplanes
+// inside the region by recursive subdivision, one rank at a time, attaching
+// the top-k set to every final cell. The whole arrangement is recomputed
+// for every query — the cost τ-LevelIndex amortizes away.
+func JAA(brs *BRS, box geom.Box, k int) (*UTKAnswer, Stats) {
+	var st Stats
+	data := brs.Tree().Points()
+	shortlist := kSkybandShortlist(brs.Tree(), k)
+	shortlist = regionSkyband(data, shortlist, box, k)
+
+	ans := &UTKAnswer{}
+	optSet := make(map[int]bool)
+	var rec func(region *geom.Region, top []int, cands []int)
+	rec = func(region *geom.Region, top []int, cands []int) {
+		st.RegionsVisited++
+		if len(top) == k || len(cands) == 0 {
+			part := UTKPart{Region: region, TopK: append([]int(nil), top...)}
+			ans.Partitions = append(ans.Partitions, part)
+			for _, o := range top {
+				optSet[o] = true
+			}
+			return
+		}
+		frontier := globalSkylineOf(data, cands)
+		for _, o := range frontier {
+			r2 := region.Clone()
+			for _, p := range frontier {
+				if p != o {
+					r2.Add(geom.PrefHalfspace(data[o], data[p]))
+				}
+			}
+			st.LPCalls++
+			if !r2.Feasible() {
+				continue
+			}
+			rest := make([]int, 0, len(cands)-1)
+			for _, cd := range cands {
+				if cd != o {
+					rest = append(rest, cd)
+				}
+			}
+			rec(r2, append(append([]int(nil), top...), o), rest)
+		}
+	}
+	rec(box.Region(), nil, shortlist)
+
+	ans.Options = make([]int, 0, len(optSet))
+	for o := range optSet {
+		ans.Options = append(ans.Options, o)
+	}
+	sort.Ints(ans.Options)
+	return ans, st
+}

@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"sort"
+
+	"tlevelindex/internal/geom"
+	"tlevelindex/internal/skyline"
+)
+
+// LPCTA answers the kSPR query the way the look-ahead progressive cell-tree
+// approach of [37] does: it recursively partitions the preference simplex by
+// the hyperplanes between the focal option and its competitors, maintaining
+// per cell the count of options that outrank the focal option everywhere in
+// the cell. A cell whose count reaches k is pruned (look-ahead); a cell with
+// no undecided competitors left and count < k is part of the answer. Every
+// relation test is an LP pair — the cost profile the paper attributes to
+// LP-CTA (it rebuilds this cell tree from scratch for every query).
+//
+// The returned regions partition the kSPR answer; their union is the
+// preference region where the focal option (an index into data) ranks
+// top-k.
+func LPCTA(data [][]float64, focal, k int) ([]*geom.Region, Stats) {
+	var st Stats
+	d := len(data[focal])
+	dim := d - 1
+
+	// Competitor shortlist: options the focal dominates can never outrank
+	// it; options dominating the focal outrank it everywhere.
+	baseBetter := 0
+	var undecided []int
+	for i := range data {
+		if i == focal {
+			continue
+		}
+		switch {
+		case skyline.Dominates(data[focal], data[i]):
+			// never outranks focal
+		case skyline.Dominates(data[i], data[focal]):
+			baseBetter++
+		default:
+			undecided = append(undecided, i)
+		}
+	}
+	if baseBetter >= k {
+		return nil, st
+	}
+	// Look-ahead ordering: test likely-better competitors first so counts
+	// hit k (and prune) as early as possible.
+	center := make([]float64, dim)
+	for j := range center {
+		center[j] = 1 / float64(d)
+	}
+	sort.SliceStable(undecided, func(a, b int) bool {
+		return geom.Score(data[undecided[a]], center) > geom.Score(data[undecided[b]], center)
+	})
+
+	var result []*geom.Region
+	var rec func(region *geom.Region, better int, rest []int)
+	rec = func(region *geom.Region, better int, rest []int) {
+		st.RegionsVisited++
+		if better >= k {
+			return
+		}
+		if len(rest) == 0 {
+			result = append(result, region)
+			return
+		}
+		j := rest[0]
+		h := geom.PrefHalfspace(data[focal], data[j]) // focal >= j
+		st.LPCalls += 2
+		switch geom.Classify(region, h) {
+		case geom.RelInside:
+			rec(region, better, rest[1:])
+		case geom.RelOutside:
+			rec(region, better+1, rest[1:])
+		default:
+			rec(region.Clone().Add(h), better, rest[1:])
+			rec(region.Clone().Add(h.Neg()), better+1, rest[1:])
+		}
+	}
+	rec(geom.NewRegion(dim), baseBetter, undecided)
+	return result, st
+}

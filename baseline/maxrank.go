@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"tlevelindex/internal/geom"
+	"tlevelindex/internal/skyline"
+)
+
+// MaxRank answers the maximum-rank query of [31] the specialized way: a
+// best-first cell-tree search around the focal option. Cells track how many
+// competitors outrank the focal option everywhere in the cell (minRank-1)
+// and which competitors are still undecided; cells are expanded in
+// ascending minRank order, so the first cell with no undecided competitors
+// yields the best achievable rank. Like LP-CTA, the structure is rebuilt
+// from scratch per query — the cost the index amortizes away.
+//
+// Returns the best (1-based) rank of data[focal] over the whole preference
+// simplex.
+func MaxRank(data [][]float64, focal int) (int, Stats) {
+	var st Stats
+	d := len(data[focal])
+	dim := d - 1
+
+	baseBetter := 0
+	var undecided []int
+	for i := range data {
+		if i == focal {
+			continue
+		}
+		switch {
+		case skyline.Dominates(data[focal], data[i]):
+			// never outranks the focal option
+		case skyline.Dominates(data[i], data[focal]):
+			baseBetter++
+		default:
+			undecided = append(undecided, i)
+		}
+	}
+
+	// Best-first over (better-count, remaining undecided, region). A simple
+	// monotone DFS with pruning is enough: the best discovered rank bounds
+	// the search.
+	best := baseBetter + len(undecided) + 1
+	var rec func(region *geom.Region, better int, rest []int)
+	rec = func(region *geom.Region, better int, rest []int) {
+		st.RegionsVisited++
+		if better+1 >= best {
+			return // cannot improve on the best rank found so far
+		}
+		if len(rest) == 0 {
+			if better+1 < best {
+				best = better + 1
+			}
+			return
+		}
+		j := rest[0]
+		h := geom.PrefHalfspace(data[focal], data[j]) // focal >= j
+		st.LPCalls += 2
+		switch geom.Classify(region, h) {
+		case geom.RelInside:
+			rec(region, better, rest[1:])
+		case geom.RelOutside:
+			rec(region, better+1, rest[1:])
+		default:
+			rec(region.Clone().Add(h), better, rest[1:])
+			rec(region.Clone().Add(h.Neg()), better+1, rest[1:])
+		}
+	}
+	rec(geom.NewRegion(dim), baseBetter, undecided)
+	return best, st
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"tlevelindex/internal/geom"
+)
+
+// ORUAnswer is the result of the expansion-based ORU baseline.
+type ORUAnswer struct {
+	// Options are the m reported options (original indices) in ascending
+	// expansion-distance order.
+	Options []int
+	// Rho is the minimum expansion radius yielding m options.
+	Rho float64
+}
+
+// ORU answers the ORU query the way the expansion approach of [28] does:
+// grow a region around the query weight, recompute the joint arrangement
+// inside it (a JAA call) until at least m distinct options appear within
+// the covered radius, then rank the candidates by their exact minimum
+// expansion distance (a projection onto each qualifying partition). The
+// arrangement is recomputed from scratch on every growth step, which is why
+// this is the slowest of the paper's three query baselines.
+func ORU(brs *BRS, x []float64, k, m int) (*ORUAnswer, Stats) {
+	var st Stats
+	dim := len(x)
+	rho := 0.05
+	for iter := 0; ; iter++ {
+		lo := make([]float64, dim)
+		hi := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			lo[j] = math.Max(0, x[j]-rho)
+			hi[j] = math.Min(1, x[j]+rho)
+		}
+		box := geom.NewBox(lo, hi)
+		utk, jst := JAA(brs, box, k)
+		st.LPCalls += jst.LPCalls
+		st.RegionsVisited += jst.RegionsVisited
+
+		// Exact minimum expansion distance per candidate option: the
+		// closest point of any partition whose top-k contains it.
+		minDist := make(map[int]float64)
+		for _, part := range utk.Partitions {
+			_, d := part.Region.Project(x)
+			st.LPCalls++
+			for _, o := range part.TopK {
+				if cur, ok := minDist[o]; !ok || d < cur {
+					minDist[o] = d
+				}
+			}
+		}
+		type od struct {
+			o int
+			d float64
+		}
+		all := make([]od, 0, len(minDist))
+		for o, d := range minDist {
+			all = append(all, od{o, d})
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].d != all[b].d {
+				return all[a].d < all[b].d
+			}
+			return all[a].o < all[b].o
+		})
+		// The answer is certain when the m-th distance is covered by the
+		// current box radius (the L2 ball of that radius fits inside).
+		if len(all) >= m && all[m-1].d <= rho {
+			ans := &ORUAnswer{Rho: all[m-1].d}
+			for _, e := range all[:m] {
+				ans.Options = append(ans.Options, e.o)
+			}
+			return ans, st
+		}
+		if rho >= float64(dim)+1 { // the whole simplex is covered; give up growing
+			ans := &ORUAnswer{}
+			for i, e := range all {
+				if i >= m {
+					break
+				}
+				ans.Options = append(ans.Options, e.o)
+				ans.Rho = e.d
+			}
+			return ans, st
+		}
+		rho *= 2
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+
+	tlx "tlevelindex"
+	"tlevelindex/datagen"
+)
+
+// expAblation isolates the design choices DESIGN.md calls out, one row per
+// ablation: dominance-graph candidate computation (PBA⁺ vs PBA), insertion
+// ordering (IBA vs IBA-R), and the onion-layer option filter on the
+// insertion-based builder.
+func expAblation(sc scale) {
+	header := []string{"ablation", "with", "without", "speedup"}
+	var rows [][]string
+
+	speedRow := func(name string, with, without func() (_ *tlx.Index, d interface{ Seconds() float64 })) {
+		_, wd := with()
+		_, wod := without()
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.2fs", wd.Seconds()),
+			fmt.Sprintf("%.2fs", wod.Seconds()),
+			fmt.Sprintf("%.1fx", wod.Seconds()/wd.Seconds()),
+		})
+	}
+
+	ind := datagen.Generate(datagen.IND, sc.ibaMaxN, sc.defaultD, 1)
+	anti := datagen.Generate(datagen.ANTI, sc.ibaMaxN/2, sc.defaultD, 1)
+
+	speedRow("dominance graphs (PBA+ vs PBA)",
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimed(ind, sc.defaultTau, tlx.PBAPlus)
+			return ix, d
+		},
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimed(ind, sc.defaultTau, tlx.PBA)
+			return ix, d
+		})
+	speedRow("skyline-layer ordering (IBA vs IBA-R)",
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimed(ind, min(sc.defaultTau, sc.ibaMaxTau), tlx.IBA)
+			return ix, d
+		},
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimed(ind, min(sc.defaultTau, sc.ibaMaxTau), tlx.IBAR)
+			return ix, d
+		})
+	speedRow("onion filter on IBA over ANTI data",
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimedOpts(anti, 2, tlx.WithAlgorithm(tlx.IBA), tlx.WithOnionFilter())
+			return ix, d
+		},
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimedOpts(anti, 2, tlx.WithAlgorithm(tlx.IBA), tlx.WithoutOnionFilter())
+			return ix, d
+		})
+
+	fmt.Printf("(IND n=%d; ANTI n=%d; d=%d)\n", len(ind), len(anti), sc.defaultD)
+	printTable(header, rows)
+}

@@ -1,0 +1,179 @@
+// Command lvbench regenerates every table and figure of the paper's
+// evaluation (§7) at laptop scale: index-construction experiments
+// (Figures 9–11, Table 4) and query-processing experiments (Figures 12–16,
+// Tables 5–6, and the §7.3 top-k comparison). Each experiment prints a
+// table with the same rows and series as the paper; absolute numbers differ
+// from the paper's C++/Xeon setup, the shapes are the reproduction target
+// (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	lvbench -exp all            # every experiment at the default scale
+//	lvbench -exp fig9 -scale small
+//	lvbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// scale compresses the paper's parameter grid to sizes a pure-Go
+// reimplementation handles in minutes. The sweep structure (which parameter
+// varies, which series are drawn) matches the paper exactly.
+type scale struct {
+	name string
+	// Cardinality sweep (paper: 100K..1600K, default 400K).
+	ns       []int
+	defaultN int
+	// Dimensionality sweep (paper: 2..6, default 4).
+	ds       []int
+	defaultD int
+	// Level sweep (paper: 1..40, default 10; queries built on τ=20).
+	taus       []int
+	defaultTau int
+	queryTau   int // the τ used by query experiments (paper: 20)
+	defaultK   int // the k used by query experiments (paper: 10)
+	ks         []int
+	// The dimensionality sweep uses its own (smaller) cardinality and τ:
+	// cell counts grow super-linearly with d (Figure 10b).
+	dSweepN, dSweepTau int
+	// Caps for the slow builders, mirroring the paper's 10^5-second cutoff
+	// (runs beyond the cap print "-", like the paper's broken bars).
+	ibaMaxN, bslMaxN     int
+	ibaMaxD, bslMaxD     int
+	ibaMaxTau, bslMaxTau int
+	// Real-dataset cardinalities.
+	hotelN, houseN, nbaN int
+	queries              int // repetitions per query measurement
+}
+
+var scales = map[string]scale{
+	"small": {
+		name: "small",
+		ns:   []int{500, 1000, 2000, 4000}, defaultN: 1000,
+		ds: []int{2, 3, 4}, defaultD: 3,
+		dSweepN: 500, dSweepTau: 2,
+		taus: []int{1, 2, 3, 4}, defaultTau: 3,
+		queryTau: 4, defaultK: 3,
+		ks:      []int{1, 2, 3, 4, 5, 6},
+		ibaMaxN: 1000, bslMaxN: 2000, ibaMaxD: 3, bslMaxD: 3,
+		ibaMaxTau: 3, bslMaxTau: 4,
+		hotelN: 2000, houseN: 1000, nbaN: 200,
+		queries: 5,
+	},
+	"medium": {
+		name: "medium",
+		ns:   []int{2000, 4000, 8000, 16000, 32000}, defaultN: 8000,
+		ds: []int{2, 3, 4}, defaultD: 3,
+		dSweepN: 2000, dSweepTau: 3,
+		taus: []int{1, 2, 3, 4, 5, 6}, defaultTau: 4,
+		queryTau: 8, defaultK: 5,
+		ks:      []int{2, 4, 6, 8, 10, 12},
+		ibaMaxN: 2000, bslMaxN: 8000, ibaMaxD: 3, bslMaxD: 3,
+		ibaMaxTau: 4, bslMaxTau: 6,
+		hotelN: 8000, houseN: 3000, nbaN: 500,
+		queries: 10,
+	},
+	"large": {
+		name: "large",
+		ns:   []int{5000, 10000, 20000, 40000, 80000}, defaultN: 20000,
+		ds: []int{2, 3, 4, 5}, defaultD: 3,
+		dSweepN: 2000, dSweepTau: 3,
+		taus: []int{1, 2, 4, 6, 8, 10}, defaultTau: 6,
+		queryTau: 10, defaultK: 6,
+		ks:      []int{2, 4, 6, 8, 10, 12, 14},
+		ibaMaxN: 4000, bslMaxN: 10000, ibaMaxD: 3, bslMaxD: 3,
+		ibaMaxTau: 4, bslMaxTau: 8,
+		hotelN: 20000, houseN: 6000, nbaN: 800,
+		queries: 10,
+	},
+}
+
+// experiments in paper order.
+var experiments = []struct {
+	name string
+	desc string
+	run  func(sc scale)
+}{
+	{"fig9", "index building time vs n, d, τ (BSL/IBA/PBA/PBA+)", expFig9},
+	{"fig10", "number of cells and index size vs n, d, τ (PBA+)", expFig10},
+	{"fig11", "building time on COR/IND/ANTI and HOTEL/HOUSE/NBA (incl. IBA-R)", expFig11},
+	{"table4", "candidate-set and hyperplane effectiveness of PBA+", expTable4},
+	{"fig12", "query time vs n: kSPR/UTK/ORU, index vs specialized baselines", expFig12},
+	{"fig13", "query time vs d: kSPR/UTK/ORU, index vs specialized baselines", expFig13},
+	{"fig14", "effect of k, including the k > τ switchover", expFig14},
+	{"fig15", "effect of τ on kSPR and UTK processing", expFig15},
+	{"fig16", "UTK on real datasets; ORU on COR/IND/ANTI", expFig16},
+	{"table5", "average visited cells per query vs n and d", expTable5},
+	{"table6", "queries needed to amortize index construction", expTable6},
+	{"topk", "top-k point query: LevelIndex vs BRS (§7.3)", expTopK},
+	{"ablation", "design-choice ablations (DESIGN.md §9)", expAblation},
+}
+
+func main() {
+	expName := flag.String("exp", "all", "experiment to run (see -list)")
+	scName := flag.String("scale", "medium", "parameter scale: small, medium, large")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	sc, ok := scales[*scName]
+	if !ok {
+		names := make([]string, 0, len(scales))
+		for n := range scales {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "lvbench: unknown scale %q (have %s)\n", *scName, strings.Join(names, ", "))
+		os.Exit(1)
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *expName == "all" || *expName == e.name {
+			fmt.Printf("=== %s: %s (scale %s) ===\n", e.name, e.desc, sc.name)
+			e.run(sc)
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "lvbench: unknown experiment %q (see -list)\n", *expName)
+		os.Exit(1)
+	}
+}
+
+// printTable renders an aligned table.
+func printTable(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,63 @@
+// Command lvdata generates the evaluation datasets of the paper (§7.1):
+// synthetic IND/COR/ANTI workloads and the simulated HOTEL/HOUSE/NBA real
+// datasets, written in the plain-text format understood by lvbuild and
+// lvquery.
+//
+// Usage:
+//
+//	lvdata -dist IND -n 100000 -d 4 -seed 1 -out ind.txt
+//	lvdata -real NBA -n 21900 -out nba.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tlevelindex/datagen"
+	"tlevelindex/internal/dataio"
+)
+
+func main() {
+	dist := flag.String("dist", "IND", "synthetic distribution: IND, COR, ANTI")
+	real := flag.String("real", "", "simulated real dataset: HOTEL, HOUSE, NBA (overrides -dist)")
+	n := flag.Int("n", 10000, "number of options (0 with -real uses the paper's cardinality)")
+	d := flag.Int("d", 4, "attributes per option (synthetic only)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	var data [][]float64
+	if *real != "" {
+		var err error
+		data, err = datagen.Real(*real, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		dd, err := datagen.ParseDistribution(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		if *n <= 0 || *d < 2 {
+			fatal(fmt.Errorf("need -n >= 1 and -d >= 2"))
+		}
+		data = datagen.Generate(dd, *n, *d, *seed)
+	}
+
+	if *out == "" {
+		if err := dataio.Write(os.Stdout, data); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := dataio.WriteFile(*out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d options x %d attributes to %s\n", len(data), len(data[0]), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvdata:", err)
+	os.Exit(1)
+}

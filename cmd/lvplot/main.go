@@ -1,0 +1,118 @@
+// Command lvplot renders the level arrangements of a 2-attribute dataset as
+// ASCII strips: one row per level ℓ, one column per sampled weight
+// w[1] ∈ [0, 1], each cell labeled by the option holding rank ℓ there. It
+// is the textual analogue of the paper's Figure 2(b) and handy for
+// eyeballing how the arrangement refines level by level.
+//
+// Usage:
+//
+//	lvplot -in hotels.txt -tau 3 -width 64
+//	lvdata -dist IND -n 60 -d 2 | lvplot -tau 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/dataio"
+)
+
+const labels = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+func main() {
+	in := flag.String("in", "", "input dataset path (default stdin)")
+	tau := flag.Int("tau", 3, "levels to render")
+	width := flag.Int("width", 64, "columns (weight samples)")
+	flag.Parse()
+
+	var data [][]float64
+	var err error
+	if *in == "" {
+		data, err = dataio.Read(os.Stdin)
+	} else {
+		data, err = dataio.ReadFile(*in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) == 0 || len(data[0]) != 2 {
+		fatal(fmt.Errorf("lvplot needs a 2-attribute dataset (got %d attributes)", attrs(data)))
+	}
+	if *width < 8 {
+		*width = 8
+	}
+
+	ix, err := tlx.Build(data, *tau)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Sample the rank-ℓ option at every column via index walks.
+	grid := make([][]int, *tau)
+	for l := range grid {
+		grid[l] = make([]int, *width)
+	}
+	for col := 0; col < *width; col++ {
+		w1 := (float64(col) + 0.5) / float64(*width)
+		top, err := ix.TopK([]float64{w1, 1 - w1}, *tau)
+		if err != nil {
+			fatal(err)
+		}
+		for l := 0; l < *tau; l++ {
+			if l < len(top) {
+				grid[l][col] = top[l]
+			} else {
+				grid[l][col] = -1
+			}
+		}
+	}
+
+	// Stable label assignment in order of first appearance.
+	labelOf := map[int]byte{}
+	var order []int
+	for l := 0; l < *tau; l++ {
+		for _, opt := range grid[l] {
+			if opt >= 0 {
+				if _, ok := labelOf[opt]; !ok {
+					labelOf[opt] = labels[len(labelOf)%len(labels)]
+					order = append(order, opt)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("n=%d options, tau=%d, %d cells (w[1] runs 0 -> 1 left to right)\n\n",
+		len(data), ix.Tau(), ix.NumCells())
+	for l := 0; l < *tau; l++ {
+		row := make([]byte, *width)
+		for col, opt := range grid[l] {
+			if opt < 0 {
+				row[col] = ' '
+			} else {
+				row[col] = labelOf[opt]
+			}
+		}
+		fmt.Printf("rank %-2d |%s|\n", l+1, row)
+	}
+	fmt.Println()
+	sort.Ints(order)
+	fmt.Println("legend:")
+	for _, opt := range order {
+		fmt.Printf("  %c = option %-4d (%.3f, %.3f)\n", labelOf[opt], opt, data[opt][0], data[opt][1])
+	}
+}
+
+func attrs(data [][]float64) int {
+	if len(data) == 0 {
+		return 0
+	}
+	return len(data[0])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command lvserve builds a τ-LevelIndex over a dataset and serves
+// preference queries over HTTP with JSON responses — build once, query
+// cheaply from many clients.
+//
+// Usage:
+//
+//	lvserve -in hotels.txt -tau 10 -addr :8080
+//	curl 'localhost:8080/topk?w=0.18,0.82&k=2'
+//	curl 'localhost:8080/kspr?focal=0&k=2'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/dataio"
+	"tlevelindex/internal/serve"
+)
+
+func main() {
+	in := flag.String("in", "", "input dataset path (required)")
+	tau := flag.Int("tau", 10, "index levels")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	data, err := dataio.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	ix, err := tlx.Build(data, *tau)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d options (tau=%d, %d cells) in %v; listening on %s\n",
+		len(data), ix.Tau(), ix.NumCells(), time.Since(start), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(ix).Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvserve:", err)
+	os.Exit(1)
+}

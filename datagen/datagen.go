@@ -1,0 +1,207 @@
+// Package datagen generates the evaluation workloads of §7.1: the standard
+// synthetic benchmark distributions for preference queries (independent,
+// correlated, anti-correlated, following Börzsönyi et al.) and seeded
+// synthetic stand-ins for the three real datasets (HOTEL, HOUSE, NBA) whose
+// originals are behind commercial crawls. The stand-ins match the papers'
+// cardinalities, dimensionalities, and correlation structure — the three
+// factors the evaluated algorithms are sensitive to.
+//
+// All generators are deterministic for a given seed. Attributes are in
+// [0, 1] with higher values better, the convention used throughout the
+// repository.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution selects a synthetic attribute distribution.
+type Distribution int
+
+const (
+	// IND draws every attribute independently and uniformly.
+	IND Distribution = iota
+	// COR draws positively correlated attributes clustered around a shared
+	// per-option quality level.
+	COR
+	// ANTI draws anti-correlated attributes: good on some dimensions, bad
+	// on others, with a near-constant attribute sum.
+	ANTI
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case IND:
+		return "IND"
+	case COR:
+		return "COR"
+	case ANTI:
+		return "ANTI"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution maps "IND"/"COR"/"ANTI" to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "IND", "ind":
+		return IND, nil
+	case "COR", "cor":
+		return COR, nil
+	case "ANTI", "anti":
+		return ANTI, nil
+	}
+	return IND, fmt.Errorf("datagen: unknown distribution %q", s)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Generate produces n options with d attributes under the distribution.
+func Generate(dist Distribution, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		switch dist {
+		case COR:
+			base := clamp01(0.5 + 0.15*rng.NormFloat64())
+			for j := range p {
+				p[j] = clamp01(base + 0.05*rng.NormFloat64())
+			}
+		case ANTI:
+			base := clamp01(0.5 + 0.05*rng.NormFloat64())
+			jit := make([]float64, d)
+			mean := 0.0
+			for j := range jit {
+				jit[j] = rng.Float64() - 0.5
+				mean += jit[j]
+			}
+			mean /= float64(d)
+			for j := range p {
+				p[j] = clamp01(base + 0.9*(jit[j]-mean))
+			}
+		default: // IND
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Hotel simulates the HOTEL dataset: 419K hotels with 4 attributes
+// (stars, rooms, facilities, price-attractiveness), mixing budget,
+// midscale, and luxury segments. Quality attributes correlate positively
+// with each other and mildly negatively with price attractiveness.
+func Hotel(seed int64) [][]float64 { return HotelSized(419000, seed) }
+
+// HotelSized is Hotel at a custom cardinality (for tests and scaled-down
+// benchmarks).
+func HotelSized(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		// Segment: 0 budget, 1 midscale, 2 luxury.
+		seg := rng.Intn(3)
+		quality := [3]float64{0.25, 0.5, 0.8}[seg] + 0.12*rng.NormFloat64()
+		stars := clamp01(quality + 0.05*rng.NormFloat64())
+		rooms := clamp01(0.3 + 0.5*quality + 0.15*rng.NormFloat64())
+		facilities := clamp01(quality + 0.1*rng.NormFloat64())
+		// Pricier hotels are less price-attractive; noise keeps bargains.
+		priceAttr := clamp01(1 - quality + 0.2*rng.NormFloat64())
+		out[i] = []float64{stars, rooms, facilities, priceAttr}
+	}
+	return out
+}
+
+// House simulates the HOUSE dataset: 315K households with 6 expense
+// attributes (gas, electricity, water, heating, insurance, property tax).
+// Expenses share a heavy-tailed household-wealth factor, yielding strong
+// positive correlation; attributes are stored as competitiveness scores
+// (lower expense = higher score).
+func House(seed int64) [][]float64 { return HouseSized(315000, seed) }
+
+// HouseSized is House at a custom cardinality.
+func HouseSized(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		wealth := math.Exp(0.6 * rng.NormFloat64()) // lognormal, median 1
+		p := make([]float64, 6)
+		for j := range p {
+			expense := wealth * math.Exp(0.3*rng.NormFloat64())
+			// Map expense to a [0,1] competitiveness score: cheap -> 1.
+			p[j] = clamp01(1 / (1 + expense))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// NBA simulates the NBA dataset: 21.9K player-season rows with 8 metrics
+// (games, rebounds, assists, steals, blocks, turnover-discipline, fouls-
+// discipline, points). A latent skill factor drives most metrics; blocks
+// and steals are zero-inflated like the real statistics.
+func NBA(seed int64) [][]float64 { return NBASized(21900, seed) }
+
+// NBASized is NBA at a custom cardinality.
+func NBASized(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		skill := clamp01(rng.ExpFloat64() * 0.25) // most players modest, few stars
+		games := clamp01(0.3 + 0.6*skill + 0.2*rng.NormFloat64())
+		rebounds := clamp01(skill*0.9 + 0.15*rng.NormFloat64())
+		assists := clamp01(skill*0.8 + 0.2*rng.NormFloat64())
+		steals := zeroInflated(rng, skill, 0.3)
+		blocks := zeroInflated(rng, skill, 0.45)
+		toDiscipline := clamp01(1 - skill*0.4 + 0.2*rng.NormFloat64())
+		foulDiscipline := clamp01(0.6 + 0.2*rng.NormFloat64())
+		points := clamp01(skill + 0.1*rng.NormFloat64())
+		out[i] = []float64{games, rebounds, assists, steals, blocks, toDiscipline, foulDiscipline, points}
+	}
+	return out
+}
+
+func zeroInflated(rng *rand.Rand, skill, zeroProb float64) float64 {
+	if rng.Float64() < zeroProb*(1-skill) {
+		return 0
+	}
+	return clamp01(skill*0.7 + 0.2*rng.NormFloat64())
+}
+
+// Real returns the simulated real dataset by name ("HOTEL", "HOUSE",
+// "NBA"), scaled to n options (n <= 0 uses the paper's cardinality).
+func Real(name string, n int, seed int64) ([][]float64, error) {
+	switch name {
+	case "HOTEL", "hotel":
+		if n <= 0 {
+			n = 419000
+		}
+		return HotelSized(n, seed), nil
+	case "HOUSE", "house":
+		if n <= 0 {
+			n = 315000
+		}
+		return HouseSized(n, seed), nil
+	case "NBA", "nba":
+		if n <= 0 {
+			n = 21900
+		}
+		return NBASized(n, seed), nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}

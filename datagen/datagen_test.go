@@ -1,0 +1,219 @@
+package datagen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// pearson computes the correlation of two attribute columns.
+func pearson(data [][]float64, a, b int) float64 {
+	n := float64(len(data))
+	var ma, mb float64
+	for _, p := range data {
+		ma += p[a]
+		mb += p[b]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for _, p := range data {
+		cov += (p[a] - ma) * (p[b] - mb)
+		va += (p[a] - ma) * (p[a] - ma)
+		vb += (p[b] - mb) * (p[b] - mb)
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func inUnitBox(t *testing.T, data [][]float64, d int) {
+	t.Helper()
+	for i, p := range data {
+		if len(p) != d {
+			t.Fatalf("row %d has %d attrs, want %d", i, len(p), d)
+		}
+		for j, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("row %d attr %d out of range: %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	for _, dist := range []Distribution{IND, COR, ANTI} {
+		data := Generate(dist, 500, 4, 7)
+		if len(data) != 500 {
+			t.Fatalf("%v: got %d rows", dist, len(data))
+		}
+		inUnitBox(t, data, 4)
+		again := Generate(dist, 500, 4, 7)
+		if !reflect.DeepEqual(data, again) {
+			t.Errorf("%v: not deterministic for fixed seed", dist)
+		}
+		other := Generate(dist, 500, 4, 8)
+		if reflect.DeepEqual(data, other) {
+			t.Errorf("%v: different seeds gave identical data", dist)
+		}
+	}
+}
+
+func TestCorrelationSigns(t *testing.T) {
+	ind := Generate(IND, 4000, 3, 1)
+	cor := Generate(COR, 4000, 3, 1)
+	anti := Generate(ANTI, 4000, 3, 1)
+	if r := pearson(cor, 0, 1); r < 0.5 {
+		t.Errorf("COR pairwise correlation = %.3f, want strongly positive", r)
+	}
+	if r := pearson(anti, 0, 1); r > -0.2 {
+		t.Errorf("ANTI pairwise correlation = %.3f, want negative", r)
+	}
+	if r := pearson(ind, 0, 1); math.Abs(r) > 0.1 {
+		t.Errorf("IND pairwise correlation = %.3f, want near zero", r)
+	}
+}
+
+func TestSkylineSizeOrdering(t *testing.T) {
+	// ANTI must produce (much) larger skylines than COR — the driver of
+	// Figure 11(a)'s cost ordering.
+	skylineSize := func(data [][]float64) int {
+		count := 0
+		for i := range data {
+			dominated := false
+			for j := range data {
+				if i == j {
+					continue
+				}
+				dom, strict := true, false
+				for k := range data[i] {
+					if data[j][k] < data[i][k] {
+						dom = false
+						break
+					}
+					if data[j][k] > data[i][k] {
+						strict = true
+					}
+				}
+				if dom && strict {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				count++
+			}
+		}
+		return count
+	}
+	cor := skylineSize(Generate(COR, 1500, 3, 2))
+	ind := skylineSize(Generate(IND, 1500, 3, 2))
+	anti := skylineSize(Generate(ANTI, 1500, 3, 2))
+	if !(cor <= ind && ind <= anti) {
+		t.Errorf("skyline sizes COR=%d IND=%d ANTI=%d, want COR <= IND <= ANTI", cor, ind, anti)
+	}
+	if anti <= 2*cor {
+		t.Errorf("ANTI skyline (%d) should clearly exceed COR (%d)", anti, cor)
+	}
+}
+
+func TestRealSimulators(t *testing.T) {
+	hotel := HotelSized(2000, 3)
+	inUnitBox(t, hotel, 4)
+	house := HouseSized(2000, 3)
+	inUnitBox(t, house, 6)
+	nba := NBASized(2000, 3)
+	inUnitBox(t, nba, 8)
+	// Hotel: quality attributes positively correlated, price attractiveness
+	// negatively correlated with stars.
+	if r := pearson(hotel, 0, 2); r < 0.3 {
+		t.Errorf("hotel stars/facilities correlation = %.3f", r)
+	}
+	if r := pearson(hotel, 0, 3); r > -0.2 {
+		t.Errorf("hotel stars/price correlation = %.3f, want negative", r)
+	}
+	// House: expenses share the wealth factor.
+	if r := pearson(house, 0, 5); r < 0.3 {
+		t.Errorf("house expense correlation = %.3f", r)
+	}
+	// NBA: points and rebounds share skill; blocks are zero-inflated.
+	if r := pearson(nba, 1, 7); r < 0.3 {
+		t.Errorf("nba rebounds/points correlation = %.3f", r)
+	}
+	zeros := 0
+	for _, p := range nba {
+		if p[4] == 0 {
+			zeros++
+		}
+	}
+	if zeros < len(nba)/10 {
+		t.Errorf("nba blocks zero-inflation too weak: %d/%d", zeros, len(nba))
+	}
+}
+
+func TestRealByName(t *testing.T) {
+	for _, name := range []string{"HOTEL", "HOUSE", "NBA"} {
+		data, err := Real(name, 100, 1)
+		if err != nil || len(data) != 100 {
+			t.Errorf("Real(%q): %v len=%d", name, err, len(data))
+		}
+	}
+	if _, err := Real("BOGUS", 10, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	// Default cardinalities match the paper.
+	if d, _ := Real("NBA", 0, 1); len(d) != 21900 {
+		t.Errorf("NBA default cardinality = %d", len(d))
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for s, want := range map[string]Distribution{"IND": IND, "cor": COR, "ANTI": ANTI} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDistribution("nope"); err == nil {
+		t.Error("expected error for unknown distribution")
+	}
+	if IND.String() != "IND" || COR.String() != "COR" || ANTI.String() != "ANTI" {
+		t.Error("String() mismatch")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	raw := [][]float64{
+		{100, 5, 7},
+		{200, 5, 3},
+		{150, 5, 5},
+	}
+	norm := Normalize(raw)
+	if norm[0][0] != 0 || norm[1][0] != 1 || norm[2][0] != 0.5 {
+		t.Errorf("column 0 normalized wrong: %v", norm)
+	}
+	for i := range norm {
+		if norm[i][1] != 0.5 {
+			t.Errorf("constant column should map to 0.5: %v", norm[i])
+		}
+	}
+	if norm[0][2] != 1 || norm[1][2] != 0 {
+		t.Errorf("column 2 normalized wrong: %v", norm)
+	}
+	// Input untouched.
+	if raw[0][0] != 100 {
+		t.Error("Normalize mutated its input")
+	}
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) should be nil")
+	}
+}
+
+func TestInvertColumns(t *testing.T) {
+	data := [][]float64{{0.2, 0.6}, {0.9, 0.1}}
+	out := InvertColumns(data, 1)
+	if out[0][0] != 0.2 || math.Abs(out[0][1]-0.4) > 1e-12 {
+		t.Errorf("InvertColumns wrong: %v", out)
+	}
+	if data[0][1] != 0.6 {
+		t.Error("InvertColumns mutated its input")
+	}
+}

@@ -1,0 +1,36 @@
+package datagen_test
+
+import (
+	"fmt"
+
+	"tlevelindex/datagen"
+)
+
+func ExampleGenerate() {
+	data := datagen.Generate(datagen.ANTI, 1000, 4, 42)
+	fmt.Println(len(data), len(data[0]))
+	// Output: 1000 4
+}
+
+func ExampleNormalize() {
+	raw := [][]float64{
+		{120000, 3}, // price, stars
+		{80000, 5},
+		{100000, 4},
+	}
+	norm := datagen.Normalize(raw)
+	// Price is lower-is-better: flip it into the higher-is-better
+	// convention before indexing.
+	ready := datagen.InvertColumns(norm, 0)
+	fmt.Printf("%.2f %.2f\n", ready[0][0], ready[0][1])
+	fmt.Printf("%.2f %.2f\n", ready[1][0], ready[1][1])
+	// Output:
+	// 0.00 0.00
+	// 1.00 1.00
+}
+
+func ExampleReal() {
+	nba, _ := datagen.Real("NBA", 500, 7)
+	fmt.Println(len(nba), len(nba[0]))
+	// Output: 500 8
+}

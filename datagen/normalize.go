@@ -1,0 +1,64 @@
+package datagen
+
+import "math"
+
+// Normalize rescales every attribute column to [0, 1] with min-max
+// normalization — the preprocessing step for importing raw datasets whose
+// attributes live on arbitrary scales. Constant columns map to 0.5. The
+// input is not modified.
+func Normalize(data [][]float64) [][]float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	d := len(data[0])
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range data {
+		for j, v := range row {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		p := make([]float64, d)
+		for j, v := range row {
+			if hi[j] > lo[j] {
+				p[j] = (v - lo[j]) / (hi[j] - lo[j])
+			} else {
+				p[j] = 0.5
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// InvertColumns flips the listed attribute columns as 1−x, converting
+// lower-is-better attributes (price, expenses, turnovers) into the
+// higher-is-better convention the index expects. Call after Normalize.
+// The input is not modified.
+func InvertColumns(data [][]float64, cols ...int) [][]float64 {
+	flip := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		flip[c] = true
+	}
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		p := append([]float64(nil), row...)
+		for j := range p {
+			if flip[j] {
+				p[j] = 1 - p[j]
+			}
+		}
+		out[i] = p
+	}
+	return out
+}

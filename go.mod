@@ -1,0 +1,3 @@
+module tlevelindex
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package dataio reads and writes the plain-text dataset format shared by
+// the command-line tools: a header line "n d" followed by n rows of d
+// space-separated attribute values.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Write stores the dataset to w.
+func Write(w io.Writer, data [][]float64) error {
+	bw := bufio.NewWriter(w)
+	d := 0
+	if len(data) > 0 {
+		d = len(data[0])
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d\n", len(data), d); err != nil {
+		return err
+	}
+	for _, row := range data {
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a dataset from r.
+func Read(r io.Reader) ([][]float64, error) {
+	br := bufio.NewScanner(r)
+	br.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !br.Scan() {
+		return nil, fmt.Errorf("dataio: missing header: %w", br.Err())
+	}
+	var n, d int
+	if _, err := fmt.Sscanf(br.Text(), "%d %d", &n, &d); err != nil {
+		return nil, fmt.Errorf("dataio: bad header %q: %w", br.Text(), err)
+	}
+	if n < 0 || (n > 0 && d < 1) {
+		return nil, fmt.Errorf("dataio: bad dimensions %d x %d", n, d)
+	}
+	data := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if !br.Scan() {
+			return nil, fmt.Errorf("dataio: truncated at row %d: %w", i, br.Err())
+		}
+		fields := strings.Fields(br.Text())
+		if len(fields) != d {
+			return nil, fmt.Errorf("dataio: row %d has %d fields, want %d", i, len(fields), d)
+		}
+		row := make([]float64, d)
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: row %d field %d: %w", i, j, err)
+			}
+			row[j] = v
+		}
+		data = append(data, row)
+	}
+	return data, nil
+}
+
+// WriteFile stores the dataset at path.
+func WriteFile(path string, data [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a dataset from path.
+func ReadFile(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

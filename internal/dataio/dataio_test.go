@@ -1,0 +1,67 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRoundtrip(t *testing.T) {
+	data := [][]float64{{0.5, 0.25}, {1, 0}, {0.123456789, 0.987654321}}
+	var buf bytes.Buffer
+	if err := Write(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Errorf("roundtrip mismatch: %v vs %v", got, data)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty roundtrip: %v, %v", got, err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage",
+		"2 3\n1 2 3\n",  // truncated
+		"1 3\n1 2\n",    // short row
+		"1 2\n1 nope\n", // bad float
+		"-1 2\n",        // bad n
+		"1 0\n\n",       // bad d
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.txt")
+	data := [][]float64{{0.1, 0.2, 0.3}}
+	if err := WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil || !reflect.DeepEqual(got, data) {
+		t.Errorf("file roundtrip: %v, %v", got, err)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,34 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the text-format parser with arbitrary inputs: it must
+// never panic, and anything it accepts must survive a write/read roundtrip.
+func FuzzRead(f *testing.F) {
+	f.Add("2 2\n0.5 0.5\n1 0\n")
+	f.Add("0 0\n")
+	f.Add("1 3\n0.1 0.2 0.3\n")
+	f.Add("garbage")
+	f.Add("2 2\n1 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		data, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, data); err != nil {
+			t.Fatalf("Write of accepted data failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reread of written data failed: %v", err)
+		}
+		if len(again) != len(data) {
+			t.Fatalf("roundtrip row count: %d vs %d", len(again), len(data))
+		}
+	})
+}

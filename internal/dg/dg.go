@@ -1,0 +1,277 @@
+// Package dg implements the dominance graphs of §6.3: per-cell directed
+// graphs over option ids whose edges assert "u scores at least v everywhere
+// in this cell". The global coordinate-dominance relation forms an immutable
+// shared Base; each cell carries a lightweight Graph view with consumed
+// options removed, cell-specific edges added, and dominator counts
+// maintained incrementally. Graphs are inherited parent→child (Lemma 4) and
+// merged with cell merges (node union, edge intersection).
+//
+// Soundness contract: every edge, base or added, must be a true dominance
+// statement for the cell's region; counts are then lower bounds on the true
+// number of C-dominators, so candidate sets (in-degree-0 nodes) are
+// supersets of the true top-(ℓ+1)-th option sets and count-threshold pruning
+// never removes a viable option.
+package dg
+
+import (
+	"fmt"
+	"sort"
+
+	"tlevelindex/internal/skyline"
+)
+
+// Base holds the global coordinate-dominance relation over the filtered
+// option set. It is immutable and shared by every Graph.
+type Base struct {
+	m   int
+	out [][]int32 // out[u] = options dominated by u, sorted
+	in  [][]int32 // in[v] = options dominating v, sorted
+}
+
+// NewBase computes pairwise coordinate dominance over pts. Quadratic in
+// len(pts); intended for the (small) τ-skyband-filtered option set.
+func NewBase(pts [][]float64) *Base {
+	m := len(pts)
+	b := &Base{m: m, out: make([][]int32, m), in: make([][]int32, m)}
+	for u := 0; u < m; u++ {
+		for v := 0; v < m; v++ {
+			if u != v && skyline.Dominates(pts[u], pts[v]) {
+				b.out[u] = append(b.out[u], int32(v))
+				b.in[v] = append(b.in[v], int32(u))
+			}
+		}
+	}
+	return b
+}
+
+// Size returns the number of options in the base universe.
+func (b *Base) Size() int { return b.m }
+
+// HasEdge reports whether u globally dominates v.
+func (b *Base) HasEdge(u, v int32) bool {
+	lst := b.out[u]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= v })
+	return i < len(lst) && lst[i] == v
+}
+
+// InDegree returns the number of global dominators of v.
+func (b *Base) InDegree(v int32) int { return len(b.in[v]) }
+
+func edgeKey(u, v int32) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// Graph is a per-cell dominance graph view.
+type Graph struct {
+	base     *Base
+	consumed map[int32]bool
+	added    map[int64]struct{}
+	addedOut map[int32][]int32
+	count    []int32 // current in-counts over unconsumed dominators
+	pool     []int32 // unconsumed, not-yet-pruned nodes, sorted
+}
+
+// NewGraph returns the root-cell graph: all options in the pool, counts from
+// global dominance, no consumed options, no added edges.
+func NewGraph(base *Base) *Graph {
+	g := &Graph{
+		base:     base,
+		consumed: make(map[int32]bool),
+		added:    make(map[int64]struct{}),
+		addedOut: make(map[int32][]int32),
+		count:    make([]int32, base.m),
+		pool:     make([]int32, base.m),
+	}
+	for v := 0; v < base.m; v++ {
+		g.count[v] = int32(len(base.in[v]))
+		g.pool[v] = int32(v)
+	}
+	return g
+}
+
+// Clone returns an independent copy for a child cell.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		base:     g.base,
+		consumed: make(map[int32]bool, len(g.consumed)),
+		added:    make(map[int64]struct{}, len(g.added)),
+		addedOut: make(map[int32][]int32, len(g.addedOut)),
+		count:    append([]int32(nil), g.count...),
+		pool:     append([]int32(nil), g.pool...),
+	}
+	for k := range g.consumed {
+		ng.consumed[k] = true
+	}
+	for k := range g.added {
+		ng.added[k] = struct{}{}
+	}
+	for u, vs := range g.addedOut {
+		ng.addedOut[u] = append([]int32(nil), vs...)
+	}
+	return ng
+}
+
+// Pool returns the current candidate pool (unconsumed, unpruned), sorted.
+func (g *Graph) Pool() []int32 { return g.pool }
+
+// Count returns the current dominator count of v.
+func (g *Graph) Count(v int32) int32 { return g.count[v] }
+
+// Consumed reports whether v has been consumed (is in the cell's top set).
+func (g *Graph) Consumed(v int32) bool { return g.consumed[v] }
+
+// HasEdge reports whether the graph knows that u dominates v in this cell
+// (global dominance or an added cell-specific edge).
+func (g *Graph) HasEdge(u, v int32) bool {
+	if g.base.HasEdge(u, v) {
+		return true
+	}
+	_, ok := g.added[edgeKey(u, v)]
+	return ok
+}
+
+// AddEdge records the cell-specific fact that u dominates v in this cell.
+// Duplicate additions are ignored. Adding an edge from a consumed node is a
+// bug in the caller and panics.
+func (g *Graph) AddEdge(u, v int32) {
+	if g.consumed[u] || g.consumed[v] {
+		panic(fmt.Sprintf("dg: edge %d->%d touches consumed node", u, v))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.added[edgeKey(u, v)] = struct{}{}
+	g.addedOut[u] = append(g.addedOut[u], v)
+	g.count[v]++
+}
+
+// Consume removes u from the pool because it became the cell's top-ℓ-th
+// option: its out-edges stop counting against the remaining nodes.
+func (g *Graph) Consume(u int32) {
+	if g.consumed[u] {
+		return
+	}
+	g.consumed[u] = true
+	for _, v := range g.base.out[u] {
+		g.count[v]--
+	}
+	for _, v := range g.addedOut[u] {
+		g.count[v]--
+	}
+	g.pool = removeSorted(g.pool, u)
+}
+
+// DropAbove permanently removes pool nodes whose dominator count exceeds
+// threshold: they cannot reach the remaining levels (once dead, always dead
+// — counts drop by at most one per consumed level while the threshold drops
+// by exactly one). Their edges remain as ghost contributions to other
+// nodes' counts.
+func (g *Graph) DropAbove(threshold int32) {
+	keep := g.pool[:0]
+	for _, v := range g.pool {
+		if g.count[v] <= threshold {
+			keep = append(keep, v)
+		}
+	}
+	g.pool = keep
+}
+
+// Frontier returns the pool nodes with zero known dominators — the superset
+// of options that can rank next in this cell.
+func (g *Graph) Frontier() []int32 {
+	var out []int32
+	for _, v := range g.pool {
+		if g.count[v] == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Merge combines the graphs of cells being merged into one cell (same top
+// set). Added edges are intersected (an edge must hold over the union of
+// regions, hence in every part); pools are unioned; counts are recomputed.
+// All graphs must agree on their consumed sets.
+func Merge(gs ...*Graph) *Graph {
+	if len(gs) == 0 {
+		return nil
+	}
+	if len(gs) == 1 {
+		return gs[0]
+	}
+	first := gs[0]
+	for _, g := range gs[1:] {
+		if len(g.consumed) != len(first.consumed) {
+			panic("dg: merging graphs with different consumed sets")
+		}
+		for k := range first.consumed {
+			if !g.consumed[k] {
+				panic("dg: merging graphs with different consumed sets")
+			}
+		}
+	}
+	ng := &Graph{
+		base:     first.base,
+		consumed: make(map[int32]bool, len(first.consumed)),
+		added:    make(map[int64]struct{}),
+		addedOut: make(map[int32][]int32),
+		count:    make([]int32, first.base.m),
+	}
+	for k := range first.consumed {
+		ng.consumed[k] = true
+	}
+	// Intersect added edges. Edges whose source has been consumed (ranked
+	// into R) are dropped: they must not contribute to dominator counts.
+	for k := range first.added {
+		u := int32(k >> 32)
+		if ng.consumed[u] {
+			continue
+		}
+		inAll := true
+		for _, g := range gs[1:] {
+			if _, ok := g.added[k]; !ok {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			ng.added[k] = struct{}{}
+			ng.addedOut[u] = append(ng.addedOut[u], int32(uint32(k)))
+		}
+	}
+	// Union pools.
+	poolSet := make(map[int32]bool)
+	for _, g := range gs {
+		for _, v := range g.pool {
+			poolSet[v] = true
+		}
+	}
+	ng.pool = make([]int32, 0, len(poolSet))
+	for v := range poolSet {
+		ng.pool = append(ng.pool, v)
+	}
+	sort.Slice(ng.pool, func(a, b int) bool { return ng.pool[a] < ng.pool[b] })
+	// Recompute counts: base in-degree minus consumed dominators, plus
+	// intersected added edges.
+	for v := 0; v < first.base.m; v++ {
+		ng.count[v] = int32(len(first.base.in[v]))
+	}
+	for u := range ng.consumed {
+		for _, v := range first.base.out[u] {
+			ng.count[v]--
+		}
+	}
+	for u, vs := range ng.addedOut {
+		_ = u
+		for _, v := range vs {
+			ng.count[v]++
+		}
+	}
+	return ng
+}
+
+func removeSorted(s []int32, v int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}

@@ -1,0 +1,278 @@
+package dg
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tlevelindex/internal/skyline"
+)
+
+// The paper's hotel dataset (Figure 2a / Figure 7a).
+var hotels = [][]float64{
+	{0.62, 0.76}, // r1 VibesInn
+	{0.90, 0.48}, // r2 Artezen
+	{0.73, 0.33}, // r3 citizenM
+	{0.26, 0.64}, // r4 Yotel
+	{0.30, 0.24}, // r5 Royalton
+}
+
+func TestBaseMatchesPaperFigure7a(t *testing.T) {
+	b := NewBase(hotels)
+	// Figure 7(a): r1→r4, r1→r5, r2→r3, r2→r5, r3→r5; Royalton has 3 dominators.
+	wantEdges := map[[2]int32]bool{
+		{0, 3}: true, {0, 4}: true, {1, 2}: true, {1, 4}: true, {2, 4}: true,
+	}
+	for u := int32(0); u < 5; u++ {
+		for v := int32(0); v < 5; v++ {
+			if u == v {
+				continue
+			}
+			if got, want := b.HasEdge(u, v), wantEdges[[2]int32{u, v}]; got != want {
+				t.Errorf("HasEdge(%d,%d) = %v, want %v", u+1, v+1, got, want)
+			}
+		}
+	}
+	if b.InDegree(4) != 3 {
+		t.Errorf("Royalton dominators = %d, want 3", b.InDegree(4))
+	}
+	if b.Size() != 5 {
+		t.Errorf("Size = %d", b.Size())
+	}
+}
+
+func TestRootFrontierIsSkyline(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	got := g.Frontier()
+	want := []int32{0, 1} // VibesInn, Artezen (Observation 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("root frontier = %v, want %v", got, want)
+	}
+}
+
+func TestConsumeUpdatesCounts(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	g.Consume(0) // VibesInn becomes top-1
+	// Yotel (3) loses its only dominator.
+	if g.Count(3) != 0 {
+		t.Errorf("Yotel count after consuming r1 = %d, want 0", g.Count(3))
+	}
+	// Royalton (4) drops from 3 to 2.
+	if g.Count(4) != 2 {
+		t.Errorf("Royalton count = %d, want 2", g.Count(4))
+	}
+	front := g.Frontier()
+	want := []int32{1, 3} // Artezen and Yotel, as in Figure 7(d)
+	if !reflect.DeepEqual(front, want) {
+		t.Errorf("frontier after consuming r1 = %v, want %v", front, want)
+	}
+	if !g.Consumed(0) || g.Consumed(1) {
+		t.Error("consumed bookkeeping wrong")
+	}
+}
+
+func TestAddEdgeAndFrontier(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	g.Consume(0)
+	// Figure 7(c): within C1, Yotel dominates Royalton — a new edge.
+	g.AddEdge(3, 4)
+	if g.Count(4) != 3 {
+		t.Errorf("Royalton count after added edge = %d, want 3", g.Count(4))
+	}
+	if !g.HasEdge(3, 4) {
+		t.Error("added edge not visible")
+	}
+	g.AddEdge(3, 4) // duplicate: no double count
+	if g.Count(4) != 3 {
+		t.Errorf("duplicate AddEdge changed count to %d", g.Count(4))
+	}
+	// τ=3, cell level 1: prune options with more than τ-ℓ-1 = 1 dominator.
+	g.DropAbove(1)
+	pool := g.Pool()
+	sort.Slice(pool, func(a, b int) bool { return pool[a] < pool[b] })
+	want := []int32{1, 2, 3} // Royalton (4) pruned, as in Figure 7(d)
+	if !reflect.DeepEqual(pool, want) {
+		t.Errorf("pool after prune = %v, want %v", pool, want)
+	}
+}
+
+func TestAddEdgePanicsOnConsumed(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	g.Consume(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic adding edge from consumed node")
+		}
+	}()
+	g.AddEdge(0, 4)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	g.Consume(0)
+	c := g.Clone()
+	c.AddEdge(3, 4)
+	c.Consume(1)
+	if g.HasEdge(3, 4) {
+		t.Error("clone edge leaked into parent")
+	}
+	if g.Consumed(1) {
+		t.Error("clone consume leaked into parent")
+	}
+	if g.Count(4) != c.Count(4)+0 && false {
+		t.Error("unreachable")
+	}
+	// Parent count for Royalton: still 2 (only r1 consumed).
+	if g.Count(4) != 2 {
+		t.Errorf("parent count changed: %d", g.Count(4))
+	}
+	// Clone: r1, r2 consumed, plus edge 3->4: 3-2+1 = 2.
+	if c.Count(4) != 2 {
+		t.Errorf("clone count = %d, want 2", c.Count(4))
+	}
+}
+
+func TestMergeIntersectsAddedEdges(t *testing.T) {
+	b := NewBase(hotels)
+	root := NewGraph(b)
+	root.Consume(0)
+	root.Consume(1)
+	a := root.Clone()
+	c := root.Clone()
+	a.AddEdge(3, 4)
+	a.AddEdge(2, 3)
+	c.AddEdge(3, 4)
+	m := Merge(a, c)
+	if !m.HasEdge(3, 4) {
+		t.Error("edge present in both graphs lost in merge")
+	}
+	if _, ok := m.added[edgeKey(2, 3)]; ok {
+		t.Error("edge present in only one graph survived merge")
+	}
+	// Count check vs naive: Royalton has base dominators {r1,r2,r3}; r1,r2
+	// consumed → 1, plus merged edge 3->4 → 2.
+	if m.Count(4) != 2 {
+		t.Errorf("merged count = %d, want 2", m.Count(4))
+	}
+	// Pools union.
+	if len(m.Pool()) != len(a.Pool()) {
+		t.Errorf("merged pool = %v", m.Pool())
+	}
+}
+
+func TestMergePanicsOnDifferentConsumed(t *testing.T) {
+	b := NewBase(hotels)
+	g1 := NewGraph(b)
+	g2 := NewGraph(b)
+	g1.Consume(0)
+	g2.Consume(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched consumed sets")
+		}
+	}()
+	Merge(g1, g2)
+}
+
+func TestMergeSingleAndEmpty(t *testing.T) {
+	b := NewBase(hotels)
+	g := NewGraph(b)
+	if Merge(g) != g {
+		t.Error("single-graph merge should return the graph")
+	}
+	if Merge() != nil {
+		t.Error("empty merge should return nil")
+	}
+}
+
+// TestCountsMatchNaive cross-checks incremental counts against a from-
+// scratch recomputation through random consume/add/merge sequences.
+func TestCountsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(30)
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, 3)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		b := NewBase(pts)
+		g := NewGraph(b)
+		type edge struct{ u, v int32 }
+		var addedEdges []edge
+		consumed := map[int32]bool{}
+		for step := 0; step < 10; step++ {
+			if rng.Intn(2) == 0 && len(g.Pool()) > 0 {
+				u := g.Pool()[rng.Intn(len(g.Pool()))]
+				g.Consume(u)
+				consumed[u] = true
+			} else if len(g.Pool()) >= 2 {
+				p := g.Pool()
+				u := p[rng.Intn(len(p))]
+				v := p[rng.Intn(len(p))]
+				if u != v && !g.HasEdge(u, v) && !g.HasEdge(v, u) {
+					g.AddEdge(u, v)
+					addedEdges = append(addedEdges, edge{u, v})
+				}
+			}
+		}
+		for v := int32(0); int(v) < n; v++ {
+			if consumed[v] {
+				continue
+			}
+			naive := int32(0)
+			for u := int32(0); int(u) < n; u++ {
+				if u == v || consumed[u] {
+					continue
+				}
+				if skyline.Dominates(pts[u], pts[v]) {
+					naive++
+				}
+			}
+			for _, e := range addedEdges {
+				if e.v == v && !consumed[e.u] && !b.HasEdge(e.u, e.v) {
+					naive++
+				}
+			}
+			if g.Count(v) != naive {
+				t.Fatalf("count[%d] = %d, naive = %d", v, g.Count(v), naive)
+			}
+		}
+	}
+}
+
+func TestFrontierSupersetOfSkyline(t *testing.T) {
+	// The frontier of a fresh graph must be exactly the skyline.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		d := 2 + rng.Intn(3)
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		g := NewGraph(NewBase(pts))
+		front := g.Frontier()
+		got := make([]int, len(front))
+		for i, v := range front {
+			got[i] = int(v)
+		}
+		want := skyline.Skyline(pts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frontier %v != skyline %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package geom
+
+// Box is an axis-aligned box in reduced preference space, the query-region
+// shape used by UTK experiments (the paper's σ-sized regions).
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox returns the box [lo, hi]; the slices are copied.
+func NewBox(lo, hi []float64) Box {
+	return Box{Lo: append([]float64(nil), lo...), Hi: append([]float64(nil), hi...)}
+}
+
+// Halfspaces expresses the box as 2·dim halfspaces.
+func (b Box) Halfspaces() []Halfspace {
+	dim := len(b.Lo)
+	hs := make([]Halfspace, 0, 2*dim)
+	for k := 0; k < dim; k++ {
+		lo := make([]float64, dim)
+		lo[k] = -1
+		hs = append(hs, Halfspace{A: lo, B: -b.Lo[k]})
+		hi := make([]float64, dim)
+		hi[k] = 1
+		hs = append(hs, Halfspace{A: hi, B: b.Hi[k]})
+	}
+	return hs
+}
+
+// Contains reports whether x lies inside the box within tol.
+func (b Box) Contains(x []float64, tol float64) bool {
+	for k := range b.Lo {
+		if x[k] < b.Lo[k]-tol || x[k] > b.Hi[k]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the box midpoint.
+func (b Box) Center() []float64 {
+	c := make([]float64, len(b.Lo))
+	for k := range c {
+		c[k] = (b.Lo[k] + b.Hi[k]) / 2
+	}
+	return c
+}
+
+// Region converts the box (clipped to the simplex) into a Region.
+func (b Box) Region() *Region {
+	r := NewRegion(len(b.Lo))
+	r.Add(b.Halfspaces()...)
+	return r
+}

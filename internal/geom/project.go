@@ -1,0 +1,141 @@
+package geom
+
+import "math"
+
+// Projection parameters for Dykstra's alternating-projection algorithm.
+const (
+	dykstraMaxCycles = 4000
+	dykstraTol       = 1e-10
+)
+
+// Project returns the Euclidean projection of x onto the region and the
+// distance ‖x − proj‖. The region must be nonempty; for the convex cells of
+// a τ-LevelIndex this always holds. It uses Dykstra's algorithm over the
+// halfspaces, which converges to the exact projection onto their
+// intersection (unlike plain cyclic projection).
+//
+// The common ORU fast path — the query point already inside the cell — is
+// answered without any iteration.
+func (r *Region) Project(x []float64) (proj []float64, dist float64) {
+	if r.ContainsPoint(x, PointTol) {
+		return append([]float64(nil), x...), 0
+	}
+	m := len(r.HS)
+	cur := append([]float64(nil), x...)
+	// Dykstra correction vectors, one per halfspace.
+	corr := make([][]float64, m)
+	for i := range corr {
+		corr[i] = make([]float64, r.Dim)
+	}
+	tmp := make([]float64, r.Dim)
+	for cycle := 0; cycle < dykstraMaxCycles; cycle++ {
+		moved := 0.0
+		for i, h := range r.HS {
+			if triv, _ := h.Trivial(); triv {
+				continue
+			}
+			// y = cur + corr[i]
+			for k := range tmp {
+				tmp[k] = cur[k] + corr[i][k]
+			}
+			// Project y onto halfspace h: subtract the positive violation
+			// along the (unit) normal.
+			v := h.Eval(tmp)
+			if v > 0 {
+				for k := range tmp {
+					tmp[k] -= v * h.A[k]
+				}
+			}
+			// corr[i] = y_old − proj; cur = proj.
+			for k := range tmp {
+				newCorr := cur[k] + corr[i][k] - tmp[k]
+				d := tmp[k] - cur[k]
+				moved += d * d
+				corr[i][k] = newCorr
+				cur[k] = tmp[k]
+			}
+		}
+		if moved < dykstraTol*dykstraTol {
+			break
+		}
+	}
+	return cur, Dist(x, cur)
+}
+
+// DistanceTo returns the Euclidean distance from x to the region (zero when
+// x is inside).
+func (r *Region) DistanceTo(x []float64) float64 {
+	_, d := r.Project(x)
+	return d
+}
+
+// RandomInteriorPoints samples up to k points from the interior of the
+// region using hit-and-run from the Chebyshev center. It returns nil when
+// the region has no full-dimensional interior. rnd must return uniform
+// variates in [0,1).
+func (r *Region) RandomInteriorPoints(k int, rnd func() float64) [][]float64 {
+	center, _, ok := r.ChebyshevCenter()
+	if !ok {
+		return nil
+	}
+	return r.sampleFrom(center, k, rnd)
+}
+
+// SampleFrom runs hit-and-run from a known interior point, avoiding the
+// Chebyshev LP. The builders use it to breed cell sample sets from
+// inherited witness points.
+func (r *Region) SampleFrom(start []float64, k int, rnd func() float64) [][]float64 {
+	return r.sampleFrom(start, k, rnd)
+}
+
+func (r *Region) sampleFrom(center []float64, k int, rnd func() float64) [][]float64 {
+	pts := make([][]float64, 0, k)
+	cur := append([]float64(nil), center...)
+	dir := make([]float64, r.Dim)
+	for len(pts) < k {
+		// Random direction on the unit sphere via Box-Muller-ish normals.
+		norm := 0.0
+		for i := range dir {
+			u1 := math.Max(rnd(), 1e-12)
+			u2 := rnd()
+			dir[i] = math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+			norm += dir[i] * dir[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for i := range dir {
+			dir[i] /= norm
+		}
+		// Clip the line cur + t·dir against every halfspace.
+		lo, hi := math.Inf(-1), math.Inf(1)
+		for _, h := range r.HS {
+			if triv, _ := h.Trivial(); triv {
+				continue
+			}
+			ad := Dot(h.A, dir)
+			ax := h.Eval(cur) // A·cur − B
+			switch {
+			case ad > 1e-12:
+				hi = math.Min(hi, -ax/ad)
+			case ad < -1e-12:
+				lo = math.Max(lo, -ax/ad)
+			default:
+				if ax > 0 {
+					lo, hi = 1, 0 // infeasible direction; shouldn't happen
+				}
+			}
+		}
+		if !(hi > lo) {
+			cur = append(cur[:0], center...)
+			continue
+		}
+		t := lo + (hi-lo)*rnd()
+		for i := range cur {
+			cur[i] += t * dir[i]
+		}
+		pts = append(pts, append([]float64(nil), cur...))
+	}
+	return pts
+}

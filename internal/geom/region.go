@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+
+	"tlevelindex/internal/lp"
+)
+
+// Numeric tolerances for the LP-backed predicates. Halfspace normals are
+// unit length, so these are effectively relative tolerances.
+const (
+	// InteriorEps is the minimum Chebyshev margin for a region to count as
+	// full-dimensional (non-degenerate interior).
+	InteriorEps = 1e-7
+	// ContainTol is the slack allowed in containment tests.
+	ContainTol = 1e-7
+	// PointTol is the slack allowed in point-membership tests.
+	PointTol = 1e-9
+)
+
+// Region is a convex subset of the reduced preference simplex expressed as
+// an intersection of halfspaces. The simplex bounds are part of HS, so a
+// freshly built Region is the whole simplex.
+type Region struct {
+	Dim int
+	HS  []Halfspace
+}
+
+// NewRegion returns the full reduced preference simplex of dimension dim.
+func NewRegion(dim int) *Region {
+	return &Region{Dim: dim, HS: SimplexBounds(dim)}
+}
+
+// EmptyRegionLike returns a region with the same dimension but no
+// constraints at all (the whole of R^dim, before simplex bounds). It is a
+// building block for callers that assemble constraint sets manually.
+func EmptyRegionLike(dim int) *Region {
+	return &Region{Dim: dim}
+}
+
+// Add appends halfspaces to the region (mutating it) and returns the region
+// for chaining.
+func (r *Region) Add(hs ...Halfspace) *Region {
+	r.HS = append(r.HS, hs...)
+	return r
+}
+
+// Clone returns a deep-enough copy: the halfspace slice is copied, the
+// (immutable) halfspaces are shared.
+func (r *Region) Clone() *Region {
+	hs := make([]Halfspace, len(r.HS))
+	copy(hs, r.HS)
+	return &Region{Dim: r.Dim, HS: hs}
+}
+
+// ContainsPoint reports whether x satisfies every halfspace within tol.
+func (r *Region) ContainsPoint(x []float64, tol float64) bool {
+	for _, h := range r.HS {
+		if h.Eval(x) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// chebyshevLP builds and solves max t s.t. A_i·x + t ≤ b_i, t ≤ 1 over
+// x ≥ 0, t ≥ 0. It returns the maximizing x, the margin t*, and whether the
+// constraint system admits any solution at all.
+func (r *Region) chebyshevLP() (x []float64, margin float64, feasible bool) {
+	n := r.Dim + 1 // x plus margin variable t
+	p := lp.Problem{
+		C: make([]float64, n),
+		A: make([][]float64, 0, len(r.HS)+1),
+		B: make([]float64, 0, len(r.HS)+1),
+	}
+	p.C[r.Dim] = 1
+	for _, h := range r.HS {
+		if triv, whole := h.Trivial(); triv {
+			if !whole {
+				return nil, 0, false
+			}
+			continue
+		}
+		row := make([]float64, n)
+		copy(row, h.A)
+		row[r.Dim] = 1
+		p.A = append(p.A, row)
+		p.B = append(p.B, h.B)
+	}
+	capRow := make([]float64, n)
+	capRow[r.Dim] = 1
+	p.A = append(p.A, capRow)
+	p.B = append(p.B, 1)
+	res, err := lp.Solve(p)
+	if err != nil || res.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	return res.X[:r.Dim], res.X[r.Dim], true
+}
+
+// Feasible reports whether the region has a full-dimensional interior
+// (Chebyshev margin above InteriorEps). Degenerate lower-dimensional
+// intersections — cells touching only along a boundary — count as empty,
+// which is exactly the edge semantics of Definition 4.
+func (r *Region) Feasible() bool {
+	_, m, ok := r.chebyshevLP()
+	return ok && m > InteriorEps
+}
+
+// FeasibleMargin returns the Chebyshev margin (radius of the largest inball,
+// capped at 1) and whether the region is nonempty at all.
+func (r *Region) FeasibleMargin() (float64, bool) {
+	_, m, ok := r.chebyshevLP()
+	return m, ok
+}
+
+// ChebyshevCenter returns a deepest interior point and its margin. ok is
+// false when the region has no full-dimensional interior.
+func (r *Region) ChebyshevCenter() (x []float64, margin float64, ok bool) {
+	x, m, feas := r.chebyshevLP()
+	if !feas || m <= InteriorEps {
+		return nil, m, false
+	}
+	return x, m, true
+}
+
+// maximize returns the maximum of a·x over the region; ok is false when the
+// region is empty (in which case callers usually treat predicates as
+// vacuously true). Unbounded cannot happen for regions inside the simplex,
+// but is mapped to +Inf defensively.
+func (r *Region) maximize(a []float64) (float64, bool) {
+	p := lp.Problem{
+		C: append([]float64(nil), a...),
+		A: make([][]float64, 0, len(r.HS)),
+		B: make([]float64, 0, len(r.HS)),
+	}
+	for _, h := range r.HS {
+		if triv, whole := h.Trivial(); triv {
+			if !whole {
+				return 0, false
+			}
+			continue
+		}
+		p.A = append(p.A, h.A)
+		p.B = append(p.B, h.B)
+	}
+	res, err := lp.Solve(p)
+	if err != nil {
+		return 0, false
+	}
+	switch res.Status {
+	case lp.Infeasible:
+		return 0, false
+	case lp.Unbounded:
+		return math.Inf(1), true
+	}
+	return res.Objective, true
+}
+
+// ContainsHalfspace reports whether h ⊇ region, i.e. every point of the
+// region satisfies h. Empty regions are vacuously contained.
+func (r *Region) ContainsHalfspace(h Halfspace) bool {
+	if triv, whole := h.Trivial(); triv {
+		return whole
+	}
+	max, ok := r.maximize(h.A)
+	if !ok {
+		return true // empty region
+	}
+	return max <= h.B+ContainTol
+}
+
+// Rel classifies the position of a hyperplane relative to a region.
+type Rel int
+
+const (
+	// RelInside: the positive halfspace contains the whole region.
+	RelInside Rel = iota
+	// RelOutside: the complement halfspace contains the whole region.
+	RelOutside
+	// RelSplit: the hyperplane cuts through the region's interior.
+	RelSplit
+)
+
+// Classify determines whether h covers the region, its complement covers the
+// region, or the bounding hyperplane splits the region. This is the
+// three-case test at the heart of the insertion-based builder (IBA).
+func Classify(r *Region, h Halfspace) Rel {
+	if triv, whole := h.Trivial(); triv {
+		if whole {
+			return RelInside
+		}
+		return RelOutside
+	}
+	max, ok := r.maximize(h.A)
+	if !ok {
+		return RelInside // empty region: vacuous, callers prune separately
+	}
+	if max <= h.B+ContainTol {
+		return RelInside
+	}
+	neg := h.Neg()
+	min, ok := r.maximize(neg.A)
+	if !ok {
+		return RelInside
+	}
+	if min <= neg.B+ContainTol {
+		return RelOutside
+	}
+	return RelSplit
+}
+
+// IntersectsRegion reports whether the two regions share a full-dimensional
+// intersection.
+func (r *Region) IntersectsRegion(o *Region) bool {
+	comb := r.Clone()
+	comb.Add(o.HS...)
+	return comb.Feasible()
+}

@@ -1,0 +1,153 @@
+package geom
+
+import "math"
+
+// SimplexVolume returns the volume of the reduced preference simplex
+// {x ≥ 0, Σx ≤ 1} in R^dim, which is 1/dim!.
+func SimplexVolume(dim int) float64 {
+	v := 1.0
+	for i := 2; i <= dim; i++ {
+		v /= float64(i)
+	}
+	return v
+}
+
+// Volume computes the region's volume. Dimensions 1 and 2 are exact
+// (interval length, convex-polygon shoelace); higher dimensions fall back
+// to Monte Carlo over the simplex with the given sample count and uniform
+// source. Returns 0 for empty regions.
+func (r *Region) Volume(samples int, rnd func() float64) float64 {
+	switch r.Dim {
+	case 1:
+		lo, hi, ok := r.interval()
+		if !ok {
+			return 0
+		}
+		return hi - lo
+	case 2:
+		return r.polygonArea()
+	default:
+		return r.volumeMC(samples, rnd)
+	}
+}
+
+// interval computes the exact [lo, hi] extent of a 1-dimensional region.
+func (r *Region) interval() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	for _, h := range r.HS {
+		if triv, whole := h.Trivial(); triv {
+			if !whole {
+				return 0, 0, false
+			}
+			continue
+		}
+		a, b := h.A[0], h.B
+		switch {
+		case a > 0:
+			if ub := b / a; ub < hi {
+				hi = ub
+			}
+		case a < 0:
+			if lb := b / a; lb > lo {
+				lo = lb
+			}
+		default:
+			if b < 0 {
+				return 0, 0, false
+			}
+		}
+	}
+	if hi < lo {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// polygonArea computes the exact area of a 2-dimensional region by
+// enumerating its vertices (pairwise boundary intersections that satisfy
+// every halfspace) and applying the shoelace formula around their centroid.
+func (r *Region) polygonArea() float64 {
+	var verts [][2]float64
+	m := len(r.HS)
+	for i := 0; i < m; i++ {
+		hi := r.HS[i]
+		if t, _ := hi.Trivial(); t {
+			continue
+		}
+		for j := i + 1; j < m; j++ {
+			hj := r.HS[j]
+			if t, _ := hj.Trivial(); t {
+				continue
+			}
+			det := hi.A[0]*hj.A[1] - hi.A[1]*hj.A[0]
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (hi.B*hj.A[1] - hj.B*hi.A[1]) / det
+			y := (hi.A[0]*hj.B - hj.A[0]*hi.B) / det
+			p := []float64{x, y}
+			if r.ContainsPoint(p, 1e-9) {
+				verts = append(verts, [2]float64{x, y})
+			}
+		}
+	}
+	if len(verts) < 3 {
+		return 0
+	}
+	// Order vertices around the centroid.
+	var cx, cy float64
+	for _, v := range verts {
+		cx += v[0]
+		cy += v[1]
+	}
+	cx /= float64(len(verts))
+	cy /= float64(len(verts))
+	sortByAngle(verts, cx, cy)
+	area := 0.0
+	for i := range verts {
+		j := (i + 1) % len(verts)
+		area += verts[i][0]*verts[j][1] - verts[j][0]*verts[i][1]
+	}
+	return math.Abs(area) / 2
+}
+
+func sortByAngle(verts [][2]float64, cx, cy float64) {
+	// Insertion sort by polar angle: vertex counts are tiny.
+	angle := func(v [2]float64) float64 { return math.Atan2(v[1]-cy, v[0]-cx) }
+	for i := 1; i < len(verts); i++ {
+		for j := i; j > 0 && angle(verts[j]) < angle(verts[j-1]); j-- {
+			verts[j], verts[j-1] = verts[j-1], verts[j]
+		}
+	}
+}
+
+// volumeMC estimates the volume by uniform sampling over the simplex.
+func (r *Region) volumeMC(samples int, rnd func() float64) float64 {
+	if samples <= 0 {
+		samples = 20000
+	}
+	hit := 0
+	for i := 0; i < samples; i++ {
+		x := sampleSimplex(r.Dim, rnd)
+		if r.ContainsPoint(x, 1e-9) {
+			hit++
+		}
+	}
+	return SimplexVolume(r.Dim) * float64(hit) / float64(samples)
+}
+
+// sampleSimplex draws a uniform point from {x ≥ 0, Σx ≤ 1} via exponential
+// spacings over the (dim+1)-simplex, dropping the last coordinate.
+func sampleSimplex(dim int, rnd func() float64) []float64 {
+	e := make([]float64, dim+1)
+	s := 0.0
+	for i := range e {
+		e[i] = -math.Log(math.Max(rnd(), 1e-15))
+		s += e[i]
+	}
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = e[i] / s
+	}
+	return x
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"tlevelindex/internal/geom"
+)
+
+// buildBSL is the UTK₂-adapted baseline (§5.1): for every level ℓ ∈ [1, τ]
+// it partitions the entire preference space from scratch into rank-ℓ cells
+// (the adaptation of UTK₂ with the whole simplex as query region), then
+// connects adjacent levels by pairwise intersection tests. Both steps are
+// deliberately wasteful — re-partitioning repeats all the work of the lower
+// levels τ times, and edge reconnection is quadratic in the level sizes —
+// which is exactly the cost profile the paper reports for BSL.
+func buildBSL(ix *Index) {
+	type bslCell struct {
+		r     []int32 // result set in rank order
+		opt   int32
+		bound []int32
+	}
+	perLevel := make([][]bslCell, ix.Tau+1)
+	for ell := 1; ell <= ix.Tau; ell++ {
+		// Fresh scratch enumeration of levels 1..ell; only level ell kept.
+		scratch := &Index{Dim: ix.Dim, Tau: ell, Pts: ix.Pts, OrigIDs: ix.OrigIDs}
+		scratch.newCell(0, NoOption, nil, []int32{})
+		scratch.Stats.PostFilterCandidates = make([]float64, ell)
+		scratch.Stats.ActualCandidates = make([]float64, ell)
+		buildPBA(scratch, false)
+		ix.Stats.LPCalls += scratch.Stats.LPCalls
+		for _, id := range scratch.Levels[ell] {
+			perLevel[ell] = append(perLevel[ell], bslCell{
+				r:     scratch.ResultSet(id),
+				opt:   scratch.Cells[id].Opt,
+				bound: append([]int32(nil), scratch.Cells[id].Bound...),
+			})
+		}
+	}
+
+	// Assemble the DAG: create the cells level by level and reconnect with
+	// pairwise full-dimensional intersection tests (Definition 4 edges).
+	regionOf := func(bc bslCell) *geom.Region {
+		reg := geom.NewRegion(ix.RDim())
+		opt := ix.Pts[bc.opt]
+		for _, j := range bc.r[:len(bc.r)-1] {
+			reg.Add(geom.PrefHalfspace(ix.Pts[j], opt))
+		}
+		for _, b := range bc.bound {
+			reg.Add(geom.PrefHalfspace(opt, ix.Pts[b]))
+		}
+		return reg
+	}
+	prevIDs := []int32{ix.Root()}
+	prevCells := []bslCell{{}}
+	for ell := 1; ell <= ix.Tau; ell++ {
+		var ids []int32
+		for _, bc := range perLevel[ell] {
+			ids = append(ids, ix.newCell(int32(ell), bc.opt, nil, bc.bound))
+		}
+		for ci, bc := range perLevel[ell] {
+			creg := regionOf(bc)
+			cset := make(map[int32]bool, len(bc.r))
+			for _, v := range bc.r {
+				cset[v] = true
+			}
+			for pi, pid := range prevIDs {
+				if ell == 1 {
+					ix.addEdge(pid, ids[ci])
+					continue
+				}
+				pc := prevCells[pi]
+				// Cheap necessary condition first: the parent's result set
+				// must be the child's minus its own option.
+				ok := true
+				for _, v := range pc.r {
+					if !cset[v] || v == bc.opt {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				ix.Stats.LPCalls++
+				if regionOf(pc).IntersectsRegion(creg) {
+					ix.addEdge(pid, ids[ci])
+				}
+			}
+		}
+		prevIDs, prevCells = ids, perLevel[ell]
+	}
+	ix.rebuildLevels()
+}

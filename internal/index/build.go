@@ -1,0 +1,231 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tlevelindex/internal/skyline"
+)
+
+// Algorithm selects a τ-LevelIndex construction algorithm.
+type Algorithm int
+
+const (
+	// PBAPlus is the partition-based approach with dominance-graph candidate
+	// computation (§6.3) — the paper's recommended builder.
+	PBAPlus Algorithm = iota
+	// PBA is the basic partition-based approach that recomputes the
+	// candidate r-skyband from scratch for every cell (§6.2).
+	PBA
+	// IBA is the insertion-based approach (Algorithm 1) with skyline-layer
+	// insertion ordering.
+	IBA
+	// IBAR is IBA with a random insertion order (the paper's IBA-R).
+	IBAR
+	// BSL is the UTK₂-adapted baseline (§5.1): an independent partition per
+	// level followed by pairwise intersection tests to connect levels.
+	BSL
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case PBAPlus:
+		return "PBA+"
+	case PBA:
+		return "PBA"
+	case IBA:
+		return "IBA"
+	case IBAR:
+		return "IBA-R"
+	case BSL:
+		return "BSL"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config controls index construction.
+type Config struct {
+	Algorithm Algorithm
+	Tau       int
+	// SkipFilter disables the τ-skyband and onion-layer option filters
+	// (used by tests that want cells over the raw input).
+	SkipFilter bool
+	// Onion selects the τ-onion-layer refinement of the option filter
+	// (§7.1 applies it together with the skyband). The default, OnionAuto,
+	// enables it only for the insertion-based builders, whose cost grows
+	// super-linearly with the option count; for the partition builders the
+	// LP cost of peeling exceeds what the smaller candidate set saves.
+	Onion OnionMode
+	// Seed drives the IBA-R shuffle; ignored by other algorithms.
+	Seed int64
+	// KeepFullData retains the unfiltered dataset inside the index so
+	// queries with k > τ can extend it on demand. Defaults to true via
+	// Build; zero-value Config keeps it too.
+	DropFullData bool
+}
+
+// OnionMode controls the onion-layer filter.
+type OnionMode int
+
+const (
+	// OnionAuto applies the filter for IBA/IBA-R/BSL only.
+	OnionAuto OnionMode = iota
+	// OnionOn always applies the filter.
+	OnionOn
+	// OnionOff never applies the filter.
+	OnionOff
+)
+
+// Build constructs a τ-LevelIndex over data with the configured algorithm.
+// Exact duplicate options are removed up front: duplicates score equally
+// under every weight vector, so they would only manufacture degenerate
+// sibling orderings.
+func Build(data [][]float64, cfg Config) (*Index, error) {
+	if len(data) == 0 {
+		return nil, errors.New("index: empty dataset")
+	}
+	d := len(data[0])
+	if d < 2 {
+		return nil, errors.New("index: need at least 2 attributes")
+	}
+	for _, r := range data {
+		if len(r) != d {
+			return nil, errors.New("index: ragged dataset")
+		}
+	}
+	if cfg.Tau < 1 {
+		return nil, errors.New("index: tau must be >= 1")
+	}
+
+	uniq, uniqIDs := dedupeOptions(data)
+	var filtered []int
+	if cfg.SkipFilter {
+		filtered = make([]int, len(uniq))
+		for i := range filtered {
+			filtered[i] = i
+		}
+	} else {
+		filtered = skyline.Skyband(uniq, cfg.Tau)
+		useOnion := cfg.Onion == OnionOn
+		if cfg.Onion == OnionAuto {
+			switch cfg.Algorithm {
+			case IBA, IBAR, BSL:
+				useOnion = true
+			}
+		}
+		if useOnion {
+			// Refine with the first τ onion layers (§7.1 applies both
+			// filters); both are supersets of the rank-≤τ achievers, so the
+			// intersection is a sound candidate set.
+			sub := make([][]float64, len(filtered))
+			for i, fi := range filtered {
+				sub[i] = uniq[fi]
+			}
+			keep := onionFilter(sub, cfg.Tau)
+			next := make([]int, len(keep))
+			for i, ki := range keep {
+				next[i] = filtered[ki]
+			}
+			sort.Ints(next)
+			filtered = next
+		}
+	}
+	pts := make([][]float64, len(filtered))
+	orig := make([]int, len(filtered))
+	for i, fi := range filtered {
+		pts[i] = uniq[fi]
+		orig[i] = uniqIDs[fi]
+	}
+	tau := cfg.Tau
+	if tau > len(pts) {
+		tau = len(pts)
+	}
+
+	ix := &Index{
+		Dim: d, Tau: tau,
+		Pts: pts, OrigIDs: orig,
+	}
+	if !cfg.DropFullData {
+		ix.fullPts = data
+	}
+	ix.Stats.Algorithm = cfg.Algorithm.String()
+	ix.Stats.InputOptions = len(data)
+	ix.Stats.FilteredOptions = len(pts)
+
+	ix.newCell(0, NoOption, nil, []int32{})
+
+	switch cfg.Algorithm {
+	case PBAPlus:
+		buildPBA(ix, true)
+	case PBA:
+		buildPBA(ix, false)
+	case IBA:
+		buildIBA(ix, skyline.LayerOrder(pts))
+	case IBAR:
+		order := make([]int, len(pts))
+		for i := range order {
+			order[i] = i
+		}
+		rand.New(rand.NewSource(cfg.Seed)).Shuffle(len(order), func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+		buildIBA(ix, order)
+	case BSL:
+		buildBSL(ix)
+	default:
+		return nil, fmt.Errorf("index: unknown algorithm %v", cfg.Algorithm)
+	}
+	ix.compact()
+	ix.fillCellStats()
+	return ix, nil
+}
+
+// dedupeOptions removes exact duplicates, returning the unique points and a
+// map back to the first original index of each.
+func dedupeOptions(data [][]float64) ([][]float64, []int) {
+	type key string
+	seen := make(map[key]bool, len(data))
+	var uniq [][]float64
+	var ids []int
+	buf := make([]byte, 0, 64)
+	for i, r := range data {
+		buf = buf[:0]
+		for _, v := range r {
+			bits := math.Float64bits(v)
+			for s := 0; s < 8; s++ {
+				buf = append(buf, byte(bits>>(8*s)))
+			}
+		}
+		k := key(buf)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, r)
+			ids = append(ids, i)
+		}
+	}
+	return uniq, ids
+}
+
+// fillCellStats computes per-level cell counts and average hyperplanes per
+// cell for the built index.
+func (ix *Index) fillCellStats() {
+	ix.Stats.CellsPerLevel = make([]int, ix.Tau)
+	ix.Stats.HyperplanesPerCell = make([]float64, ix.Tau)
+	for l := 1; l <= ix.Tau; l++ {
+		ids := ix.Levels[l]
+		ix.Stats.CellsPerLevel[l-1] = len(ids)
+		if len(ids) == 0 {
+			continue
+		}
+		total := 0
+		for _, id := range ids {
+			total += ix.HyperplaneCount(id)
+		}
+		ix.Stats.HyperplanesPerCell[l-1] = float64(total) / float64(len(ids))
+	}
+}

@@ -1,0 +1,148 @@
+package index
+
+import (
+	"tlevelindex/internal/geom"
+	"tlevelindex/internal/skyline"
+)
+
+// extension materializes levels beyond τ on demand — the "lookup-based
+// computation" regime of Figure 14, where a query with k > τ reuses the
+// precomputed level-τ cells and partitions deeper levels lazily.
+type extension struct {
+	maxLevel int             // deepest materialized level (>= Tau)
+	levels   map[int][]int32 // level -> cell ids, for levels > Tau
+	poolK    int             // skyband depth the option pool covers
+	nBase    int             // number of options from the original build
+}
+
+// EnsureLevels materializes all levels up to k (no-op for k <= Tau); it is
+// the public entry point for forcing the Figure-14 "lookup-based
+// computation" regime ahead of a query.
+func (ix *Index) EnsureLevels(k int) { ix.ensureLevels(k) }
+
+// ensureLevels materializes all levels up to k. It requires the index to
+// retain the full dataset (Build's default); otherwise deeper options may
+// be missing and the extension proceeds best-effort over the filtered set.
+func (ix *Index) ensureLevels(k int) {
+	if k <= ix.Tau {
+		return
+	}
+	if ix.ext == nil {
+		ix.ext = &extension{
+			maxLevel: ix.Tau,
+			levels:   make(map[int][]int32),
+			poolK:    ix.Tau,
+			nBase:    len(ix.Pts),
+		}
+	}
+	ext := ix.ext
+	ix.ensurePool(k)
+	for l := ext.maxLevel; l < k; l++ {
+		parents := ix.levelCells(l)
+		var created []int32
+		for _, pid := range parents {
+			created = append(created, ix.extendCell(pid)...)
+		}
+		merged := ix.mergeLevel(created)
+		ext.levels[l+1] = merged
+		ext.maxLevel = l + 1
+	}
+}
+
+// ensurePool grows the filtered option set to the k-skyband of the full
+// dataset so that every option that can rank top-k is available.
+func (ix *Index) ensurePool(k int) {
+	ext := ix.ext
+	if ext.poolK >= k || ix.fullPts == nil {
+		ext.poolK = k
+		return
+	}
+	have := make(map[int]bool, len(ix.OrigIDs))
+	for _, o := range ix.OrigIDs {
+		have[o] = true
+	}
+	uniq, uniqIDs := dedupeOptions(ix.fullPts)
+	for _, fi := range skyline.Skyband(uniq, k) {
+		if !have[uniqIDs[fi]] {
+			have[uniqIDs[fi]] = true
+			ix.Pts = append(ix.Pts, uniq[fi])
+			ix.OrigIDs = append(ix.OrigIDs, uniqIDs[fi])
+		}
+	}
+	ext.poolK = k
+}
+
+// extendCell partitions one leaf cell into its next-level children using
+// the basic candidate computation (pairwise cell dominance with a global
+// dominance fast path), mirroring the PBA Partition step.
+func (ix *Index) extendCell(pid int32) []int32 {
+	c := &ix.Cells[pid]
+	if len(c.Children) > 0 {
+		return append([]int32(nil), c.Children...)
+	}
+	level := c.Level // ix.Cells may reallocate below; don't hold the pointer
+	reg := ix.Region(pid)
+	r := ix.ResultSet(pid)
+	inR := make(map[int32]bool, len(r))
+	for _, v := range r {
+		inR[v] = true
+	}
+	// Pool: all known options outside R. Frontier: options with no global
+	// dominator in the pool.
+	var pool []int32
+	for i := range ix.Pts {
+		if !inR[int32(i)] {
+			pool = append(pool, int32(i))
+		}
+	}
+	var frontier []int32
+	for _, v := range pool {
+		dominated := false
+		for _, u := range pool {
+			if u != v && skyline.Dominates(ix.Pts[u], ix.Pts[v]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, v)
+		}
+	}
+	// Refine with cell-specific dominance tests.
+	var p []int32
+	for _, v := range frontier {
+		dominated := false
+		for _, u := range frontier {
+			if u == v {
+				continue
+			}
+			ix.Stats.LPCalls++
+			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			p = append(p, v)
+		}
+	}
+	var created []int32
+	for _, ri := range p {
+		r2 := reg.Clone()
+		bound := make([]int32, 0, len(p)-1)
+		for _, rj := range p {
+			if rj != ri {
+				r2.Add(geom.PrefHalfspace(ix.Pts[ri], ix.Pts[rj]))
+				bound = append(bound, rj)
+			}
+		}
+		ix.Stats.LPCalls++
+		if !r2.Feasible() {
+			continue
+		}
+		child := ix.newCell(level+1, ri, []int32{pid}, bound)
+		ix.addEdge(pid, child)
+		created = append(created, child)
+	}
+	return created
+}

@@ -1,0 +1,34 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadIndex exercises the binary index deserializer with mutated
+// streams: it must never panic and must validate whatever it accepts.
+func FuzzReadIndex(f *testing.F) {
+	rng := rand.New(rand.NewSource(61))
+	data := randData(rng, 12, 3)
+	ix, err := Build(data, Config{Algorithm: PBAPlus, Tau: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("TLVLIDX1 not really"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		got, err := Read(bytes.NewReader(blob))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(false); verr != nil {
+			t.Fatalf("Read accepted an invalid index: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package index
+
+import (
+	"tlevelindex/internal/geom"
+)
+
+// buildIBA is the insertion-based approach (Algorithm 1): options are
+// inserted one at a time in the given order; each cell the insertion
+// reaches classifies the new option's hyperplane against its region
+// (Case I / II / III) and the DAG is grown, split, or shifted accordingly,
+// with a merge pass after every insertion.
+//
+// Cell regions during construction follow Definition 2 over the options
+// inserted so far. Because regions are implicit, a split (Case III) leaves
+// the original cell representing the "old option still wins" side
+// automatically, while the "new option wins" side gets a fresh rank-ℓ cell
+// plus a feasibility-pruned clone of the old cell's sub-DAG shifted one
+// level down. Case II is the degenerate split whose "old option wins" side
+// is empty, so the original sub-DAG is deleted outright.
+func buildIBA(ix *Index, order []int) {
+	ix.Stats.PostFilterCandidates = make([]float64, ix.Tau)
+	ix.Stats.ActualCandidates = make([]float64, ix.Tau)
+	var inserted []int32
+	for _, oi := range order {
+		rj := int32(oi)
+		st := &ibaState{ix: ix, rj: rj, inserted: inserted,
+			visited: make(map[int32]bool), created: make(map[int32]bool)}
+		st.insert(ix.Root())
+		inserted = append(inserted, rj)
+		ix.mergeAllLevels()
+	}
+	ix.fixupEdges()
+	ix.rebuildLevels()
+}
+
+// fixupEdges rewrites the DAG edges to exactly the Definition-4 relation.
+// The insertion-based builder links structurally (splits inherit every
+// parent, merges union parents), but cell regions are implicit and keep
+// shrinking as later options arrive, so creation-time edges can end up
+// both over- and under-approximating the final geometry. The candidate
+// parents of a cell are precisely the cells whose result set equals the
+// child's prefix (its R minus its own option); each candidate is settled
+// with one full-dimensional intersection test.
+func (ix *Index) fixupEdges() {
+	type info struct {
+		r   []int32
+		reg *geom.Region
+	}
+	byKey := make(map[string][]int32)
+	infos := make(map[int32]*info)
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if c.Level < 1 {
+			continue
+		}
+		in := &info{r: ix.ResultSet(c.ID)}
+		infos[c.ID] = in
+		k := setKey(in.r)
+		byKey[k] = append(byKey[k], c.ID)
+	}
+	region := func(id int32) *geom.Region {
+		in := infos[id]
+		if in.reg == nil {
+			in.reg = ix.Region(id)
+		}
+		return in.reg
+	}
+	// Compute the exact parent set of every cell, ascending by level so that
+	// cells whose regions turn out empty are tombstoned before they can act
+	// as parents. Result sets were captured above, so rewiring edges
+	// afterwards cannot corrupt them.
+	perLevel := make([][]int32, ix.Tau+1)
+	for id := range infos {
+		perLevel[ix.Cells[id].Level] = append(perLevel[ix.Cells[id].Level], id)
+	}
+	newParents := make(map[int32][]int32)
+	for l := 1; l <= ix.Tau; l++ {
+		for _, id := range perLevel[l] {
+			if l == 1 {
+				newParents[id] = []int32{ix.Root()}
+				continue
+			}
+			in := infos[id]
+			opt := ix.Cells[id].Opt
+			prefix := make([]int32, 0, len(in.r)-1)
+			for _, v := range in.r {
+				if v != opt {
+					prefix = append(prefix, v)
+				}
+			}
+			var fallback int32 = -1
+			var fallbackMargin float64
+			for _, p := range byKey[setKey(prefix)] {
+				if ix.Cells[p].Level < 0 {
+					continue // parent was tombstoned
+				}
+				comb := region(id).Clone()
+				comb.Add(region(p).HS...)
+				ix.Stats.LPCalls++
+				if m, ok := comb.FeasibleMargin(); ok {
+					if m > geom.InteriorEps {
+						newParents[id] = append(newParents[id], p)
+					} else if fallback < 0 || m > fallbackMargin {
+						fallback, fallbackMargin = p, m
+					}
+				}
+			}
+			if len(newParents[id]) == 0 {
+				// No full-dimensional parent intersection. Either the cell's
+				// own region is empty (a stale structural leftover — drop
+				// it), or everything is degenerate within tolerance (keep
+				// the best boundary-touching parent so paths stay intact).
+				ix.Stats.LPCalls++
+				if !region(id).Feasible() || fallback < 0 {
+					ix.Cells[id].Level = -1
+					delete(newParents, id)
+					continue
+				}
+				newParents[id] = []int32{fallback}
+			}
+		}
+	}
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if c.Level < 0 {
+			continue
+		}
+		c.Children = nil
+		if c.Level >= 1 {
+			c.Parents = dedupeIDs(newParents[c.ID])
+		}
+	}
+	for id, ps := range newParents {
+		for _, p := range ps {
+			ix.Cells[p].Children = append(ix.Cells[p].Children, id)
+		}
+	}
+	for i := range ix.Cells {
+		ix.Cells[i].Children = dedupeIDs(ix.Cells[i].Children)
+	}
+}
+
+func (ix *Index) unlinkEdge(parent, child int32) {
+	p := &ix.Cells[parent]
+	out := p.Children[:0]
+	for _, v := range p.Children {
+		if v != child {
+			out = append(out, v)
+		}
+	}
+	p.Children = out
+	ch := &ix.Cells[child]
+	po := ch.Parents[:0]
+	for _, v := range ch.Parents {
+		if v != parent {
+			po = append(po, v)
+		}
+	}
+	ch.Parents = po
+}
+
+// mergeAllLevels merges duplicate (R, opt) cells level by level, ascending.
+func (ix *Index) mergeAllLevels() {
+	byLevel := make([][]int32, ix.Tau+1)
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if c.Level >= 1 && int(c.Level) <= ix.Tau {
+			byLevel[c.Level] = append(byLevel[c.Level], c.ID)
+		}
+	}
+	for l := 1; l <= ix.Tau; l++ {
+		ix.mergeLevel(byLevel[l])
+	}
+}
+
+type ibaState struct {
+	ix       *Index
+	rj       int32
+	inserted []int32 // options inserted before rj
+	visited  map[int32]bool
+	// created marks cells born during this insertion round; they already
+	// account for rj and must never be cloned into an rj-shifted sub-DAG.
+	created map[int32]bool
+}
+
+// regionOver builds the Definition-2 region of a cell with respect to the
+// inserted-so-far universe, optionally counting rj as inserted (withRJ).
+func (st *ibaState) regionOver(id int32, withRJ bool) *geom.Region {
+	ix := st.ix
+	c := &ix.Cells[id]
+	reg := geom.NewRegion(ix.RDim())
+	if c.Opt == NoOption {
+		return reg
+	}
+	r := ix.ResultSet(id)
+	inR := make(map[int32]bool, len(r))
+	for _, j := range r {
+		inR[j] = true
+	}
+	opt := ix.Pts[c.Opt]
+	for _, j := range r[:len(r)-1] {
+		reg.Add(geom.PrefHalfspace(ix.Pts[j], opt))
+	}
+	for _, q := range st.inserted {
+		if !inR[q] {
+			reg.Add(geom.PrefHalfspace(opt, ix.Pts[q]))
+		}
+	}
+	if withRJ && !inR[st.rj] {
+		reg.Add(geom.PrefHalfspace(opt, ix.Pts[st.rj]))
+	}
+	return reg
+}
+
+func (st *ibaState) insert(id int32) {
+	ix := st.ix
+	if st.visited[id] {
+		return
+	}
+	st.visited[id] = true
+	c := &ix.Cells[id]
+	if c.Level < 0 {
+		return
+	}
+	if c.Opt == NoOption { // entry cell
+		if len(c.Children) == 0 {
+			if ix.Tau >= 1 {
+				child := ix.newCell(1, st.rj, nil, nil)
+				ix.addEdge(id, child)
+				st.visited[child] = true
+				st.created[child] = true
+			}
+			return
+		}
+		for _, ch := range append([]int32(nil), c.Children...) {
+			if ix.Cells[ch].Level >= 0 {
+				st.insert(ch)
+			}
+		}
+		return
+	}
+
+	reg := st.regionOver(id, false)
+	h := geom.PrefHalfspace(ix.Pts[c.Opt], ix.Pts[st.rj]) // S_opt >= S_rj
+	ix.Stats.LPCalls += 2
+	switch geom.Classify(reg, h) {
+	case geom.RelInside: // Case I: the cell's option always outranks rj here.
+		if len(c.Children) > 0 {
+			for _, ch := range append([]int32(nil), c.Children...) {
+				if ix.Cells[ch].Level >= 0 {
+					st.insert(ch)
+				}
+			}
+		} else if int(c.Level)+1 <= ix.Tau {
+			child := ix.newCell(c.Level+1, st.rj, nil, nil)
+			ix.addEdge(id, child)
+			st.visited[child] = true
+			st.created[child] = true
+		}
+	case geom.RelOutside: // Case II: rj outranks the cell's option everywhere.
+		st.splitCell(id, false)
+	case geom.RelSplit: // Case III: the hyperplane cuts the cell.
+		// Partition-built cells carry explicit bounding sets; the surviving
+		// ("old option wins") part is now additionally bounded by rj.
+		if c.Bound != nil {
+			c.Bound = append(c.Bound, st.rj)
+		}
+		st.splitCell(id, true)
+		// "Old option wins" side: descend into the surviving children, or —
+		// at a leaf — rj becomes the next-ranked option there, exactly as
+		// in Case I.
+		cc := &ix.Cells[id]
+		if len(cc.Children) > 0 {
+			for _, ch := range append([]int32(nil), cc.Children...) {
+				if ix.Cells[ch].Level >= 0 {
+					st.insert(ch)
+				}
+			}
+		} else if int(cc.Level)+1 <= ix.Tau {
+			child := ix.newCell(cc.Level+1, st.rj, nil, nil)
+			ix.addEdge(id, child)
+			st.visited[child] = true
+			st.created[child] = true
+		}
+	}
+}
+
+// splitCell creates the "rj wins" side of a Case II/III event at cell id:
+// a fresh rank-ℓ cell with option rj under id's parents, carrying a
+// feasibility-pruned clone of id's sub-DAG shifted one level down. With
+// keepOriginal=false (Case II) the original cell's region is empty, so its
+// sub-DAG is cascade-deleted.
+func (st *ibaState) splitCell(id int32, keepOriginal bool) {
+	ix := st.ix
+	c := &ix.Cells[id]
+	parents := append([]int32(nil), c.Parents...)
+	cp := ix.newCell(c.Level, st.rj, nil, nil)
+	for _, p := range parents {
+		ix.addEdge(p, cp)
+	}
+	st.visited[cp] = true
+	st.created[cp] = true
+	// Clone id's sub-DAG (including id itself) one level deeper under cp.
+	memo := make(map[int32]int32)
+	st.cloneUnder(id, cp, memo)
+	if !keepOriginal {
+		st.deleteCascade(id)
+	}
+}
+
+// cloneUnder clones old (and recursively its sub-DAG) as a child of
+// newParent, one level deeper than before, pruning clones whose regions
+// (now including rj in their result sets via the new parent chain) are
+// empty, and dropping clones beyond level τ. memo keeps the sub-DAG shape:
+// a cell reachable via several in-subtree parents is cloned once.
+func (st *ibaState) cloneUnder(old, newParent int32, memo map[int32]int32) {
+	ix := st.ix
+	if st.created[old] {
+		// Cells born during this round already account for rj; cloning them
+		// would insert rj into a path twice.
+		return
+	}
+	if cid, ok := memo[old]; ok {
+		if cid >= 0 {
+			ix.addEdge(newParent, cid)
+		}
+		return
+	}
+	oc := &ix.Cells[old]
+	newLevel := oc.Level + 1
+	if int(newLevel) > ix.Tau {
+		memo[old] = -1
+		return
+	}
+	cid := ix.newCell(newLevel, oc.Opt, nil, nil)
+	ix.addEdge(newParent, cid)
+	st.visited[cid] = true
+	st.created[cid] = true
+	ix.Stats.LPCalls++
+	if !st.regionOver(cid, true).Feasible() {
+		// Empty region: unlink and tombstone.
+		st.unlink(newParent, cid)
+		ix.Cells[cid].Level = -1
+		memo[old] = -1
+		return
+	}
+	memo[old] = cid
+	for _, ch := range append([]int32(nil), ix.Cells[old].Children...) {
+		if ix.Cells[ch].Level >= 0 {
+			st.cloneUnder(ch, cid, memo)
+		}
+	}
+}
+
+func (st *ibaState) unlink(parent, child int32) {
+	st.ix.unlinkEdge(parent, child)
+}
+
+// deleteCascade tombstones the cell and every descendant left parentless.
+func (st *ibaState) deleteCascade(id int32) {
+	ix := st.ix
+	c := &ix.Cells[id]
+	if c.Level < 0 {
+		return
+	}
+	for _, p := range append([]int32(nil), c.Parents...) {
+		st.unlink(p, id)
+	}
+	children := append([]int32(nil), c.Children...)
+	for _, ch := range children {
+		st.unlink(id, ch)
+	}
+	c.Level = -1
+	c.Parents, c.Children, c.Bound = nil, nil, nil
+	for _, ch := range children {
+		cc := &ix.Cells[ch]
+		if cc.Level >= 0 && len(cc.Parents) == 0 {
+			st.deleteCascade(ch)
+		}
+	}
+}

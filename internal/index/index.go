@@ -1,0 +1,376 @@
+// Package index implements the τ-LevelIndex of the paper: a DAG of
+// implicitly represented preference-space cells (Definition 4), four
+// construction algorithms (BSL §5.1, IBA §5.2, PBA §6.2, PBA⁺ §6.3), and
+// the query algorithms of §4 (kSPR, UTK, ORU, top-k, MaxRank, why-not),
+// including on-demand extension past level τ.
+//
+// A rank-ℓ cell stores only its top-ℓ-th option, its DAG edges, and the
+// small bounding option set produced by the partition-based builders; its
+// top-ℓ result set R is recovered by walking any parent chain (all chains
+// agree), and its geometric region is reassembled on demand from R and the
+// bounding set (Definition 5 / Lemma 2). This is the paper's implicit cell
+// representation that keeps the index size practical.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tlevelindex/internal/geom"
+)
+
+// NoOption marks the entry cell's option slot.
+const NoOption int32 = -1
+
+// Cell is one vertex of the τ-LevelIndex DAG.
+type Cell struct {
+	ID       int32
+	Level    int32 // path length from the entry cell; -1 for tombstones
+	Opt      int32 // top-ℓ-th option (filtered id); NoOption for the root
+	Parents  []int32
+	Children []int32
+	// Bound is the bounding option set B (Definition 5): the candidate
+	// options of the parent partition other than Opt. nil means the
+	// Definition-2 bound "every inserted option outside R", which is what
+	// the insertion-based builder produces.
+	Bound []int32
+}
+
+// BuildStats carries the instrumentation reported in the paper's Table 4
+// and Figures 9–11.
+type BuildStats struct {
+	Algorithm       string
+	InputOptions    int // |D|
+	FilteredOptions int // τ-skyband size m
+	// Per level ℓ (index ℓ-1): post-ComputeP candidate count, actually
+	// feasible children, and cells after merging.
+	PostFilterCandidates []float64
+	ActualCandidates     []float64
+	CellsPerLevel        []int
+	HyperplanesPerCell   []float64
+	LPCalls              int64
+}
+
+// Index is a built τ-LevelIndex.
+type Index struct {
+	Dim int // original option dimensionality d
+	Tau int
+	// Pts are the filtered (τ-skyband) options in original coordinates;
+	// cells refer to these by index.
+	Pts [][]float64
+	// OrigIDs maps a filtered option id to its index in the input dataset.
+	OrigIDs []int
+	Cells   []Cell
+	// Levels[ℓ] lists the ids of the rank-ℓ cells, ℓ ∈ [0, Tau].
+	Levels [][]int32
+	Stats  BuildStats
+
+	// fullPts optionally retains the unfiltered dataset to support
+	// extension beyond level τ (Figure 14's k > τ regime).
+	fullPts [][]float64
+	ext     *extension
+}
+
+// RDim returns the reduced preference-space dimension d−1.
+func (ix *Index) RDim() int { return ix.Dim - 1 }
+
+// Root returns the entry cell id (always 0).
+func (ix *Index) Root() int32 { return 0 }
+
+// NumCells returns the number of live cells including the entry cell.
+func (ix *Index) NumCells() int {
+	n := 0
+	for i := range ix.Cells {
+		if ix.Cells[i].Level >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ResultSet returns the top-ℓ result set R of the cell in rank order
+// (R[0] is the top-1st option, R[ℓ-1] == cell.Opt). The root yields nil.
+func (ix *Index) ResultSet(id int32) []int32 {
+	c := &ix.Cells[id]
+	if c.Level <= 0 {
+		return nil
+	}
+	out := make([]int32, c.Level)
+	cur := c
+	for cur.Opt != NoOption {
+		out[cur.Level-1] = cur.Opt
+		cur = &ix.Cells[cur.Parents[0]]
+	}
+	return out
+}
+
+// rKey returns a canonical merge key for (R as a set, opt).
+func (ix *Index) rKey(id int32) string {
+	r := ix.ResultSet(id)
+	sorted := append([]int32(nil), r...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sb strings.Builder
+	for _, v := range sorted {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	fmt.Fprintf(&sb, "|%d", ix.Cells[id].Opt)
+	return sb.String()
+}
+
+// Region reconstructs the cell's geometric region in reduced preference
+// space: prefix halfspaces (each higher-ranked option beats Opt), bounding
+// halfspaces (Opt beats each bounding option), and the simplex bounds. When
+// Bound is nil, the Definition-2 bound over every non-R option is used.
+func (ix *Index) Region(id int32) *geom.Region {
+	c := &ix.Cells[id]
+	reg := geom.NewRegion(ix.RDim())
+	if c.Opt == NoOption {
+		return reg
+	}
+	r := ix.ResultSet(id)
+	opt := ix.Pts[c.Opt]
+	for _, j := range r[:len(r)-1] {
+		reg.Add(geom.PrefHalfspace(ix.Pts[j], opt)) // S_j >= S_opt
+	}
+	if c.Bound != nil {
+		for _, b := range c.Bound {
+			reg.Add(geom.PrefHalfspace(opt, ix.Pts[b])) // S_opt >= S_b
+		}
+		return reg
+	}
+	inR := make(map[int32]bool, len(r))
+	for _, j := range r {
+		inR[j] = true
+	}
+	for j := int32(0); int(j) < len(ix.Pts); j++ {
+		if !inR[j] {
+			reg.Add(geom.PrefHalfspace(opt, ix.Pts[j]))
+		}
+	}
+	return reg
+}
+
+// HyperplaneCount returns the number of halfspaces in the cell's
+// representation (excluding simplex bounds) — the Table 4 metric.
+func (ix *Index) HyperplaneCount(id int32) int {
+	c := &ix.Cells[id]
+	if c.Opt == NoOption {
+		return 0
+	}
+	prefix := int(c.Level) - 1
+	if c.Bound != nil {
+		return prefix + len(c.Bound)
+	}
+	return prefix + (len(ix.Pts) - int(c.Level))
+}
+
+// newCell appends a live cell and returns its id. Parents' child lists are
+// updated by the caller.
+func (ix *Index) newCell(level, opt int32, parents []int32, bound []int32) int32 {
+	id := int32(len(ix.Cells))
+	ix.Cells = append(ix.Cells, Cell{
+		ID: id, Level: level, Opt: opt,
+		Parents: parents, Bound: bound,
+	})
+	return id
+}
+
+func (ix *Index) addEdge(parent, child int32) {
+	p := &ix.Cells[parent]
+	p.Children = append(p.Children, child)
+	c := &ix.Cells[child]
+	found := false
+	for _, x := range c.Parents {
+		if x == parent {
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.Parents = append(c.Parents, parent)
+	}
+}
+
+// rebuildLevels recomputes Levels from live cells.
+func (ix *Index) rebuildLevels() {
+	ix.Levels = make([][]int32, ix.Tau+1)
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if c.Level < 0 || int(c.Level) > ix.Tau {
+			continue
+		}
+		ix.Levels[c.Level] = append(ix.Levels[c.Level], c.ID)
+	}
+}
+
+// compact removes tombstoned cells and renumbers ids densely.
+func (ix *Index) compact() {
+	remap := make([]int32, len(ix.Cells))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var live []Cell
+	for i := range ix.Cells {
+		if ix.Cells[i].Level >= 0 {
+			remap[i] = int32(len(live))
+			live = append(live, ix.Cells[i])
+		}
+	}
+	for i := range live {
+		c := &live[i]
+		c.ID = remap[c.ID]
+		c.Parents = remapIDs(c.Parents, remap)
+		c.Children = remapIDs(c.Children, remap)
+	}
+	ix.Cells = live
+	ix.rebuildLevels()
+}
+
+func remapIDs(ids []int32, remap []int32) []int32 {
+	out := ids[:0]
+	for _, id := range ids {
+		if remap[id] >= 0 {
+			out = append(out, remap[id])
+		}
+	}
+	return out
+}
+
+// mergeLevel merges the given cells (all at the same level) that share the
+// same (R set, opt): parents, children, and bounds are unioned, absorbed
+// cells are tombstoned, and edges rewired. It returns the surviving ids.
+func (ix *Index) mergeLevel(ids []int32) []int32 {
+	groups := make(map[string][]int32)
+	order := make([]string, 0, len(ids))
+	for _, id := range ids {
+		k := ix.rKey(id)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], id)
+	}
+	var out []int32
+	for _, k := range order {
+		g := groups[k]
+		keep := g[0]
+		out = append(out, keep)
+		if len(g) == 1 {
+			continue
+		}
+		kc := &ix.Cells[keep]
+		boundSet := make(map[int32]bool, len(kc.Bound))
+		for _, b := range kc.Bound {
+			boundSet[b] = true
+		}
+		for _, dup := range g[1:] {
+			dc := &ix.Cells[dup]
+			// Rewire parents.
+			for _, p := range dc.Parents {
+				replaceID(&ix.Cells[p].Children, dup, keep)
+			}
+			kc.Parents = append(kc.Parents, dc.Parents...)
+			// Rewire children.
+			for _, ch := range dc.Children {
+				replaceID(&ix.Cells[ch].Parents, dup, keep)
+			}
+			kc.Children = append(kc.Children, dc.Children...)
+			if dc.Bound == nil {
+				kc.Bound = nil
+			} else if kc.Bound != nil {
+				for _, b := range dc.Bound {
+					if !boundSet[b] {
+						boundSet[b] = true
+						kc.Bound = append(kc.Bound, b)
+					}
+				}
+			}
+			dc.Level = -1
+			dc.Parents, dc.Children, dc.Bound = nil, nil, nil
+		}
+		kc.Parents = dedupeIDs(kc.Parents)
+		kc.Children = dedupeIDs(kc.Children)
+	}
+	return out
+}
+
+func replaceID(s *[]int32, from, to int32) {
+	for i, v := range *s {
+		if v == from {
+			(*s)[i] = to
+		}
+	}
+	*s = dedupeIDs(*s)
+}
+
+func dedupeIDs(s []int32) []int32 {
+	if len(s) <= 1 {
+		return s
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: level consistency along edges,
+// result-set path independence, and (optionally, expensive) region
+// feasibility of every cell. It returns the first violation found.
+func (ix *Index) Validate(checkRegions bool) error {
+	if len(ix.Cells) == 0 || ix.Cells[0].Opt != NoOption {
+		return fmt.Errorf("index: missing entry cell")
+	}
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if c.Level < 0 {
+			continue
+		}
+		if c.ID != int32(i) {
+			return fmt.Errorf("index: cell %d has ID %d", i, c.ID)
+		}
+		if c.Level > 0 && len(c.Parents) == 0 {
+			return fmt.Errorf("index: cell %d at level %d has no parents", i, c.Level)
+		}
+		for _, p := range c.Parents {
+			if ix.Cells[p].Level != c.Level-1 {
+				return fmt.Errorf("index: cell %d level %d has parent %d at level %d",
+					i, c.Level, p, ix.Cells[p].Level)
+			}
+		}
+		for _, ch := range c.Children {
+			if ix.Cells[ch].Level != c.Level+1 {
+				return fmt.Errorf("index: cell %d level %d has child %d at level %d",
+					i, c.Level, ch, ix.Cells[ch].Level)
+			}
+		}
+		// Path independence: the R sets via every parent must agree.
+		if len(c.Parents) > 1 {
+			want := setKey(ix.ResultSet(c.Parents[0]))
+			for _, p := range c.Parents[1:] {
+				if setKey(ix.ResultSet(p)) != want {
+					return fmt.Errorf("index: cell %d has parents with different result sets", i)
+				}
+			}
+		}
+		if checkRegions && c.Level > 0 {
+			if !ix.Region(c.ID).Feasible() {
+				return fmt.Errorf("index: cell %d (level %d) has an empty region", i, c.Level)
+			}
+		}
+	}
+	return nil
+}
+
+func setKey(r []int32) string {
+	s := append([]int32(nil), r...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	var sb strings.Builder
+	for _, v := range s {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return sb.String()
+}

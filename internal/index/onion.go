@@ -1,0 +1,91 @@
+package index
+
+import (
+	"tlevelindex/internal/geom"
+	"tlevelindex/internal/lp"
+)
+
+// onionLayers peels the option set into convex onion layers with respect to
+// linear scoring over the preference simplex: layer 0 contains the options
+// that can rank first for some weight vector, layer 1 those that can rank
+// first once layer 0 is removed, and so on, up to maxLayers layers.
+// Options beyond the last peeled layer are returned in the final slot.
+//
+// An option r achieving rank ℓ at some weight has at most ℓ−1 options above
+// it there, so it wins among D minus those — putting it within the first ℓ
+// layers. The first τ layers are therefore a sound candidate filter for a
+// τ-LevelIndex, and combining them with the τ-skyband (the paper applies
+// both, §7.1) is sound too, since both are supersets of the achievers.
+//
+// Membership in a layer is decided exactly with one LP per option: r can
+// rank first among S iff {w : S_w(r) ≥ S_w(s) ∀ s ∈ S} has a point in the
+// simplex.
+func onionLayers(pts [][]float64, maxLayers int) [][]int {
+	remaining := make([]int, len(pts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var layers [][]int
+	for len(remaining) > 0 && len(layers) < maxLayers {
+		var layer, rest []int
+		for _, i := range remaining {
+			if canWin(pts, i, remaining) {
+				layer = append(layer, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if len(layer) == 0 {
+			// Numerically possible only with pervasive ties; stop peeling
+			// and keep everything (sound: the filter is a superset).
+			break
+		}
+		layers = append(layers, layer)
+		remaining = rest
+	}
+	if len(remaining) > 0 {
+		layers = append(layers, remaining)
+	}
+	return layers
+}
+
+// canWin reports whether option i scores at least every option in S (by
+// index) for some weight in the simplex.
+func canWin(pts [][]float64, i int, s []int) bool {
+	d := len(pts[i])
+	dim := d - 1
+	p := lp.Problem{C: make([]float64, dim)}
+	reg := geom.NewRegion(dim)
+	for _, j := range s {
+		if j == i {
+			continue
+		}
+		reg.Add(geom.PrefHalfspace(pts[i], pts[j]))
+	}
+	for _, h := range reg.HS {
+		if triv, whole := h.Trivial(); triv {
+			if !whole {
+				return false
+			}
+			continue
+		}
+		p.A = append(p.A, h.A)
+		p.B = append(p.B, h.B)
+	}
+	res, err := lp.Solve(p)
+	return err == nil && res.Status != lp.Infeasible
+}
+
+// onionFilter returns the indices of the options within the first tau
+// onion layers — every option that can rank top-τ anywhere is among them.
+func onionFilter(pts [][]float64, tau int) []int {
+	layers := onionLayers(pts, tau)
+	var out []int
+	for li, layer := range layers {
+		if li >= tau {
+			break
+		}
+		out = append(out, layer...)
+	}
+	return out
+}

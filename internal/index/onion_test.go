@@ -1,0 +1,107 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestOnionLayersHotel(t *testing.T) {
+	// Hotel example: layer 0 = {r1, r2} (the top-1 achievers); r3 and r4
+	// win once those are removed; r5 wins only after r3 leaves too.
+	layers := onionLayers(hotels, 5)
+	if len(layers) < 3 {
+		t.Fatalf("layers: %v", layers)
+	}
+	if !reflect.DeepEqual(layers[0], []int{0, 1}) {
+		t.Errorf("layer 0 = %v, want [0 1]", layers[0])
+	}
+	if !reflect.DeepEqual(layers[1], []int{2, 3}) {
+		t.Errorf("layer 1 = %v, want [2 3]", layers[1])
+	}
+}
+
+func TestOnionLayersCoverAchievers(t *testing.T) {
+	// Every option that brute-force achieves rank <= tau at sampled weights
+	// must be inside the first tau onion layers.
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 15 + rng.Intn(25)
+		d := 2 + rng.Intn(2)
+		tau := 1 + rng.Intn(3)
+		data := randData(rng, n, d)
+		keep := onionFilter(data, tau)
+		inKeep := make(map[int]bool, len(keep))
+		for _, k := range keep {
+			inKeep[k] = true
+		}
+		for probe := 0; probe < 80; probe++ {
+			x := randReduced(rng, d-1)
+			for _, oid := range bruteTopK(data, x, tau) {
+				if !inKeep[oid] {
+					t.Fatalf("trial %d: rank-achiever %d missing from onion filter", trial, oid)
+				}
+			}
+		}
+	}
+}
+
+func TestOnionFilterTightensSkyband(t *testing.T) {
+	// On correlated data the onion filter should prune skyband members that
+	// never achieve a rank (interior points of the band).
+	rng := rand.New(rand.NewSource(72))
+	data := make([][]float64, 400)
+	for i := range data {
+		base := 0.5 + 0.2*rng.NormFloat64()
+		data[i] = []float64{clamp(base + 0.05*rng.NormFloat64()), clamp(base + 0.05*rng.NormFloat64())}
+	}
+	with, err := Build(data, Config{Algorithm: PBAPlus, Tau: 3, Onion: OnionOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Build(data, Config{Algorithm: PBAPlus, Tau: 3, Onion: OnionOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stats.FilteredOptions > without.Stats.FilteredOptions {
+		t.Errorf("onion filter grew the candidate set: %d vs %d",
+			with.Stats.FilteredOptions, without.Stats.FilteredOptions)
+	}
+	// The built arrangements must be identical regardless of the filter.
+	for l := 1; l <= 3; l++ {
+		a := levelSigsByCoords(with, l)
+		b := levelSigsByCoords(without, l)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("level %d differs with/without onion filter", l)
+		}
+	}
+}
+
+func TestCanWin(t *testing.T) {
+	all := []int{0, 1, 2, 3, 4}
+	// VibesInn and Artezen can top the hotel market; citizenM cannot.
+	if !canWin(hotels, 0, all) || !canWin(hotels, 1, all) {
+		t.Error("market leaders should be able to win")
+	}
+	if canWin(hotels, 2, all) || canWin(hotels, 4, all) {
+		t.Error("dominated/convexly-covered options should not win")
+	}
+	// After removing the leaders, citizenM can win.
+	if !canWin(hotels, 2, []int{2, 3, 4}) {
+		t.Error("citizenM should win among the remainder")
+	}
+}
+
+func TestOnionLayersDuplicatePoints(t *testing.T) {
+	// Ties everywhere: identical options can all "win" (scores equal), so
+	// they land in the same layer and peeling still terminates.
+	data := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.3, 0.3}}
+	layers := onionLayers(data, 5)
+	total := 0
+	for _, l := range layers {
+		total += len(l)
+	}
+	if total != 3 {
+		t.Fatalf("layers lost options: %v", layers)
+	}
+}

@@ -1,0 +1,239 @@
+package index
+
+import (
+	"math/rand"
+
+	"tlevelindex/internal/dg"
+	"tlevelindex/internal/geom"
+)
+
+// sampleCount sizes the interior sample set carried with every active cell
+// during partition-based construction. Samples provide cheap certificates:
+// a sample where v outscores u refutes "u dominates v in this cell" without
+// an LP, and a sample where a candidate outscores every other candidate
+// witnesses child feasibility without an LP. Higher dimensions need more
+// samples for the certificates to fire.
+func sampleCount(dim int) int { return 8 + 6*dim }
+
+// pbaWork is the per-active-cell state of the partition-based builders.
+type pbaWork struct {
+	cell    int32
+	g       *dg.Graph
+	witness []float64   // an interior point of the cell
+	samples [][]float64 // interior sample set (includes nothing by contract)
+}
+
+// buildPBA constructs the index level by level (Algorithm 2). With
+// plus=true it is PBA⁺: each cell carries a dominance graph inherited from
+// its parent (Lemma 4), pruned by dominator counts, and merged alongside
+// cell merges (§6.3). With plus=false it is basic PBA: the candidate
+// r-skyband is recomputed from scratch for every cell, which repeats the
+// LP dominance tests that PBA⁺ memoizes as graph edges.
+func buildPBA(ix *Index, plus bool) {
+	base := dg.NewBase(ix.Pts)
+	rng := rand.New(rand.NewSource(1))
+	rootReg := geom.NewRegion(ix.RDim())
+	rootCenter, _, ok := rootReg.ChebyshevCenter()
+	if !ok {
+		return // dim 0 (d=1) is rejected earlier; defensive only
+	}
+	cur := []pbaWork{{
+		cell:    ix.Root(),
+		g:       dg.NewGraph(base),
+		witness: rootCenter,
+		samples: rootReg.SampleFrom(rootCenter, sampleCount(ix.RDim()), rng.Float64),
+	}}
+	ix.Levels = make([][]int32, ix.Tau+1)
+	ix.Levels[0] = []int32{ix.Root()}
+	ix.Stats.PostFilterCandidates = make([]float64, ix.Tau)
+	ix.Stats.ActualCandidates = make([]float64, ix.Tau)
+
+	for l := 0; l < ix.Tau; l++ {
+		var next []pbaWork
+		var sumP, sumActual int
+		for _, wk := range cur {
+			reg := ix.Region(wk.cell)
+			var g *dg.Graph
+			if plus {
+				g = wk.g
+			} else {
+				// Basic PBA: rebuild the per-cell dominance state from the
+				// global base, re-consuming R — the "expensive r-skyband
+				// function call for each cell" that PBA⁺ avoids.
+				g = dg.NewGraph(base)
+				for _, r := range ix.ResultSet(wk.cell) {
+					g.Consume(r)
+				}
+			}
+			// Basic PBA's r-skyband subroutine is a generic pairwise pass
+			// with no sample certificates and no memoized edges — the cost
+			// PBA⁺ exists to avoid (§6.1 Observation II).
+			samples := wk.samples
+			if !plus {
+				samples = nil
+			}
+			p := computeP(ix, g, reg, int32(l), samples)
+			sumP += len(p)
+			sumActual += ix.partitionCell(&wk, reg, p, g, plus, &next, rng)
+		}
+		if len(cur) > 0 {
+			ix.Stats.PostFilterCandidates[l] = float64(sumP) / float64(len(cur))
+			ix.Stats.ActualCandidates[l] = float64(sumActual) / float64(len(cur))
+		}
+		// Merge children with identical (R, opt), merging their dominance
+		// graphs, witnesses, and samples. Keys are computed before merging:
+		// tombstoned cells lose their parent chains.
+		ids := make([]int32, len(next))
+		byKey := make(map[string][]pbaWork, len(next))
+		for i, wk := range next {
+			ids[i] = wk.cell
+			k := ix.rKey(wk.cell)
+			byKey[k] = append(byKey[k], wk)
+		}
+		merged := ix.mergeLevel(ids)
+		cur = cur[:0]
+		for _, id := range merged {
+			group := byKey[ix.rKey(id)]
+			wk := pbaWork{cell: id, witness: group[0].witness}
+			for _, m := range group {
+				wk.samples = append(wk.samples, m.samples...)
+			}
+			if max := 2 * sampleCount(ix.RDim()); len(wk.samples) > max {
+				wk.samples = wk.samples[:max]
+			}
+			if plus {
+				graphs := make([]*dg.Graph, len(group))
+				for i, m := range group {
+					graphs[i] = m.g
+				}
+				wk.g = dg.Merge(graphs...)
+			}
+			cur = append(cur, wk)
+		}
+		ix.Levels[l+1] = append([]int32(nil), merged...)
+	}
+}
+
+// partitionCell implements the Partition routine of Algorithm 2 for one
+// cell: every candidate in p that can rank next somewhere in the cell
+// becomes a child. Feasibility is certified by an interior sample where the
+// candidate strictly outscores every other candidate when possible, and by
+// a Chebyshev LP otherwise. Returns the number of children created.
+func (ix *Index) partitionCell(wk *pbaWork, reg *geom.Region, p []int32,
+	g *dg.Graph, plus bool, next *[]pbaWork, rng *rand.Rand) int {
+
+	const strictEps = 1e-9
+	// For each sample, the strict winner among candidates certifies its own
+	// child cell (the sample is an interior witness).
+	witnessOf := make(map[int32][]float64, len(p))
+	for _, s := range wk.samples {
+		best, second := -1, -1
+		for i, ri := range p {
+			sc := geom.Score(ix.Pts[ri], s)
+			if best < 0 || sc > geom.Score(ix.Pts[p[best]], s) {
+				second = best
+				best = i
+			} else if second < 0 || sc > geom.Score(ix.Pts[p[second]], s) {
+				second = i
+			}
+		}
+		if best >= 0 {
+			if second < 0 ||
+				geom.Score(ix.Pts[p[best]], s)-geom.Score(ix.Pts[p[second]], s) > strictEps {
+				if _, ok := witnessOf[p[best]]; !ok {
+					witnessOf[p[best]] = s
+				}
+			}
+		}
+	}
+
+	created := 0
+	for _, ri := range p {
+		bound := make([]int32, 0, len(p)-1)
+		for _, rj := range p {
+			if rj != ri {
+				bound = append(bound, rj)
+			}
+		}
+		childReg := reg.Clone()
+		for _, rj := range bound {
+			childReg.Add(geom.PrefHalfspace(ix.Pts[ri], ix.Pts[rj]))
+		}
+		witness, ok := witnessOf[ri]
+		if !ok {
+			ix.Stats.LPCalls++
+			var margin float64
+			witness, margin, ok = childReg.ChebyshevCenter()
+			_ = margin
+			if !ok {
+				continue // infeasible candidate
+			}
+		}
+		created++
+		child := ix.newCell(ix.Cells[wk.cell].Level+1, ri, []int32{wk.cell}, bound)
+		ix.addEdge(wk.cell, child)
+		cw := pbaWork{
+			cell:    child,
+			witness: witness,
+			samples: childReg.SampleFrom(witness, sampleCount(ix.RDim()), rng.Float64),
+		}
+		if plus {
+			cw.g = g.Clone()
+			cw.g.Consume(ri)
+		}
+		*next = append(*next, cw)
+	}
+	return created
+}
+
+// computeP returns a superset of the options that can rank top-(ℓ+1) for
+// some weight in the cell (Corollary 1 candidates). It starts from the
+// dominance-graph frontier (in-degree-0 pool nodes) and refines it with
+// cell-specific dominance tests; every confirmed dominance becomes a graph
+// edge, which PBA⁺ children inherit. Dead options (dominator count above
+// τ−ℓ−1) are dropped from the pool permanently. An LP containment test for
+// "u dominates v in this cell" runs only when no interior sample already
+// refutes it.
+func computeP(ix *Index, g *dg.Graph, reg *geom.Region, level int32, samples [][]float64) []int32 {
+	threshold := int32(ix.Tau) - level - 1
+	g.DropAbove(threshold)
+	frontier := g.Frontier()
+	if len(frontier) <= 1 {
+		return frontier
+	}
+	out := make([]int32, 0, len(frontier))
+	for _, v := range frontier {
+		if g.Count(v) > 0 {
+			continue // an edge added earlier in this loop already covers v
+		}
+		dominated := false
+		for _, u := range frontier {
+			if u == v || g.Count(u) > 0 {
+				continue
+			}
+			if g.HasEdge(u, v) || g.HasEdge(v, u) {
+				continue
+			}
+			refuted := false
+			for _, s := range samples {
+				if geom.Score(ix.Pts[v], s) > geom.Score(ix.Pts[u], s)+1e-12 {
+					refuted = true
+					break
+				}
+			}
+			if refuted {
+				continue
+			}
+			ix.Stats.LPCalls++
+			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
+				g.AddEdge(u, v)
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, v)
+		}
+	}
+	return out
+}

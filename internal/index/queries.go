@@ -1,0 +1,435 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"tlevelindex/internal/geom"
+)
+
+// QueryStats reports traversal effort (the Table 5 metric).
+type QueryStats struct {
+	VisitedCells int
+	LPCalls      int
+}
+
+// KSPRResult holds the answer to a k-shortlist preference region query:
+// the cells (at levels ≤ k) in which the focal option is the top-ℓ-th
+// option; their union is the preference region where the focal option
+// ranks top-k.
+type KSPRResult struct {
+	Cells []int32
+	Stats QueryStats
+}
+
+// KSPR answers the kSPR query (Problem 2) for the focal option (filtered
+// id): traverse all paths from the entry cell until reaching level k or a
+// cell whose option is the focal option, whichever happens first. When a
+// focal cell is found, its entire region qualifies, so the search does not
+// descend below it.
+func (ix *Index) KSPR(k int, focal int32) *KSPRResult {
+	res := &KSPRResult{}
+	if k > ix.Tau {
+		ix.ensureLevels(k)
+	}
+	seen := make(map[int32]bool)
+	var walk func(id int32)
+	walk = func(id int32) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		res.Stats.VisitedCells++
+		c := &ix.Cells[id]
+		if c.Opt == focal {
+			res.Cells = append(res.Cells, id)
+			return
+		}
+		if int(c.Level) >= k {
+			return
+		}
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	walk(ix.Root())
+	return res
+}
+
+// UTKPartition is one piece of the level-k partitioning of the UTK query
+// region, with its top-k result set (filtered ids, rank order).
+type UTKPartition struct {
+	Cell int32
+	TopK []int32
+}
+
+// UTKResult holds the answer to an uncertain top-k query.
+type UTKResult struct {
+	// Options is the union of all options that rank top-k somewhere in the
+	// query region (filtered ids, ascending).
+	Options []int32
+	// Partitions are the level-k cells intersecting the region.
+	Partitions []UTKPartition
+	Stats      QueryStats
+}
+
+// UTK answers the UTK query (Problem 3) over the box query region: walk
+// level by level, keeping only cells whose region intersects the box, and
+// report the union of top-k options plus the level-k partitioning.
+func (ix *Index) UTK(k int, box geom.Box) *UTKResult {
+	res := &UTKResult{}
+	if k > ix.Tau {
+		ix.ensureLevels(k)
+	}
+	boxHS := box.Halfspaces()
+	// Cheap certificates: a sample point of the box that satisfies a cell's
+	// halfspaces proves intersection without an LP. The sampler is a small
+	// deterministic lattice plus the box center.
+	samples := boxSamples(box)
+	frontier := []int32{ix.Root()}
+	for l := 1; l <= k; l++ {
+		var next []int32
+		seen := make(map[int32]bool)
+		for _, id := range frontier {
+			for _, ch := range ix.Cells[id].Children {
+				if seen[ch] {
+					continue
+				}
+				seen[ch] = true
+				res.Stats.VisitedCells++
+				reg := ix.Region(ch)
+				hit := false
+				for _, s := range samples {
+					if reg.ContainsPoint(s, -1e-9) {
+						hit = true
+						break
+					}
+				}
+				if !hit && !separatedFromBox(reg, box) {
+					reg.Add(boxHS...)
+					res.Stats.LPCalls++
+					hit = reg.Feasible()
+				}
+				if hit {
+					next = append(next, ch)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	optSet := make(map[int32]bool)
+	for _, id := range frontier {
+		r := ix.ResultSet(id)
+		for _, v := range r {
+			optSet[v] = true
+		}
+		res.Partitions = append(res.Partitions, UTKPartition{Cell: id, TopK: r})
+	}
+	res.Options = sortedKeys(optSet)
+	return res
+}
+
+// separatedFromBox reports whether one of the region's halfspaces excludes
+// the entire box (closed-form minimum over box corners): a sound, cheap
+// proof that cell and box are disjoint.
+func separatedFromBox(reg *geom.Region, box geom.Box) bool {
+	for _, h := range reg.HS {
+		min := -h.B
+		for j, a := range h.A {
+			if a >= 0 {
+				min += a * box.Lo[j]
+			} else {
+				min += a * box.Hi[j]
+			}
+		}
+		if min > 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// boxSamples returns interior probe points of the box: its center plus a
+// deterministic low-discrepancy scatter. Samples that fall outside the
+// simplex simply never certify a cell, which is harmless.
+func boxSamples(box geom.Box) [][]float64 {
+	dim := len(box.Lo)
+	const n = 24
+	out := make([][]float64, 0, n+1)
+	out = append(out, box.Center())
+	// Additive quasi-random (Kronecker) sequence, deterministic.
+	alpha := make([]float64, dim)
+	for j := range alpha {
+		alpha[j] = math.Mod(0.7548776662466927*float64(j+1), 1)
+	}
+	x := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		p := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			x[j] = math.Mod(x[j]+alpha[j], 1)
+			p[j] = box.Lo[j] + (box.Hi[j]-box.Lo[j])*x[j]
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ORUResult holds the answer to an output-size specified utility-based
+// ranking query.
+type ORUResult struct {
+	// Options are the m reported options (filtered ids) in the order they
+	// were collected (ascending expansion distance).
+	Options []int32
+	// Rho is the minimum expansion radius that yields m options.
+	Rho   float64
+	Stats QueryStats
+}
+
+// oruEntry is a heap item: a cell and its distance to the query weight.
+// Entries enter the heap with a cheap lower bound (the largest violation of
+// a unit-normal halfspace is a valid distance lower bound); the exact
+// projection is computed lazily when the entry is popped, so far cells are
+// never projected.
+type oruEntry struct {
+	cell  int32
+	dist  float64
+	exact bool
+}
+
+type oruHeap []oruEntry
+
+func (h oruHeap) Len() int            { return len(h) }
+func (h oruHeap) Less(a, b int) bool  { return h[a].dist < h[b].dist }
+func (h oruHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *oruHeap) Push(x interface{}) { *h = append(*h, x.(oruEntry)) }
+func (h *oruHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ORU answers the ORU query (Problem 4): starting from the entry cell,
+// visit cells in ascending distance from the reduced query weight x,
+// merging each visited cell's option into the result (levels 1..k) until m
+// distinct options are collected. Rho is the distance of the last cell
+// whose option completed the result.
+func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
+	res := &ORUResult{}
+	if k > ix.Tau {
+		ix.ensureLevels(k)
+	}
+	h := &oruHeap{{cell: ix.Root(), dist: 0, exact: true}}
+	pushed := map[int32]bool{ix.Root(): true}
+	optSet := make(map[int32]bool)
+	for h.Len() > 0 && len(res.Options) < m {
+		e := heap.Pop(h).(oruEntry)
+		if !e.exact {
+			_, d := ix.Region(e.cell).Project(x)
+			res.Stats.LPCalls++
+			heap.Push(h, oruEntry{cell: e.cell, dist: d, exact: true})
+			continue
+		}
+		res.Stats.VisitedCells++
+		c := &ix.Cells[e.cell]
+		if c.Opt != NoOption && int(c.Level) <= k && !optSet[c.Opt] {
+			optSet[c.Opt] = true
+			res.Options = append(res.Options, c.Opt)
+			res.Rho = e.dist
+			if len(res.Options) >= m {
+				break
+			}
+		}
+		if int(c.Level)+1 > k {
+			continue
+		}
+		for _, ch := range c.Children {
+			if pushed[ch] {
+				continue
+			}
+			pushed[ch] = true
+			lb := maxViolation(ix.Region(ch), x)
+			heap.Push(h, oruEntry{cell: ch, dist: lb})
+		}
+	}
+	return res
+}
+
+// TopK answers a classic top-k point query (type DD) by descending the DAG
+// through the cell containing the reduced weight x at each level. The
+// result is in rank order at x: the options are collected along the walk
+// itself, because a merged cell's result set is order-free (the internal
+// ranking of R varies across the cell's region).
+//
+// Point location needs no geometry at all: the children of the current
+// cell enumerate every option that can hold the next rank inside it
+// (Corollary 1), and the child containing x is precisely the one whose
+// option scores highest at x. Each level is one scan of children's scores.
+func (ix *Index) TopK(x []float64, k int) ([]int32, QueryStats) {
+	var st QueryStats
+	if k > ix.Tau {
+		ix.ensureLevels(k)
+	}
+	cur := ix.Root()
+	var out []int32
+	for l := 1; l <= k; l++ {
+		c := &ix.Cells[cur]
+		if len(c.Children) == 0 {
+			break
+		}
+		best := int32(-1)
+		bestScore := math.Inf(-1)
+		for _, ch := range c.Children {
+			st.VisitedCells++
+			if s := geom.Score(ix.Pts[ix.Cells[ch].Opt], x); s > bestScore {
+				best, bestScore = ch, s
+			}
+		}
+		cur = best
+		out = append(out, ix.Cells[cur].Opt)
+	}
+	return out, st
+}
+
+func maxViolation(reg *geom.Region, x []float64) float64 {
+	worst := 0.0
+	for _, h := range reg.HS {
+		if v := h.Eval(x); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// MaxRank returns the best (smallest) rank the focal option attains
+// anywhere in preference space, or -1 when the option never ranks within
+// the materialized levels. A breadth-first sweep suffices: the first level
+// containing a cell with the focal option is the answer ([31]).
+func (ix *Index) MaxRank(focal int32) (int, QueryStats) {
+	var st QueryStats
+	for l := 1; l <= ix.Tau; l++ {
+		for _, id := range ix.levelCells(l) {
+			st.VisitedCells++
+			if ix.Cells[id].Opt == focal {
+				return l, st
+			}
+		}
+	}
+	return -1, st
+}
+
+// WhyNotResult explains why an option is not in a user's top-k (the
+// why-not query of §4's discussion).
+type WhyNotResult struct {
+	// RankAtW is the option's actual rank at the query weight among the
+	// filtered options (1-based).
+	RankAtW int
+	// InTopK reports whether the option already ranks top-k at w.
+	InTopK bool
+	// NearestDist is the smallest preference-space perturbation that puts
+	// the option into the top-k (0 when InTopK); -1 when no qualifying
+	// region exists within the materialized levels.
+	NearestDist float64
+	// NearestCell is the qualifying cell realizing NearestDist.
+	NearestCell int32
+	// NearestPoint is the reduced weight vector realizing NearestDist (nil
+	// when no qualifying region exists).
+	NearestPoint []float64
+	Stats        QueryStats
+}
+
+// WhyNot explains why the focal option is (or is not) in the top-k at the
+// reduced weight x, and how far the user's weights must move to change
+// that: the distance from x to the nearest kSPR region of the option.
+func (ix *Index) WhyNot(focal int32, x []float64, k int) *WhyNotResult {
+	res := &WhyNotResult{NearestCell: -1, NearestDist: -1}
+	scoreF := geom.Score(ix.Pts[focal], x)
+	rank := 1
+	for i := range ix.Pts {
+		if int32(i) != focal && geom.Score(ix.Pts[i], x) > scoreF {
+			rank++
+		}
+	}
+	res.RankAtW = rank
+	res.InTopK = rank <= k
+	kspr := ix.KSPR(k, focal)
+	res.Stats = kspr.Stats
+	for _, id := range kspr.Cells {
+		proj, d := ix.Region(id).Project(x)
+		res.Stats.LPCalls++
+		if res.NearestCell < 0 || d < res.NearestDist {
+			res.NearestCell, res.NearestDist = id, d
+			res.NearestPoint = proj
+		}
+	}
+	if res.InTopK {
+		res.NearestDist = 0
+	}
+	return res
+}
+
+// levelCells returns the cell ids at the given level, consulting the
+// extension for levels beyond τ.
+func (ix *Index) levelCells(l int) []int32 {
+	if l <= ix.Tau {
+		return ix.Levels[l]
+	}
+	if ix.ext != nil {
+		return ix.ext.levels[l]
+	}
+	return nil
+}
+
+// Interval is a 1-dimensional preference segment [Lo, Hi] (reduced
+// coordinate w[1]) — the answer shape of the monochromatic reverse top-k
+// query on 2-attribute datasets.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// MonoRTopK answers the monochromatic reverse top-k query [42] for
+// 2-attribute datasets: the maximal segments of w[1] ∈ [0,1] in which the
+// focal option ranks top-k. It is the 1-dimensional reading of kSPR
+// (Problem 2 generalizes it); overlapping or touching cell intervals are
+// merged. Returns nil for d != 2.
+func (ix *Index) MonoRTopK(k int, focal int32) ([]Interval, QueryStats) {
+	var st QueryStats
+	if ix.RDim() != 1 {
+		return nil, st
+	}
+	res := ix.KSPR(k, focal)
+	st = res.Stats
+	segs := make([]Interval, 0, len(res.Cells))
+	for _, id := range res.Cells {
+		reg := ix.Region(id)
+		lo, _ := reg.Project([]float64{-1})
+		hi, _ := reg.Project([]float64{2})
+		segs = append(segs, Interval{Lo: lo[0], Hi: hi[0]})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].Lo < segs[b].Lo })
+	var out []Interval
+	for _, s := range segs {
+		if len(out) > 0 && s.Lo <= out[len(out)-1].Hi+1e-9 {
+			if s.Hi > out[len(out)-1].Hi {
+				out[len(out)-1].Hi = s.Hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, st
+}

@@ -1,0 +1,204 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format: a little-endian binary stream holding the filtered
+// options and the implicit cells (level, option, edges, bounding set). The
+// full dataset is not serialized; a loaded index answers queries up to τ.
+// The byte size of this encoding is the "index size" metric of Figure 10.
+
+var magic = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '1'}
+
+// ErrBadFormat reports a corrupt or foreign stream.
+var ErrBadFormat = errors.New("index: bad serialization format")
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	put := func(v int32) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if _, err := cw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := put(int32(ix.Dim)); err != nil {
+		return cw.n, err
+	}
+	if err := put(int32(ix.Tau)); err != nil {
+		return cw.n, err
+	}
+	if err := put(int32(len(ix.Pts))); err != nil {
+		return cw.n, err
+	}
+	for i, p := range ix.Pts {
+		if err := put(int32(ix.OrigIDs[i])); err != nil {
+			return cw.n, err
+		}
+		for _, v := range p {
+			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := put(int32(len(ix.Cells))); err != nil {
+		return cw.n, err
+	}
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		if err := put(c.Level); err != nil {
+			return cw.n, err
+		}
+		if err := put(c.Opt); err != nil {
+			return cw.n, err
+		}
+		for _, lst := range [][]int32{c.Parents, c.Children, c.Bound} {
+			if err := put(int32(len(lst))); err != nil {
+				return cw.n, err
+			}
+			for _, v := range lst {
+				if err := put(v); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+		// Distinguish nil Bound (Definition-2 semantics) from empty.
+		nilFlag := int32(0)
+		if c.Bound == nil {
+			nilFlag = 1
+		}
+		if err := put(nilFlag); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Read deserializes an index previously written with WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadFormat
+	}
+	get := func() (int32, error) {
+		var v int32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	dim, err := get()
+	if err != nil {
+		return nil, err
+	}
+	tau, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if dim < 2 || tau < 1 || dim > 1<<20 || tau > 1<<20 {
+		return nil, ErrBadFormat
+	}
+	nOpts, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nOpts < 0 || nOpts > 1<<28 {
+		return nil, ErrBadFormat
+	}
+	ix := &Index{Dim: int(dim), Tau: int(tau)}
+	ix.Pts = make([][]float64, nOpts)
+	ix.OrigIDs = make([]int, nOpts)
+	for i := int32(0); i < nOpts; i++ {
+		oid, err := get()
+		if err != nil {
+			return nil, err
+		}
+		ix.OrigIDs[i] = int(oid)
+		p := make([]float64, dim)
+		for k := range p {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, err
+			}
+			p[k] = math.Float64frombits(bits)
+		}
+		ix.Pts[i] = p
+	}
+	nCells, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nCells < 1 || nCells > 1<<28 {
+		return nil, ErrBadFormat
+	}
+	ix.Cells = make([]Cell, nCells)
+	for i := int32(0); i < nCells; i++ {
+		c := &ix.Cells[i]
+		c.ID = i
+		if c.Level, err = get(); err != nil {
+			return nil, err
+		}
+		if c.Opt, err = get(); err != nil {
+			return nil, err
+		}
+		for li, dst := range []*[]int32{&c.Parents, &c.Children, &c.Bound} {
+			ln, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if ln < 0 || ln > nCells+nOpts {
+				return nil, fmt.Errorf("%w: list %d length %d", ErrBadFormat, li, ln)
+			}
+			lst := make([]int32, ln)
+			for j := range lst {
+				if lst[j], err = get(); err != nil {
+					return nil, err
+				}
+			}
+			*dst = lst
+		}
+		nilFlag, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if nilFlag == 1 {
+			c.Bound = nil
+		}
+	}
+	ix.rebuildLevels()
+	if err := ix.Validate(false); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return ix, nil
+}
+
+// SizeBytes returns the serialized size of the index — the paper's index
+// size metric.
+func (ix *Index) SizeBytes() int64 {
+	n, err := ix.WriteTo(io.Discard)
+	if err != nil {
+		return -1
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"errors"
+
+	"tlevelindex/internal/skyline"
+)
+
+// InsertOption adds a newly arrived option to a built index, the update
+// path of §6.2 ("For a new arriving option r, IBA inserts it into the
+// τ-LevelIndex accordingly"): the insertion-based machinery classifies the
+// new option against the existing cells, splits and shifts where needed,
+// merges duplicates, and re-derives exact edges. The option is added to the
+// filtered set only when it can rank within τ (it survives the τ-skyband
+// test against the current pool); otherwise the index is unchanged. Returns
+// the option's filtered id, or -1 when it was filtered out.
+func (ix *Index) InsertOption(r []float64) (int32, error) {
+	if len(r) != ix.Dim {
+		return -1, errors.New("index: option dimensionality mismatch")
+	}
+	if ix.ext != nil {
+		return -1, errors.New("index: cannot insert after on-demand extension")
+	}
+	// τ-skyband check against the current filtered pool: if τ options of
+	// the pool dominate r, it can never rank top-τ.
+	dominators := 0
+	for _, p := range ix.Pts {
+		if skyline.Dominates(p, r) {
+			dominators++
+			if dominators >= ix.Tau {
+				return -1, nil
+			}
+		}
+	}
+	for i, p := range ix.Pts {
+		if equalVec(p, r) {
+			return int32(i), nil // exact duplicate: already represented
+		}
+	}
+	rj := int32(len(ix.Pts))
+	ix.Pts = append(ix.Pts, append([]float64(nil), r...))
+	ix.OrigIDs = append(ix.OrigIDs, -1) // externally inserted
+	if ix.fullPts != nil {
+		ix.fullPts = append(ix.fullPts, append([]float64(nil), r...))
+	}
+
+	// All existing options count as "inserted before rj"; regions derived
+	// during the insertion use the Definition-2 form over that set.
+	inserted := make([]int32, 0, int(rj))
+	for i := int32(0); i < rj; i++ {
+		inserted = append(inserted, i)
+	}
+	st := &ibaState{ix: ix, rj: rj, inserted: inserted,
+		visited: make(map[int32]bool), created: make(map[int32]bool)}
+	st.insert(ix.Root())
+	ix.mergeAllLevels()
+	ix.fixupEdges()
+	ix.compact()
+	ix.fillCellStats()
+	// compact renumbers cells but not options; rj is still valid.
+	return rj, nil
+}
+
+func equalVec(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendTau permanently deepens the index to newTau levels, the "set a
+// smaller τ first, then expand it on demand" usage of §7.3: on-demand
+// levels are materialized and promoted into the core structure.
+func (ix *Index) ExtendTau(newTau int) error {
+	if newTau <= ix.Tau {
+		return nil
+	}
+	ix.ensureLevels(newTau)
+	for l := ix.Tau + 1; l <= newTau; l++ {
+		ids := ix.ext.levels[l]
+		ix.Levels = append(ix.Levels, append([]int32(nil), ids...))
+	}
+	ix.Tau = newTau
+	ix.ext = nil
+	ix.fillCellStats()
+	return nil
+}
+
+// LevelOptions returns the distinct options that hold rank ℓ somewhere in
+// preference space — the level-ℓ arrangement's option set, which §4 notes
+// is tighter than the corresponding skyline/onion-layer answer.
+func (ix *Index) LevelOptions(l int) []int32 {
+	if l < 1 || l > ix.Tau {
+		return nil
+	}
+	set := make(map[int32]bool)
+	for _, id := range ix.Levels[l] {
+		set[ix.Cells[id].Opt] = true
+	}
+	return sortedKeys(set)
+}

@@ -1,0 +1,184 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestInsertOptionMatchesRebuild: inserting options one at a time into a
+// built index must converge to the same arrangements as rebuilding from
+// scratch over the grown dataset.
+func TestInsertOptionMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		n := 12 + rng.Intn(12)
+		d := 2 + rng.Intn(2)
+		tau := 2 + rng.Intn(2)
+		data := randData(rng, n, d)
+		extra := randData(rng, 4, d)
+
+		ix := buildOrFail(t, data, Config{Algorithm: PBAPlus, Tau: tau})
+		for _, r := range extra {
+			if _, err := ix.InsertOption(r); err != nil {
+				t.Fatalf("trial %d: insert: %v", trial, err)
+			}
+		}
+		if err := ix.Validate(true); err != nil {
+			t.Fatalf("trial %d: post-insert validate: %v", trial, err)
+		}
+		full := buildOrFail(t, append(append([][]float64{}, data...), extra...),
+			Config{Algorithm: PBAPlus, Tau: tau})
+		for l := 1; l <= tau; l++ {
+			got := levelSigsByCoords(ix, l)
+			want := levelSigsByCoords(full, l)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d level %d:\n got %v\nwant %v", trial, l, got, want)
+			}
+		}
+	}
+}
+
+// levelSigsByCoords keys cells by option coordinates (ids differ between
+// incremental and rebuilt indexes).
+func levelSigsByCoords(ix *Index, l int) []string {
+	var sigs []string
+	for _, id := range ix.Levels[l] {
+		r := ix.ResultSet(id)
+		var parts []string
+		for _, v := range r {
+			parts = append(parts, vecKey(ix.Pts[v]))
+		}
+		sortStrings(parts)
+		sigs = append(sigs, join(parts)+"|"+vecKey(ix.Pts[ix.Cells[id].Opt]))
+	}
+	sortStrings(sigs)
+	return sigs
+}
+
+func vecKey(v []float64) string {
+	out := ""
+	for _, x := range v {
+		out += formatFloat(x) + ","
+	}
+	return out
+}
+
+func formatFloat(x float64) string {
+	// Enough precision to distinguish distinct random floats.
+	const digits = "0123456789abcdef"
+	u := uint64(x * (1 << 52))
+	buf := make([]byte, 0, 16)
+	for i := 0; i < 13; i++ {
+		buf = append(buf, digits[u&15])
+		u >>= 4
+	}
+	return string(buf)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func join(s []string) string {
+	out := ""
+	for _, v := range s {
+		out += v + ";"
+	}
+	return out
+}
+
+func TestInsertFilteredOption(t *testing.T) {
+	ix := buildOrFail(t, hotels, Config{Algorithm: PBAPlus, Tau: 3})
+	before := ix.NumCells()
+	// An option dominated by everything cannot rank top-3.
+	fid, err := ix.InsertOption([]float64{0.01, 0.01})
+	if err != nil || fid != -1 {
+		t.Fatalf("dominated insert: fid=%d err=%v", fid, err)
+	}
+	if ix.NumCells() != before {
+		t.Error("filtered insert changed the index")
+	}
+	// An exact duplicate is a no-op returning the existing id.
+	fid, err = ix.InsertOption(hotels[0])
+	if err != nil || fid < 0 || ix.OrigIDs[fid] != 0 {
+		t.Fatalf("duplicate insert: fid=%d err=%v", fid, err)
+	}
+	if ix.NumCells() != before {
+		t.Error("duplicate insert changed the index")
+	}
+	if _, err := ix.InsertOption([]float64{0.5}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestInsertDominatingOption(t *testing.T) {
+	ix := buildOrFail(t, hotels, Config{Algorithm: PBAPlus, Tau: 3})
+	// A new market leader dominating every hotel: it must become the only
+	// rank-1 cell.
+	fid, err := ix.InsertOption([]float64{0.99, 0.99})
+	if err != nil || fid < 0 {
+		t.Fatalf("insert: %v (fid %d)", err, fid)
+	}
+	if err := ix.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Levels[1]) != 1 || ix.Cells[ix.Levels[1][0]].Opt != fid {
+		t.Errorf("level 1 after dominating insert: %d cells", len(ix.Levels[1]))
+	}
+}
+
+func TestExtendTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	data := randData(rng, 20, 3)
+	ix := buildOrFail(t, data, Config{Algorithm: PBAPlus, Tau: 2})
+	if err := ix.ExtendTau(4); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tau != 4 || len(ix.Levels) != 5 {
+		t.Fatalf("tau=%d levels=%d", ix.Tau, len(ix.Levels))
+	}
+	if err := ix.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	full := buildOrFail(t, data, Config{Algorithm: PBAPlus, Tau: 4})
+	for l := 1; l <= 4; l++ {
+		got := levelSigsByCoords(ix, l)
+		want := levelSigsByCoords(full, l)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("level %d after ExtendTau differs", l)
+		}
+	}
+	// Extending to a smaller or equal tau is a no-op.
+	if err := ix.ExtendTau(3); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tau != 4 {
+		t.Error("ExtendTau shrank the index")
+	}
+}
+
+func TestLevelOptions(t *testing.T) {
+	ix := buildOrFail(t, hotels, Config{Algorithm: PBAPlus, Tau: 3})
+	toOrig := func(fids []int32) []int {
+		var out []int
+		for _, f := range fids {
+			out = append(out, ix.OrigIDs[f])
+		}
+		return out
+	}
+	// Level 1: VibesInn, Artezen. Level 2 (per Figure 2): r1, r2, r3, r4.
+	if got := toOrig(ix.LevelOptions(1)); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("level 1 options = %v", got)
+	}
+	if got := toOrig(ix.LevelOptions(2)); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("level 2 options = %v", got)
+	}
+	if ix.LevelOptions(0) != nil || ix.LevelOptions(4) != nil {
+		t.Error("out-of-range levels should return nil")
+	}
+}

@@ -1,0 +1,330 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func mustSolve(t *testing.T, p Problem) Result {
+	t.Helper()
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve returned error: %v", err)
+	}
+	return res
+}
+
+func TestSimpleMax(t *testing.T) {
+	// maximize 3x+2y s.t. x+y<=4, x+3y<=6, x,y>=0 => optimum at (4,0), obj 12.
+	p := Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	}
+	res := mustSolve(t, p)
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if !approx(res.Objective, 12, 1e-8) {
+		t.Errorf("objective = %v, want 12", res.Objective)
+	}
+}
+
+func TestClassicLP(t *testing.T) {
+	// maximize 5x+4y s.t. 6x+4y<=24, x+2y<=6 => obj 21 at (3, 1.5).
+	p := Problem{
+		C: []float64{5, 4},
+		A: [][]float64{{6, 4}, {1, 2}},
+		B: []float64{24, 6},
+	}
+	res := mustSolve(t, p)
+	if res.Status != Optimal || !approx(res.Objective, 21, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 21", res.Status, res.Objective)
+	}
+	if !approx(res.X[0], 3, 1e-8) || !approx(res.X[1], 1.5, 1e-8) {
+		t.Errorf("x = %v, want [3 1.5]", res.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= -1 with x >= 0 is empty.
+	p := Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}}
+	res := mustSolve(t, p)
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestInfeasiblePair(t *testing.T) {
+	// x+y >= 3 (i.e. -x-y <= -3) and x+y <= 1.
+	p := Problem{
+		C: []float64{0, 0},
+		A: [][]float64{{-1, -1}, {1, 1}},
+		B: []float64{-3, 1},
+	}
+	if res := mustSolve(t, p); res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// maximize x with only y bounded.
+	p := Problem{C: []float64{1, 0}, A: [][]float64{{0, 1}}, B: []float64{5}}
+	if res := mustSolve(t, p); res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// x >= 2 (as -x <= -2), x <= 5, maximize -x => optimum x=2 obj=-2.
+	p := Problem{C: []float64{-1}, A: [][]float64{{-1}, {1}}, B: []float64{-2, 5}}
+	res := mustSolve(t, p)
+	if res.Status != Optimal || !approx(res.X[0], 2, 1e-8) {
+		t.Fatalf("got %v x=%v, want optimal x=2", res.Status, res.X)
+	}
+}
+
+func TestEqualityViaPair(t *testing.T) {
+	// x+y = 1 encoded as two inequalities, maximize 2x+y => (1,0), obj 2.
+	p := Problem{
+		C: []float64{2, 1},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{1, -1},
+	}
+	res := mustSolve(t, p)
+	if res.Status != Optimal || !approx(res.Objective, 2, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 2", res.Status, res.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Multiple constraints meeting at the optimum (degenerate vertex).
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}},
+		B: []float64{1, 1, 2, 3, 3},
+	}
+	res := mustSolve(t, p)
+	if res.Status != Optimal || !approx(res.Objective, 2, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 2", res.Status, res.Objective)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	p := Problem{
+		C: []float64{0, 0, 0},
+		A: [][]float64{{1, 1, 1}, {-1, -1, -1}},
+		B: []float64{1, -0.5},
+	}
+	if res := mustSolve(t, p); res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (feasible)", res.Status)
+	}
+}
+
+func TestRedundantRows(t *testing.T) {
+	// Duplicate equality rows force redundant phase-1 rows.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{
+			{1, 1}, {-1, -1},
+			{1, 1}, {-1, -1},
+			{2, 2}, {-2, -2},
+		},
+		B: []float64{1, -1, 1, -1, 2, -2},
+	}
+	res := mustSolve(t, p)
+	if res.Status != Optimal || !approx(res.Objective, 1, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 1", res.Status, res.Objective)
+	}
+}
+
+func TestBadShape(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("expected shape error for mismatched row width")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: nil}); err == nil {
+		t.Error("expected shape error for missing B")
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	res := mustSolve(t, Problem{C: []float64{-1, -2}})
+	if res.Status != Optimal || !approx(res.Objective, 0, 1e-12) {
+		t.Fatalf("got %v, want optimal 0 at origin", res.Status)
+	}
+	if res2 := mustSolve(t, Problem{C: []float64{1}}); res2.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", res2.Status)
+	}
+}
+
+// feasibleOrigin builds a random LP that is guaranteed feasible (the origin
+// satisfies Ax <= b because every b >= 0) and bounded (sum of vars capped).
+func feasibleOrigin(rng *rand.Rand, n, m int) Problem {
+	p := Problem{
+		C: make([]float64, n),
+		A: make([][]float64, 0, m+1),
+		B: make([]float64, 0, m+1),
+	}
+	for j := range p.C {
+		p.C[j] = rng.NormFloat64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, rng.Float64()*2)
+	}
+	cap := make([]float64, n)
+	for j := range cap {
+		cap[j] = 1
+	}
+	p.A = append(p.A, cap)
+	p.B = append(p.B, 1+rng.Float64()*3)
+	return p
+}
+
+// TestQuickFeasibleSolutionsSatisfyConstraints: whatever the solver returns
+// as optimal must satisfy every constraint (within tolerance) and must be at
+// least as good as the origin.
+func TestQuickFeasibleSolutionsSatisfyConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(20)
+		p := feasibleOrigin(r, n, m)
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		for i, row := range p.A {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * res.X[j]
+			}
+			if dot > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		for _, xj := range res.X {
+			if xj < -1e-9 {
+				return false
+			}
+		}
+		return res.Objective >= -1e-9 || res.Objective >= 0-1e-9 ||
+			res.Objective >= dotAt(p.C, make([]float64, n))-1e-6
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func dotAt(c, x []float64) float64 {
+	s := 0.0
+	for j := range c {
+		s += c[j] * x[j]
+	}
+	return s
+}
+
+// TestQuickOptimalityAgainstSampling: no random feasible point sampled in the
+// box should beat the reported optimum.
+func TestQuickOptimalityAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(12)
+		p := feasibleOrigin(r, n, m)
+		res, err := Solve(p)
+		if err != nil || res.Status != Optimal {
+			return false
+		}
+		// Sample random points; any feasible one must not exceed optimum.
+		for trial := 0; trial < 200; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Float64() * 4
+			}
+			feas := true
+			for i, row := range p.A {
+				if dotAt(row, x) > p.B[i] {
+					feas = false
+					break
+				}
+			}
+			if feas && dotAt(p.C, x) > res.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInfeasibleDetection: random problems containing an explicit
+// contradiction (v·x <= -1 and -v·x <= -1) must be reported infeasible.
+func TestQuickInfeasibleDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		p := feasibleOrigin(r, n, 1+r.Intn(10))
+		v := make([]float64, n)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		neg := make([]float64, n)
+		for j := range v {
+			neg[j] = -v[j]
+		}
+		p.A = append(p.A, v, neg)
+		p.B = append(p.B, -1, -1) // v·x <= -1 and v·x >= 1: contradiction
+		res, err := Solve(p)
+		return err == nil && res.Status == Infeasible
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded", Status(9): "Status(9)"} {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := feasibleOrigin(rng, 3, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := feasibleOrigin(rng, 5, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package rtree provides a bulk-loaded R-tree over option points with the
+// traversals the paper's baseline algorithms rely on: best-first top-k
+// scoring (BRS [39]), branch-and-bound skyline/k-skyband (BBS [32]), and
+// box range queries. All comparator algorithms in the paper "employed Rtree
+// or its variants to shortlist the candidate options"; this package is that
+// substrate.
+package rtree
+
+import (
+	"container/heap"
+	"sort"
+
+	"tlevelindex/internal/skyline"
+)
+
+// DefaultFanout is the node capacity used when Build is called with
+// fanout <= 1.
+const DefaultFanout = 32
+
+// Rect is an axis-aligned minimum bounding rectangle.
+type Rect struct {
+	Lo, Hi []float64
+}
+
+func (r Rect) contains(p []float64) bool {
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Rect) intersects(lo, hi []float64) bool {
+	for i := range lo {
+		if r.Hi[i] < lo[i] || r.Lo[i] > hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type node struct {
+	mbr      Rect
+	children []*node
+	ids      []int32 // leaf entries (point indices); nil for internal nodes
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is an immutable bulk-loaded R-tree over a point set. It keeps a
+// reference to the points; callers must not mutate them afterwards.
+type Tree struct {
+	dim    int
+	fanout int
+	root   *node
+	pts    [][]float64
+}
+
+// Stats reports traversal effort for a query.
+type Stats struct {
+	NodesVisited int
+	HeapPushes   int
+}
+
+// Build bulk-loads pts into an R-tree using sort-tile-recursive style
+// packing. An empty point set yields a tree that answers every query with
+// no results.
+func Build(pts [][]float64, fanout int) *Tree {
+	if fanout <= 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{fanout: fanout, pts: pts}
+	if len(pts) == 0 {
+		return t
+	}
+	t.dim = len(pts[0])
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	t.root = t.pack(ids, 0)
+	return t
+}
+
+// pack recursively tiles ids into subtrees, cycling the sort dimension by
+// depth.
+func (t *Tree) pack(ids []int32, depth int) *node {
+	if len(ids) <= t.fanout {
+		n := &node{ids: ids}
+		n.mbr = t.mbrOfPoints(ids)
+		return n
+	}
+	axis := depth % t.dim
+	sort.Slice(ids, func(a, b int) bool {
+		return t.pts[ids[a]][axis] < t.pts[ids[b]][axis]
+	})
+	// Number of slices so each subtree holds <= fanout^h points, keeping the
+	// branching close to fanout.
+	parts := t.fanout
+	if parts > len(ids) {
+		parts = len(ids)
+	}
+	per := (len(ids) + parts - 1) / parts
+	n := &node{}
+	for start := 0; start < len(ids); start += per {
+		end := start + per
+		if end > len(ids) {
+			end = len(ids)
+		}
+		n.children = append(n.children, t.pack(ids[start:end], depth+1))
+	}
+	n.mbr = t.mbrOfNodes(n.children)
+	return n
+}
+
+func (t *Tree) mbrOfPoints(ids []int32) Rect {
+	lo := make([]float64, t.dim)
+	hi := make([]float64, t.dim)
+	copy(lo, t.pts[ids[0]])
+	copy(hi, t.pts[ids[0]])
+	for _, id := range ids[1:] {
+		p := t.pts[id]
+		for k := 0; k < t.dim; k++ {
+			if p[k] < lo[k] {
+				lo[k] = p[k]
+			}
+			if p[k] > hi[k] {
+				hi[k] = p[k]
+			}
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+func (t *Tree) mbrOfNodes(ns []*node) Rect {
+	lo := append([]float64(nil), ns[0].mbr.Lo...)
+	hi := append([]float64(nil), ns[0].mbr.Hi...)
+	for _, c := range ns[1:] {
+		for k := 0; k < t.dim; k++ {
+			if c.mbr.Lo[k] < lo[k] {
+				lo[k] = c.mbr.Lo[k]
+			}
+			if c.mbr.Hi[k] > hi[k] {
+				hi[k] = c.mbr.Hi[k]
+			}
+		}
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Points exposes the indexed point slice (shared, read-only).
+func (t *Tree) Points() [][]float64 { return t.pts }
+
+// RangeQuery returns the indices of all points inside the box [lo, hi].
+func (t *Tree) RangeQuery(lo, hi []float64) []int {
+	var out []int
+	if t.root == nil {
+		return out
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.mbr.intersects(lo, hi) {
+			return
+		}
+		if n.leaf() {
+			box := Rect{Lo: lo, Hi: hi}
+			for _, id := range n.ids {
+				if box.contains(t.pts[id]) {
+					out = append(out, int(id))
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Ints(out)
+	return out
+}
+
+// heap entry for best-first traversals; max-heap on key.
+type hentry struct {
+	key  float64
+	node *node
+	id   int32 // >= 0 when this is a point entry
+}
+
+type maxHeap []hentry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(a, b int) bool  { return h[a].key > h[b].key }
+func (h maxHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(hentry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// TopK runs the branch-and-bound ranked search (BRS) for the k best points
+// under the nonnegative linear scoring weights w (full d-dimensional weight
+// vector). Results are in descending score order.
+func (t *Tree) TopK(w []float64, k int) ([]int, Stats) {
+	var st Stats
+	if t.root == nil || k <= 0 {
+		return nil, st
+	}
+	h := &maxHeap{{key: dot(w, t.root.mbr.Hi), node: t.root, id: -1}}
+	var out []int
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(hentry)
+		if e.id >= 0 {
+			out = append(out, int(e.id))
+			continue
+		}
+		st.NodesVisited++
+		n := e.node
+		if n.leaf() {
+			for _, id := range n.ids {
+				heap.Push(h, hentry{key: dot(w, t.pts[id]), id: id})
+				st.HeapPushes++
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(h, hentry{key: dot(w, c.mbr.Hi), node: c, id: -1})
+			st.HeapPushes++
+		}
+	}
+	return out, st
+}
+
+// Skyband runs BBS-style branch-and-bound to compute the k-skyband (points
+// dominated by fewer than k others) without scanning the whole dataset.
+// Entries are expanded in descending upper-corner-sum order, so every
+// possible dominator of a point is accepted before the point itself is
+// examined. Result indices are in ascending order.
+func (t *Tree) Skyband(k int) ([]int, Stats) {
+	var st Stats
+	if t.root == nil || k <= 0 {
+		return nil, st
+	}
+	sum := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	h := &maxHeap{{key: sum(t.root.mbr.Hi), node: t.root, id: -1}}
+	var accepted []int
+	dominatedAtLeastK := func(p []float64) bool {
+		cnt := 0
+		for _, a := range accepted {
+			if skyline.Dominates(t.pts[a], p) {
+				cnt++
+				if cnt >= k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(hentry)
+		if e.id >= 0 {
+			if !dominatedAtLeastK(t.pts[e.id]) {
+				accepted = append(accepted, int(e.id))
+			}
+			continue
+		}
+		n := e.node
+		st.NodesVisited++
+		// Prune whole subtree when its best corner is already k-dominated.
+		if dominatedAtLeastK(n.mbr.Hi) {
+			continue
+		}
+		if n.leaf() {
+			for _, id := range n.ids {
+				heap.Push(h, hentry{key: sum(t.pts[id]), id: id})
+				st.HeapPushes++
+			}
+			continue
+		}
+		for _, c := range n.children {
+			heap.Push(h, hentry{key: sum(c.mbr.Hi), node: c, id: -1})
+			st.HeapPushes++
+		}
+	}
+	sort.Ints(accepted)
+	return accepted, st
+}
+
+// Height returns the tree height (0 for an empty tree), exposed for tests.
+func (t *Tree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}

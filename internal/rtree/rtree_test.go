@@ -1,0 +1,210 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tlevelindex/internal/skyline"
+)
+
+func randPts(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func naiveRange(pts [][]float64, lo, hi []float64) []int {
+	var out []int
+	for i, p := range pts {
+		in := true
+		for k := range p {
+			if p[k] < lo[k] || p[k] > hi[k] {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func naiveTopK(pts [][]float64, w []float64, k int) []int {
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return dot(pts[idx[a]], w) > dot(pts[idx[b]], w)
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 0)
+	if got := tr.RangeQuery([]float64{0}, []float64{1}); len(got) != 0 {
+		t.Errorf("range on empty tree = %v", got)
+	}
+	if got, _ := tr.TopK([]float64{1}, 3); len(got) != 0 {
+		t.Errorf("topk on empty tree = %v", got)
+	}
+	if got, _ := tr.Skyband(2); len(got) != 0 {
+		t.Errorf("skyband on empty tree = %v", got)
+	}
+	if tr.Height() != 0 {
+		t.Errorf("height of empty tree = %d", tr.Height())
+	}
+}
+
+func TestRangeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		d := 2 + r.Intn(4)
+		pts := randPts(r, n, d)
+		tr := Build(pts, 8)
+		lo := make([]float64, d)
+		hi := make([]float64, d)
+		for k := 0; k < d; k++ {
+			a, b := r.Float64(), r.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[k], hi[k] = a, b
+		}
+		got := tr.RangeQuery(lo, hi)
+		want := naiveRange(pts, lo, hi)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(500)
+		d := 2 + r.Intn(4)
+		k := 1 + r.Intn(10)
+		pts := randPts(r, n, d)
+		tr := Build(pts, 16)
+		w := make([]float64, d)
+		for j := range w {
+			w[j] = r.Float64()
+		}
+		got, _ := tr.TopK(w, k)
+		want := naiveTopK(pts, w, k)
+		if len(got) != len(want) {
+			return false
+		}
+		// Scores must match position-wise (ids may differ under ties).
+		for i := range got {
+			if dot(pts[got[i]], w) != dot(pts[want[i]], w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKMoreThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPts(rng, 7, 3)
+	tr := Build(pts, 4)
+	got, _ := tr.TopK([]float64{0.3, 0.3, 0.4}, 20)
+	if len(got) != 7 {
+		t.Fatalf("TopK with k>n returned %d results", len(got))
+	}
+}
+
+func TestSkybandMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		d := 2 + r.Intn(4)
+		k := 1 + r.Intn(4)
+		pts := randPts(r, n, d)
+		tr := Build(pts, 8)
+		got, _ := tr.Skyband(k)
+		want := skyline.Skyband(pts, k)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkybandPrunes(t *testing.T) {
+	// Strongly correlated data: most subtrees should be pruned.
+	rng := rand.New(rand.NewSource(5))
+	n := 5000
+	pts := make([][]float64, n)
+	for i := range pts {
+		base := rng.Float64()
+		pts[i] = []float64{base + rng.Float64()*0.01, base + rng.Float64()*0.01}
+	}
+	tr := Build(pts, 32)
+	_, st := tr.Skyband(3)
+	total := (n + 31) / 32 // rough leaf count lower bound
+	if st.NodesVisited >= total {
+		t.Errorf("BBS visited %d nodes; expected pruning below leaf count %d", st.NodesVisited, total)
+	}
+}
+
+func TestHeightAndFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := randPts(rng, 10000, 3)
+	tr := Build(pts, 32)
+	if h := tr.Height(); h < 2 || h > 5 {
+		t.Errorf("height = %d for 10k points with fanout 32", h)
+	}
+	if tr.Len() != 10000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPts(rng, 100000, 4)
+	tr := Build(pts, 32)
+	w := []float64{0.25, 0.25, 0.25, 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TopK(w, 10)
+	}
+}
+
+func BenchmarkSkyband(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPts(rng, 50000, 4)
+	tr := Build(pts, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Skyband(5)
+	}
+}

@@ -1,0 +1,268 @@
+// Package serve exposes a τ-LevelIndex over HTTP with JSON responses — the
+// deployment shape a product team would actually run: build the index once,
+// then answer preference queries from many clients with cheap lookups.
+//
+// Endpoints (all GET):
+//
+//	/topk?w=0.2,0.8&k=5          ranked retrieval at a weight vector
+//	/kspr?focal=3&k=2            regions where an option ranks top-k
+//	/utk?lo=0.3&hi=0.4&k=3       options reachable for a weight region
+//	/oru?w=0.2,0.8&k=2&m=5       m options around approximate weights
+//	/maxrank?focal=3             best achievable rank of an option
+//	/whynot?focal=3&w=0.2,0.8&k=2  why-not explanation with suggestion
+//	/stats                       index shape and construction statistics
+//
+// The index mutates lazily on k > τ queries, so the handler serializes all
+// query execution behind one mutex; HTTP handling itself stays concurrent.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	tlx "tlevelindex"
+)
+
+// Handler answers preference queries against one index.
+type Handler struct {
+	mu sync.Mutex
+	ix *tlx.Index
+}
+
+// NewHandler wraps an index. The handler owns query serialization; the
+// caller must not use the index concurrently.
+func NewHandler(ix *tlx.Index) *Handler {
+	return &Handler{ix: ix}
+}
+
+// Mux returns a ServeMux with every endpoint registered.
+func (h *Handler) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", h.handleTopK)
+	mux.HandleFunc("/kspr", h.handleKSPR)
+	mux.HandleFunc("/utk", h.handleUTK)
+	mux.HandleFunc("/oru", h.handleORU)
+	mux.HandleFunc("/maxrank", h.handleMaxRank)
+	mux.HandleFunc("/whynot", h.handleWhyNot)
+	mux.HandleFunc("/stats", h.handleStats)
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are out; nothing useful to do on failure
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func parseVec(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing vector parameter")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad vector component %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseIntParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer parameter %q", name)
+	}
+	return v, nil
+}
+
+func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
+	wv, err := parseVec(r.URL.Query().Get("w"))
+	if err != nil {
+		badRequest(w, "w: %v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	top, err := h.ix.TopK(wv, k)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Options []int `json:"options"`
+	}{top})
+}
+
+func (h *Handler) handleKSPR(w http.ResponseWriter, r *http.Request) {
+	focal, err := parseIntParam(r, "focal", -1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	res, err := h.ix.KSPR(k, focal)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Regions      []tlx.Region `json:"regions"`
+		VisitedCells int          `json:"visitedCells"`
+	}{res.Regions, res.Stats.VisitedCells})
+}
+
+func (h *Handler) handleUTK(w http.ResponseWriter, r *http.Request) {
+	lo, err := parseVec(r.URL.Query().Get("lo"))
+	if err != nil {
+		badRequest(w, "lo: %v", err)
+		return
+	}
+	hi, err := parseVec(r.URL.Query().Get("hi"))
+	if err != nil {
+		badRequest(w, "hi: %v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	res, err := h.ix.UTK(k, lo, hi)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	parts := make([][]int, len(res.Partitions))
+	for i, p := range res.Partitions {
+		parts[i] = p.TopK
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Options    []int   `json:"options"`
+		Partitions [][]int `json:"partitionTopKSets"`
+	}{res.Options, parts})
+}
+
+func (h *Handler) handleORU(w http.ResponseWriter, r *http.Request) {
+	wv, err := parseVec(r.URL.Query().Get("w"))
+	if err != nil {
+		badRequest(w, "w: %v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	m, err := parseIntParam(r, "m", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	res, err := h.ix.ORU(k, wv, m)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Options []int   `json:"options"`
+		Rho     float64 `json:"rho"`
+	}{res.Options, res.Rho})
+}
+
+func (h *Handler) handleMaxRank(w http.ResponseWriter, r *http.Request) {
+	focal, err := parseIntParam(r, "focal", -1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	rank, err := h.ix.MaxRank(focal)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Rank int `json:"rank"`
+	}{rank})
+}
+
+func (h *Handler) handleWhyNot(w http.ResponseWriter, r *http.Request) {
+	focal, err := parseIntParam(r, "focal", -1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	wv, err := parseVec(r.URL.Query().Get("w"))
+	if err != nil {
+		badRequest(w, "w: %v", err)
+		return
+	}
+	k, err := parseIntParam(r, "k", 10)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	h.mu.Lock()
+	res, err := h.ix.WhyNot(focal, wv, k)
+	h.mu.Unlock()
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	body := struct {
+		Tau           int            `json:"tau"`
+		Dim           int            `json:"dim"`
+		NumCells      int            `json:"numCells"`
+		CellsPerLevel []int          `json:"cellsPerLevel"`
+		SizeBytes     int64          `json:"sizeBytes"`
+		Build         tlx.BuildStats `json:"build"`
+	}{h.ix.Tau(), h.ix.Dim(), h.ix.NumCells(), h.ix.CellsPerLevel(), h.ix.SizeBytes(), h.ix.Stats()}
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}

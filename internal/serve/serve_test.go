@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	tlx "tlevelindex"
+)
+
+var hotels = [][]float64{
+	{0.62, 0.76}, {0.90, 0.48}, {0.73, 0.33}, {0.26, 0.64}, {0.30, 0.24},
+}
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(ix).Mux())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var body struct {
+		Options []int `json:"options"`
+	}
+	code := getJSON(t, srv.URL+"/topk?w=0.18,0.82&k=2", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Options) != 2 || body.Options[0] != 0 || body.Options[1] != 3 {
+		t.Errorf("topk = %v, want [0 3]", body.Options)
+	}
+}
+
+func TestKSPREndpoint(t *testing.T) {
+	srv := newServer(t)
+	var body struct {
+		Regions      []tlx.Region `json:"regions"`
+		VisitedCells int          `json:"visitedCells"`
+	}
+	if code := getJSON(t, srv.URL+"/kspr?focal=0&k=2", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Regions) != 2 || body.VisitedCells != 5 {
+		t.Errorf("kspr: %d regions, %d visited", len(body.Regions), body.VisitedCells)
+	}
+}
+
+func TestUTKEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var body struct {
+		Options    []int   `json:"options"`
+		Partitions [][]int `json:"partitionTopKSets"`
+	}
+	if code := getJSON(t, srv.URL+"/utk?lo=0.35&hi=0.45&k=3", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if fmt.Sprint(body.Options) != "[0 1 2 3]" || len(body.Partitions) != 2 {
+		t.Errorf("utk: %v / %v", body.Options, body.Partitions)
+	}
+}
+
+func TestORUEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var body struct {
+		Options []int   `json:"options"`
+		Rho     float64 `json:"rho"`
+	}
+	if code := getJSON(t, srv.URL+"/oru?w=0.3,0.7&k=2&m=3", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Options) != 3 || body.Rho < 0.09 || body.Rho > 0.11 {
+		t.Errorf("oru: %v rho=%v", body.Options, body.Rho)
+	}
+}
+
+func TestMaxRankAndWhyNotEndpoints(t *testing.T) {
+	srv := newServer(t)
+	var mr struct {
+		Rank int `json:"rank"`
+	}
+	if code := getJSON(t, srv.URL+"/maxrank?focal=4", &mr); code != http.StatusOK || mr.Rank != -1 {
+		t.Errorf("maxrank: code=%d rank=%d", code, mr.Rank)
+	}
+	var wn struct {
+		Rank       int       `json:"Rank"`
+		InTopK     bool      `json:"InTopK"`
+		MinShift   float64   `json:"MinShift"`
+		SuggestedW []float64 `json:"SuggestedW"`
+	}
+	if code := getJSON(t, srv.URL+"/whynot?focal=0&w=0.9,0.1&k=2", &wn); code != http.StatusOK {
+		t.Fatalf("whynot status %d", code)
+	}
+	if wn.Rank != 3 || wn.InTopK || len(wn.SuggestedW) != 2 {
+		t.Errorf("whynot: %+v", wn)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var body struct {
+		Tau      int `json:"tau"`
+		NumCells int `json:"numCells"`
+	}
+	if code := getJSON(t, srv.URL+"/stats", &body); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if body.Tau != 3 || body.NumCells != 11 {
+		t.Errorf("stats: %+v", body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := newServer(t)
+	cases := []string{
+		"/topk",                  // missing w
+		"/topk?w=abc&k=2",        // bad vector
+		"/topk?w=0.5,0.5&k=zero", // bad int
+		"/topk?w=0.9,0.3&k=2",    // non-normalized weights
+		"/kspr?k=2",              // missing focal
+		"/utk?lo=0.5&hi=0.2&k=2", // inverted box
+		"/utk?hi=0.4&k=2",        // missing lo
+		"/oru?w=0.3,0.7&k=2&m=0", // bad m
+		"/whynot?focal=0&k=2",    // missing w
+		"/maxrank",               // missing focal
+	}
+	for _, path := range cases {
+		if code := getJSON(t, srv.URL+path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestConcurrentQueries hammers the handler from many goroutines; the
+// internal mutex must keep lazily-mutating queries safe.
+func TestConcurrentQueries(t *testing.T) {
+	srv := newServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				url := srv.URL + "/topk?w=0.18,0.82&k=4" // k > tau: extension path
+				if g%2 == 0 {
+					url = srv.URL + "/kspr?focal=0&k=2"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d from %s", resp.StatusCode, url)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,140 @@
+// Package skyline implements coordinate-wise dominance, skyline, k-skyband,
+// and skyline-layer computation for max-is-better option datasets. The
+// τ-LevelIndex builders use the τ-skyband as their option filter (§5.2
+// "Option filtering") and skyline layers as the IBA insertion order
+// ("Insertion ordering").
+package skyline
+
+import "sort"
+
+// Dominates reports whether a dominates b: a ≥ b on every attribute and
+// a > b on at least one (higher values are better).
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// sumOrder returns point indices sorted by descending attribute sum (ties
+// broken by index for determinism). Any dominator of a point precedes it in
+// this order.
+func sumOrder(pts [][]float64) []int {
+	order := make([]int, len(pts))
+	sums := make([]float64, len(pts))
+	for i, p := range pts {
+		order[i] = i
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if sums[order[x]] != sums[order[y]] {
+			return sums[order[x]] > sums[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	return order
+}
+
+// Skyline returns the indices of the maximal (non-dominated) points, in
+// ascending index order. Sort-filter BNL: points are scanned in descending
+// sum order, so only already-accepted points can dominate a new one.
+func Skyline(pts [][]float64) []int {
+	return Skyband(pts, 1)
+}
+
+// Skyband returns the indices of points dominated by fewer than k others,
+// in ascending index order. A point is in the k-skyband iff it is dominated
+// by fewer than k points of the k-skyband itself, so counting dominators
+// within the accepted window is exact.
+func Skyband(pts [][]float64, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	order := sumOrder(pts)
+	window := make([]int, 0, 64)
+	for _, i := range order {
+		cnt := 0
+		for _, j := range window {
+			if Dominates(pts[j], pts[i]) {
+				cnt++
+				if cnt >= k {
+					break
+				}
+			}
+		}
+		if cnt < k {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// DominatorCount returns, for each point, the number of points in pts that
+// dominate it. Quadratic; intended for the small filtered sets used during
+// index construction and for tests.
+func DominatorCount(pts [][]float64) []int {
+	counts := make([]int, len(pts))
+	for i := range pts {
+		for j := range pts {
+			if i != j && Dominates(pts[j], pts[i]) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// Layers peels the dataset into skyline layers: layer 0 is the skyline,
+// layer 1 the skyline of the remainder, and so on. Every point appears in
+// exactly one layer. This is the IBA insertion order of §5.2.
+func Layers(pts [][]float64) [][]int {
+	remaining := make([]int, len(pts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var layers [][]int
+	for len(remaining) > 0 {
+		sub := make([][]float64, len(remaining))
+		for i, idx := range remaining {
+			sub[i] = pts[idx]
+		}
+		sky := Skyband(sub, 1)
+		layer := make([]int, len(sky))
+		inLayer := make(map[int]bool, len(sky))
+		for i, s := range sky {
+			layer[i] = remaining[s]
+			inLayer[remaining[s]] = true
+		}
+		layers = append(layers, layer)
+		next := remaining[:0]
+		for _, idx := range remaining {
+			if !inLayer[idx] {
+				next = append(next, idx)
+			}
+		}
+		remaining = next
+	}
+	return layers
+}
+
+// LayerOrder flattens Layers into a single insertion order: all of layer 0,
+// then layer 1, etc. — the ordering that avoids creating redundant cells in
+// the insertion-based builder.
+func LayerOrder(pts [][]float64) []int {
+	var order []int
+	for _, layer := range Layers(pts) {
+		order = append(order, layer...)
+	}
+	return order
+}

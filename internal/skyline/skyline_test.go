@@ -1,0 +1,225 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randPts(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// naiveSkyband is the O(n²) reference: points dominated by < k others.
+func naiveSkyband(pts [][]float64, k int) []int {
+	var out []int
+	for i := range pts {
+		cnt := 0
+		for j := range pts {
+			if i != j && Dominates(pts[j], pts[i]) {
+				cnt++
+			}
+		}
+		if cnt < k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict attr
+		{[]float64{1, 1}, []float64{1, 0}, true},
+		{[]float64{0, 0}, []float64{1, 1}, false},
+		{[]float64{0.5}, []float64{0.4}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSkylineKnown(t *testing.T) {
+	// The paper's hotel dataset (Figure 2a): skyline is r1, r2 (0-indexed 0, 1).
+	hotels := [][]float64{
+		{0.62, 0.76}, // VibesInn
+		{0.90, 0.48}, // Artezen
+		{0.73, 0.33}, // citizenM
+		{0.26, 0.64}, // Yotel
+		{0.30, 0.24}, // Royalton
+	}
+	if got := Skyline(hotels); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Skyline = %v, want [0 1]", got)
+	}
+	// 2-skyband adds citizenM (dominated only by r2) and Yotel (only by r1).
+	if got := Skyband(hotels, 2); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("Skyband(2) = %v, want [0 1 2 3]", got)
+	}
+	// Royalton is dominated by r1, r2, r3: needs k >= 4.
+	if got := Skyband(hotels, 4); len(got) != 5 {
+		t.Errorf("Skyband(4) = %v, want all 5", got)
+	}
+}
+
+func TestSkybandMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(120)
+		d := 2 + r.Intn(4)
+		k := 1 + r.Intn(5)
+		pts := randPts(r, n, d)
+		return reflect.DeepEqual(Skyband(pts, k), naiveSkyband(pts, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkybandWithDuplicates(t *testing.T) {
+	pts := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.6, 0.6}, {0.4, 0.4}}
+	// Duplicates do not dominate each other; both are dominated by {0.6,0.6}.
+	got := Skyband(pts, 1)
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("Skyline with duplicates = %v, want [2]", got)
+	}
+	got2 := Skyband(pts, 2)
+	sort.Ints(got2)
+	if !reflect.DeepEqual(got2, []int{0, 1, 2}) {
+		t.Errorf("Skyband(2) = %v, want [0 1 2]", got2)
+	}
+}
+
+func TestSkybandEdgeCases(t *testing.T) {
+	if got := Skyband(nil, 3); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+	if got := Skyband([][]float64{{1, 2}}, 0); got != nil {
+		t.Errorf("k=0 gave %v", got)
+	}
+	if got := Skyband([][]float64{{1, 2}}, 1); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("singleton gave %v", got)
+	}
+}
+
+func TestLayersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(80)
+		pts := randPts(rng, n, 2+rng.Intn(3))
+		layers := Layers(pts)
+		seen := make(map[int]int)
+		for li, layer := range layers {
+			if len(layer) == 0 {
+				t.Fatal("empty layer emitted")
+			}
+			for _, idx := range layer {
+				if prev, dup := seen[idx]; dup {
+					t.Fatalf("point %d in layers %d and %d", idx, prev, li)
+				}
+				seen[idx] = li
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("layers cover %d of %d points", len(seen), n)
+		}
+		// Layer property: nothing in layer li is dominated by a point of a
+		// layer >= li, and everything in layer li>0 is dominated by some
+		// point in layer li-1.
+		for li, layer := range layers {
+			for _, idx := range layer {
+				for lj := li; lj < len(layers); lj++ {
+					for _, jdx := range layers[lj] {
+						if Dominates(pts[jdx], pts[idx]) {
+							t.Fatalf("point %d (layer %d) dominated by %d (layer %d)", idx, li, jdx, lj)
+						}
+					}
+				}
+				if li > 0 {
+					dominated := false
+					for _, jdx := range layers[li-1] {
+						if Dominates(pts[jdx], pts[idx]) {
+							dominated = true
+							break
+						}
+					}
+					if !dominated {
+						t.Fatalf("point %d in layer %d has no dominator in layer %d", idx, li, li-1)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLayerOrderIsPermutationPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := randPts(rng, 60, 3)
+	order := LayerOrder(pts)
+	if len(order) != 60 {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, idx := range order {
+		if seen[idx] {
+			t.Fatalf("duplicate %d in order", idx)
+		}
+		seen[idx] = true
+	}
+	// The first block must be exactly the skyline.
+	sky := Skyline(pts)
+	first := append([]int(nil), order[:len(sky)]...)
+	sort.Ints(first)
+	if !reflect.DeepEqual(first, sky) {
+		t.Fatalf("first layer block %v != skyline %v", first, sky)
+	}
+}
+
+func TestDominatorCount(t *testing.T) {
+	pts := [][]float64{{3, 3}, {2, 2}, {1, 1}, {2.5, 1.5}}
+	got := DominatorCount(pts)
+	want := []int{0, 1, 3, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DominatorCount = %v, want %v", got, want)
+	}
+}
+
+func TestSkybandMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPts(rng, 100, 3)
+	prev := 0
+	for k := 1; k <= 6; k++ {
+		cur := len(Skyband(pts, k))
+		if cur < prev {
+			t.Fatalf("skyband size decreased: k=%d size=%d prev=%d", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkSkyband(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPts(rng, 20000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Skyband(pts, 10)
+	}
+}

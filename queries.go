@@ -1,0 +1,324 @@
+package tlevelindex
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tlevelindex/internal/geom"
+)
+
+// Halfspace is the closed set {x : A·x ≤ B} in reduced preference
+// coordinates (see the package docs for the coordinate convention).
+type Halfspace struct {
+	A []float64
+	B float64
+}
+
+// Region is a convex piece of preference space: the intersection of its
+// halfspaces (the simplex bounds are included).
+type Region struct {
+	Halfspaces []Halfspace
+}
+
+// Contains reports whether the reduced point x lies in the region.
+func (r Region) Contains(x []float64) bool {
+	for _, h := range r.Halfspaces {
+		dot := -h.B
+		for i, a := range h.A {
+			dot += a * x[i]
+		}
+		if dot > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func exportRegion(reg *geom.Region) Region {
+	out := Region{Halfspaces: make([]Halfspace, 0, len(reg.HS))}
+	for _, h := range reg.HS {
+		out.Halfspaces = append(out.Halfspaces, Halfspace{
+			A: append([]float64(nil), h.A...),
+			B: h.B,
+		})
+	}
+	return out
+}
+
+// QueryStats reports traversal effort.
+type QueryStats struct {
+	VisitedCells int
+}
+
+// KSPRResult answers a k-shortlist preference region query (Problem 2).
+type KSPRResult struct {
+	// Regions are the preference-space pieces (reduced coordinates) in
+	// which the focal option ranks top-k; their union is the full answer.
+	Regions []Region
+	Stats   QueryStats
+}
+
+// KSPR returns the regions of preference space in which the focal option
+// (a dataset index) ranks top-k. An option outside the k-skyband yields an
+// empty result: it ranks below k everywhere.
+func (ix *Index) KSPR(k, focal int) (*KSPRResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 && k > ix.inner.Tau {
+		// The option may enter deeper levels; extending refreshes the pool.
+		ix.inner.EnsureLevels(k)
+		ix.origToFiltered = nil
+		fid = ix.filteredID(focal)
+	}
+	if fid < 0 {
+		return &KSPRResult{}, nil
+	}
+	res := ix.inner.KSPR(k, fid)
+	out := &KSPRResult{Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	for _, id := range res.Cells {
+		out.Regions = append(out.Regions, exportRegion(ix.inner.Region(id)))
+	}
+	return out, nil
+}
+
+// UTKPartition is one piece of the query region with a fixed top-k set.
+type UTKPartition struct {
+	TopK   []int // dataset indices, as a set
+	Region Region
+}
+
+// UTKResult answers an uncertain top-k query (Problem 3).
+type UTKResult struct {
+	// Options are all dataset indices that rank top-k for some weight in
+	// the query region, ascending.
+	Options []int
+	// Partitions subdivide the query region by top-k result set.
+	Partitions []UTKPartition
+	Stats      QueryStats
+}
+
+// UTK reports every option that can rank top-k for a weight inside the box
+// [lo, hi] in reduced preference coordinates, along with the partitioning
+// of the box by top-k result set.
+func (ix *Index) UTK(k int, lo, hi []float64) (*UTKResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if len(lo) != ix.inner.RDim() || len(hi) != ix.inner.RDim() {
+		return nil, fmt.Errorf("tlevelindex: query box must have %d reduced coordinates", ix.inner.RDim())
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return nil, errors.New("tlevelindex: box lo exceeds hi")
+		}
+	}
+	res := ix.inner.UTK(k, geom.NewBox(lo, hi))
+	out := &UTKResult{Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	for _, o := range res.Options {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	for _, p := range res.Partitions {
+		part := UTKPartition{Region: exportRegion(ix.inner.Region(p.Cell))}
+		for _, o := range p.TopK {
+			part.TopK = append(part.TopK, ix.origID(o))
+		}
+		out.Partitions = append(out.Partitions, part)
+	}
+	return out, nil
+}
+
+// ORUResult answers an output-size specified utility-based query
+// (Problem 4).
+type ORUResult struct {
+	// Options are the m reported dataset indices in ascending expansion
+	// distance.
+	Options []int
+	// Rho is the minimum expansion radius around the query weight whose
+	// top-k results cover all m options.
+	Rho   float64
+	Stats QueryStats
+}
+
+// ORU reports m options, each of which ranks top-k for at least one weight
+// within the minimum expansion distance ρ of w (a full weight vector).
+func (ix *Index) ORU(k int, w []float64, m int) (*ORUResult, error) {
+	if k < 1 || m < 1 {
+		return nil, errors.New("tlevelindex: k and m must be >= 1")
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	res := ix.inner.ORU(k, x, m)
+	out := &ORUResult{Rho: res.Rho, Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	for _, o := range res.Options {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	return out, nil
+}
+
+// TopK returns the k best dataset indices for the full weight vector w, in
+// rank order. With k ≤ τ this is a pure index walk; deeper k extends the
+// index on demand.
+func (ix *Index) TopK(w []float64, k int) ([]int, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	res, _ := ix.inner.TopK(x, k)
+	out := make([]int, 0, len(res))
+	for _, o := range res {
+		out = append(out, ix.origID(o))
+	}
+	return out, nil
+}
+
+// MaxRank returns the best (smallest) rank the option attains anywhere in
+// preference space, or -1 when the option never ranks within τ.
+func (ix *Index) MaxRank(opt int) (int, error) {
+	if opt < 0 {
+		return 0, fmt.Errorf("tlevelindex: invalid option %d", opt)
+	}
+	fid := ix.filteredID(opt)
+	if fid < 0 {
+		return -1, nil
+	}
+	rank, _ := ix.inner.MaxRank(fid)
+	return rank, nil
+}
+
+// WhyNotResult explains an option's absence from a user's top-k.
+type WhyNotResult struct {
+	// Rank is the option's rank at the query weights (1-based, within the
+	// indexed option pool).
+	Rank int
+	// InTopK reports whether the option already ranks top-k there.
+	InTopK bool
+	// MinShift is the smallest preference perturbation (Euclidean, reduced
+	// coordinates) after which the option enters the top-k; 0 when InTopK,
+	// -1 when the option cannot rank top-k anywhere.
+	MinShift float64
+	// SuggestedW is the nearest full weight vector under which the option
+	// ranks top-k (nil when none exists). It answers the "how should the
+	// user change their preferences" half of the why-not query.
+	SuggestedW []float64
+}
+
+// WhyNot explains why the option is or is not among the user's top-k and
+// how far the weights must move to change that.
+func (ix *Index) WhyNot(opt int, w []float64, k int) (*WhyNotResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	fid := ix.filteredID(opt)
+	if fid < 0 {
+		return &WhyNotResult{Rank: -1, MinShift: -1}, nil
+	}
+	res := ix.inner.WhyNot(fid, x, k)
+	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist}
+	if res.NearestPoint != nil {
+		out.SuggestedW = geom.Lift(res.NearestPoint)
+	}
+	return out, nil
+}
+
+// Interval is a segment of the 1-dimensional reduced preference space of a
+// 2-attribute dataset.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// MonoRTopK answers the monochromatic reverse top-k query for 2-attribute
+// datasets: the maximal segments of the first weight w[1] in which the
+// focal option ranks top-k (merged and sorted). It errors for d != 2; use
+// KSPR for general dimensionalities.
+func (ix *Index) MonoRTopK(k, focal int) ([]Interval, error) {
+	if ix.Dim() != 2 {
+		return nil, errors.New("tlevelindex: MonoRTopK requires 2-attribute options")
+	}
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 {
+		return nil, nil
+	}
+	segs, _ := ix.inner.MonoRTopK(k, fid)
+	out := make([]Interval, len(segs))
+	for i, s := range segs {
+		out[i] = Interval{Lo: s.Lo, Hi: s.Hi}
+	}
+	return out, nil
+}
+
+// MarketShare returns the fraction of preference space (by volume) in which
+// the focal option ranks top-k — the provider-side competitiveness measure
+// behind the paper's motivating scenarios. The result is in [0, 1]: exact
+// for 2- and 3-attribute datasets, Monte-Carlo estimated (with the given
+// deterministic seed) above that.
+func (ix *Index) MarketShare(focal, k int) (float64, error) {
+	if k < 1 {
+		return 0, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return 0, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 {
+		return 0, nil
+	}
+	res := ix.inner.KSPR(k, fid)
+	rng := rand.New(rand.NewSource(1))
+	total := 0.0
+	for _, id := range res.Cells {
+		total += ix.inner.Region(id).Volume(20000, rng.Float64)
+	}
+	share := total / geom.SimplexVolume(ix.inner.RDim())
+	if share > 1 {
+		share = 1 // Monte-Carlo noise can overshoot marginally
+	}
+	return share, nil
+}
+
+// ReverseTopK answers the bichromatic reverse top-k query of type DD
+// (§2.2): given a discrete population of user weight vectors, return the
+// indices of the users whose top-k result contains the focal option. The
+// kSPR regions are computed once; each user is then a constant-time
+// point-membership test — the acceleration the paper's related-work
+// discussion promises for DD-type queries.
+func (ix *Index) ReverseTopK(k, focal int, users [][]float64) ([]int, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	res, err := ix.KSPR(k, focal)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for ui, w := range users {
+		x, err := ix.reduce(w)
+		if err != nil {
+			return nil, fmt.Errorf("tlevelindex: user %d: %w", ui, err)
+		}
+		for _, r := range res.Regions {
+			if r.Contains(x) {
+				out = append(out, ui)
+				break
+			}
+		}
+	}
+	return out, nil
+}

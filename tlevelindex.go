@@ -1,0 +1,265 @@
+// Package tlevelindex implements the τ-LevelIndex of "τ-LevelIndex: Towards
+// Efficient Query Processing in Continuous Preference Space" (SIGMOD 2022):
+// a general index over the continuous preference space of linear scoring
+// functions that answers kSPR, UTK, ORU, top-k, MaxRank, and why-not
+// queries by cell lookup instead of per-query geometric computation.
+//
+// # Model
+//
+// A dataset is a slice of options, each a []float64 of d attributes in
+// which higher values are better. A user is a weight vector w with
+// w[i] >= 0 and Σ w[i] = 1; the score of option r is the dot product r·w.
+// Because the weights sum to one, all geometry lives in the reduced
+// (d−1)-dimensional coordinates x = w[:d−1]; query regions and region
+// results use these reduced coordinates.
+//
+// # Building
+//
+//	ix, err := tlevelindex.Build(options, 10)                      // PBA⁺
+//	ix, err := tlevelindex.Build(options, 10, tlevelindex.WithAlgorithm(tlevelindex.IBA))
+//
+// τ bounds the precomputed ranking depth. Queries with k ≤ τ are pure
+// lookups; queries with k > τ extend the index on demand (the index keeps a
+// reference to the dataset for that purpose unless WithoutFullData is set).
+//
+// # Querying
+//
+//	res, _ := ix.KSPR(2, 0)                      // regions where option 0 ranks top-2
+//	res, _ := ix.UTK(3, []float64{0.35}, []float64{0.45})
+//	res, _ := ix.ORU(2, []float64{0.3, 0.7}, 3)  // full weight vector
+//	top, _ := ix.TopK([]float64{0.18, 0.82}, 2)
+package tlevelindex
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"tlevelindex/internal/index"
+)
+
+// Algorithm selects a construction algorithm (§5–6 of the paper).
+type Algorithm int
+
+const (
+	// PBAPlus is the partition-based approach with dominance-graph
+	// acceleration (§6.3) — the recommended builder.
+	PBAPlus Algorithm = iota
+	// PBA is the basic partition-based approach (§6.2).
+	PBA
+	// IBA is the insertion-based approach with skyline-layer ordering (§5.2).
+	IBA
+	// IBAR is IBA with a random insertion order.
+	IBAR
+	// BSL is the UTK₂-adapted baseline builder (§5.1).
+	BSL
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string { return a.internal().String() }
+
+func (a Algorithm) internal() index.Algorithm {
+	switch a {
+	case PBA:
+		return index.PBA
+	case IBA:
+		return index.IBA
+	case IBAR:
+		return index.IBAR
+	case BSL:
+		return index.BSL
+	default:
+		return index.PBAPlus
+	}
+}
+
+// Option configures Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	alg          Algorithm
+	seed         int64
+	dropFullData bool
+	onion        index.OnionMode
+}
+
+// WithAlgorithm selects the construction algorithm (default PBAPlus).
+func WithAlgorithm(a Algorithm) Option { return func(c *buildConfig) { c.alg = a } }
+
+// WithSeed sets the shuffle seed for the IBAR builder.
+func WithSeed(seed int64) Option { return func(c *buildConfig) { c.seed = seed } }
+
+// WithoutFullData drops the reference to the input dataset after building.
+// The index becomes smaller but queries with k > τ cannot recruit options
+// beyond the τ-skyband.
+func WithoutFullData() Option { return func(c *buildConfig) { c.dropFullData = true } }
+
+// WithOnionFilter forces the τ-onion-layer refinement of the option filter
+// on. By default it runs only for the insertion-based builders, where
+// shrinking the option count pays for the peeling LPs.
+func WithOnionFilter() Option { return func(c *buildConfig) { c.onion = index.OnionOn } }
+
+// WithoutOnionFilter forces the τ-onion-layer refinement off, leaving only
+// the τ-skyband filter (the ablation knob).
+func WithoutOnionFilter() Option { return func(c *buildConfig) { c.onion = index.OnionOff } }
+
+// BuildStats reports construction effort and index shape; see the paper's
+// Table 4 and Figures 9–10.
+type BuildStats = index.BuildStats
+
+// Index is a built τ-LevelIndex over a dataset.
+type Index struct {
+	inner *index.Index
+	// origToFiltered maps dataset indices to internal filtered ids; rebuilt
+	// lazily because on-demand extension can grow the filtered set.
+	origToFiltered map[int]int32
+}
+
+// Build constructs a τ-LevelIndex over data (options as rows, attributes as
+// columns, higher better). It filters the dataset to its τ-skyband first —
+// options that cannot rank top-τ under any weights never define cells.
+func Build(data [][]float64, tau int, opts ...Option) (*Index, error) {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := index.Build(data, index.Config{
+		Algorithm:    cfg.alg.internal(),
+		Tau:          tau,
+		Seed:         cfg.seed,
+		DropFullData: cfg.dropFullData,
+		Onion:        cfg.onion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Tau returns the number of precomputed levels.
+func (ix *Index) Tau() int { return ix.inner.Tau }
+
+// Dim returns the option dimensionality d.
+func (ix *Index) Dim() int { return ix.inner.Dim }
+
+// NumCells returns the number of cells, entry cell included.
+func (ix *Index) NumCells() int { return ix.inner.NumCells() }
+
+// CellsPerLevel returns the cell count of every level 1..τ.
+func (ix *Index) CellsPerLevel() []int {
+	out := make([]int, ix.inner.Tau)
+	for l := 1; l <= ix.inner.Tau; l++ {
+		out[l-1] = len(ix.inner.Levels[l])
+	}
+	return out
+}
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() BuildStats { return ix.inner.Stats }
+
+// SizeBytes returns the serialized index size — the paper's index-size
+// metric.
+func (ix *Index) SizeBytes() int64 { return ix.inner.SizeBytes() }
+
+// WriteTo serializes the index (without the full dataset).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.inner.WriteTo(w) }
+
+// ReadIndex loads an index serialized with WriteTo. The loaded index has no
+// dataset reference: queries are limited to k ≤ τ.
+func ReadIndex(r io.Reader) (*Index, error) {
+	inner, err := index.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// filteredID resolves a dataset index to the internal filtered id, or -1
+// when the option was filtered out (it cannot rank within the materialized
+// depth anywhere in preference space).
+func (ix *Index) filteredID(orig int) int32 {
+	if ix.origToFiltered == nil || len(ix.origToFiltered) != len(ix.inner.OrigIDs) {
+		m := make(map[int]int32, len(ix.inner.OrigIDs))
+		for fid, o := range ix.inner.OrigIDs {
+			m[o] = int32(fid)
+		}
+		ix.origToFiltered = m
+	}
+	if fid, ok := ix.origToFiltered[orig]; ok {
+		return fid
+	}
+	return -1
+}
+
+func (ix *Index) origID(fid int32) int { return ix.inner.OrigIDs[fid] }
+
+// reduce validates a full weight vector and returns reduced coordinates.
+func (ix *Index) reduce(w []float64) ([]float64, error) {
+	if len(w) != ix.inner.Dim {
+		return nil, fmt.Errorf("tlevelindex: weight vector has %d entries, want %d", len(w), ix.inner.Dim)
+	}
+	sum := 0.0
+	for _, v := range w {
+		if v < -1e-9 {
+			return nil, errors.New("tlevelindex: negative weight")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("tlevelindex: weights sum to %v, want 1", sum)
+	}
+	return append([]float64(nil), w[:len(w)-1]...), nil
+}
+
+// Insert adds a newly arrived option to the index (the paper's §6.2 update
+// path) and returns its id for use as a query argument: the index of the
+// option in the (conceptually appended) dataset. Options that cannot rank
+// top-τ anywhere are filtered and return -1 with a nil error; the index is
+// unchanged. Insert is not available after a k > τ query has extended the
+// index on demand — rebuild instead, as the paper recommends for bulk
+// changes.
+func (ix *Index) Insert(option []float64) (int, error) {
+	fid, err := ix.inner.InsertOption(option)
+	if err != nil || fid < 0 {
+		return -1, err
+	}
+	// Externally inserted options get fresh dataset ids past the original
+	// input; record the mapping so queries can address them.
+	id := ix.nextExternalID()
+	ix.inner.OrigIDs[fid] = id
+	ix.origToFiltered = nil
+	return id, nil
+}
+
+func (ix *Index) nextExternalID() int {
+	max := ix.inner.Stats.InputOptions - 1
+	for _, o := range ix.inner.OrigIDs {
+		if o > max {
+			max = o
+		}
+	}
+	return max + 1
+}
+
+// ExtendTau deepens the index to newTau levels permanently — the paper's
+// "set a smaller τ first, then expand it on demand" workflow (§7.3).
+func (ix *Index) ExtendTau(newTau int) error {
+	if err := ix.inner.ExtendTau(newTau); err != nil {
+		return err
+	}
+	ix.origToFiltered = nil
+	return nil
+}
+
+// LevelOptions returns the dataset indices of all options that hold rank ℓ
+// somewhere in preference space. As §4 observes, this set is tighter than
+// the corresponding skyline or onion-layer answer: level 1 is exactly the
+// set of options that can be top-1.
+func (ix *Index) LevelOptions(l int) []int {
+	var out []int
+	for _, fid := range ix.inner.LevelOptions(l) {
+		out = append(out, ix.origID(fid))
+	}
+	return out
+}
