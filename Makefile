@@ -1,0 +1,31 @@
+# Development targets; `make ci` is the full gate (vet, format check,
+# build, race-enabled tests) and is what CI should run.
+
+GO ?= go
+
+.PHONY: ci vet fmt-check build test race bench lvbench
+
+ci: vet fmt-check build race
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints nonconforming files; fail loudly when there are any.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+lvbench:
+	$(GO) run ./cmd/lvbench -exp all -scale small

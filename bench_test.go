@@ -378,3 +378,22 @@ func BenchmarkOnionFilterAblation(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBuildWorkers — build-time scaling with the worker pool on the
+// anti-correlated d=4 workload whose per-cell LP load the pool
+// parallelizes. On a multi-core machine the 8-worker run should beat the
+// 1-worker run by well over 1.5x; with GOMAXPROCS=1 all variants measure
+// the same sequential work. cmd/lvbench -exp parallel prints the same
+// comparison as a table with speedups and a determinism check.
+func BenchmarkBuildWorkers(b *testing.B) {
+	data := benchData(datagen.ANTI, 80, 4)
+	for _, wk := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", wk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(data, 2, WithWorkers(wk)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,10 +13,12 @@ func buildTimed(data [][]float64, tau int, algo tlx.Algorithm) (*tlx.Index, time
 	return buildTimedOpts(data, tau, tlx.WithAlgorithm(algo), tlx.WithSeed(7))
 }
 
-// buildTimedOpts is buildTimed with explicit build options.
+// buildTimedOpts is buildTimed with explicit build options. The global
+// -workers flag applies first, so explicit WithWorkers options win.
 func buildTimedOpts(data [][]float64, tau int, opts ...tlx.Option) (*tlx.Index, time.Duration) {
+	all := append([]tlx.Option{tlx.WithWorkers(workersFlag)}, opts...)
 	start := time.Now()
-	ix, err := tlx.Build(data, tau, opts...)
+	ix, err := tlx.Build(data, tau, all...)
 	if err != nil {
 		panic(fmt.Sprintf("lvbench: build failed: %v", err))
 	}

@@ -49,6 +49,9 @@ type scale struct {
 	// Real-dataset cardinalities.
 	hotelN, houseN, nbaN int
 	queries              int // repetitions per query measurement
+	// Parallel-speedup experiment: anti-correlated data is so LP-heavy at
+	// d=4 that it gets its own (much smaller) cardinality and τ.
+	parN, parTau int
 }
 
 var scales = map[string]scale{
@@ -64,6 +67,7 @@ var scales = map[string]scale{
 		ibaMaxTau: 3, bslMaxTau: 4,
 		hotelN: 2000, houseN: 1000, nbaN: 200,
 		queries: 5,
+		parN:    80, parTau: 2,
 	},
 	"medium": {
 		name: "medium",
@@ -77,6 +81,7 @@ var scales = map[string]scale{
 		ibaMaxTau: 4, bslMaxTau: 6,
 		hotelN: 8000, houseN: 3000, nbaN: 500,
 		queries: 10,
+		parN:    150, parTau: 2,
 	},
 	"large": {
 		name: "large",
@@ -90,6 +95,7 @@ var scales = map[string]scale{
 		ibaMaxTau: 4, bslMaxTau: 8,
 		hotelN: 20000, houseN: 6000, nbaN: 800,
 		queries: 10,
+		parN:    250, parTau: 3,
 	},
 }
 
@@ -112,12 +118,19 @@ var experiments = []struct {
 	{"table6", "queries needed to amortize index construction", expTable6},
 	{"topk", "top-k point query: LevelIndex vs BRS (§7.3)", expTopK},
 	{"ablation", "design-choice ablations (DESIGN.md §9)", expAblation},
+	{"parallel", "parallel build speedup and determinism vs worker count", expParallel},
 }
+
+// workersFlag is the -workers value, threaded into every build the
+// experiments run (0 selects runtime.GOMAXPROCS). The parallel experiment
+// overrides it per measurement.
+var workersFlag int
 
 func main() {
 	expName := flag.String("exp", "all", "experiment to run (see -list)")
 	scName := flag.String("scale", "medium", "parameter scale: small, medium, large")
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.IntVar(&workersFlag, "workers", 0, "worker goroutines for index construction (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/datagen"
+)
+
+// expParallel measures how build time scales with the worker pool on the
+// hardest synthetic workload (anti-correlated data maximizes the skyband,
+// hence the per-cell LP load the pool parallelizes) and verifies that the
+// serialized index is byte-identical at every worker count. Real speedup
+// requires real cores: on a single-CPU machine every row measures the same
+// sequential work plus scheduling overhead, so judge scaling by the
+// reported GOMAXPROCS.
+func expParallel(sc scale) {
+	data := datagen.Generate(datagen.ANTI, sc.parN, 4, 1)
+	tau := sc.parTau
+	fmt.Printf("-- parallel build speedup (ANTI, n=%d, d=4, τ=%d, GOMAXPROCS=%d) --\n",
+		sc.parN, tau, runtime.GOMAXPROCS(0))
+
+	algos := []struct {
+		name string
+		alg  tlx.Algorithm
+	}{{"PBA+", tlx.PBAPlus}, {"PBA", tlx.PBA}, {"BSL", tlx.BSL}}
+	header := []string{"workers"}
+	for _, a := range algos {
+		header = append(header, a.name, "speedup")
+	}
+	baseline := make([]time.Duration, len(algos))
+	reference := make([][]byte, len(algos))
+	var rows [][]string
+	for _, wk := range []int{1, 2, 4, 8} {
+		row := []string{fmt.Sprint(wk)}
+		for ai, a := range algos {
+			if a.alg == tlx.BSL && sc.parN > sc.bslMaxN {
+				row = append(row, "-", "-")
+				continue
+			}
+			ix, dur := buildTimedOpts(data, tau,
+				tlx.WithAlgorithm(a.alg), tlx.WithSeed(7), tlx.WithWorkers(wk))
+			var buf bytes.Buffer
+			if _, err := ix.WriteTo(&buf); err != nil {
+				panic(fmt.Sprintf("lvbench: serialize failed: %v", err))
+			}
+			if wk == 1 {
+				baseline[ai] = dur
+				reference[ai] = buf.Bytes()
+				row = append(row, fmtDur(dur), "1.00x")
+				continue
+			}
+			if !bytes.Equal(reference[ai], buf.Bytes()) {
+				panic(fmt.Sprintf("lvbench: %s index differs between 1 and %d workers", a.name, wk))
+			}
+			row = append(row, fmtDur(dur),
+				fmt.Sprintf("%.2fx", baseline[ai].Seconds()/dur.Seconds()))
+		}
+		rows = append(rows, row)
+	}
+	printTable(header, rows)
+	fmt.Println("  serialized indexes byte-identical across all worker counts")
+}

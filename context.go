@@ -1,0 +1,207 @@
+package tlevelindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tlevelindex/internal/geom"
+)
+
+// This file holds the context-aware query variants. Each one behaves like
+// its plain counterpart with two differences:
+//
+//   - Cancellation: the traversal polls ctx between cell visits and
+//     abandons the query with the context's error, so a slow region walk
+//     cannot outlive its HTTP request or caller deadline.
+//   - Strict depth: when k exceeds MaxMaterializedLevel and the index holds
+//     no full dataset, the variant fails fast with ErrNeedsFullData instead
+//     of extending best-effort over the filtered pool like the plain
+//     methods do.
+//
+// Variants whose depth stays within the materialized levels are pure
+// lookups and safe to call concurrently from many goroutines.
+
+// needsData enforces the strict-depth rule of the context variants.
+func (ix *Index) needsData(k int) error {
+	if k > ix.inner.MaxMaterializedLevel() && !ix.inner.HasFullData() {
+		return ErrNeedsFullData
+	}
+	return nil
+}
+
+// TopKResult carries a ranked retrieval answer together with its traversal
+// statistics.
+type TopKResult struct {
+	// Options are the k best dataset indices in rank order.
+	Options []int
+	Stats   QueryStats
+}
+
+// TopKContext is TopK with cancellation and strict-depth behavior; it also
+// exports QueryStats, which the plain TopK does not.
+func (ix *Index) TopKContext(ctx context.Context, w []float64, k int) (*TopKResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	opts, st, err := ix.inner.TopKCtx(ctx, x, k)
+	if err != nil {
+		return nil, err
+	}
+	out := &TopKResult{Stats: exportStats(st)}
+	for _, o := range opts {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	return out, nil
+}
+
+// KSPRContext is KSPR with cancellation and strict-depth behavior.
+func (ix *Index) KSPRContext(ctx context.Context, k, focal int) (*KSPRResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 && k > ix.inner.MaxMaterializedLevel() {
+		// The option may enter deeper levels; extending refreshes the pool.
+		ix.inner.EnsureLevels(k)
+		ix.idMap.Store(nil)
+		fid = ix.filteredID(focal)
+	}
+	if fid < 0 {
+		return &KSPRResult{}, nil
+	}
+	res, err := ix.inner.KSPRCtx(ctx, k, fid)
+	if err != nil {
+		return nil, err
+	}
+	out := &KSPRResult{Stats: exportStats(res.Stats)}
+	for _, id := range res.Cells {
+		out.Regions = append(out.Regions, exportRegion(ix.inner.Region(id)))
+	}
+	return out, nil
+}
+
+// UTKContext is UTK with cancellation and strict-depth behavior.
+func (ix *Index) UTKContext(ctx context.Context, k int, lo, hi []float64) (*UTKResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if len(lo) != ix.inner.RDim() || len(hi) != ix.inner.RDim() {
+		return nil, fmt.Errorf("tlevelindex: query box must have %d reduced coordinates", ix.inner.RDim())
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return nil, errors.New("tlevelindex: box lo exceeds hi")
+		}
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	res, err := ix.inner.UTKCtx(ctx, k, geom.NewBox(lo, hi))
+	if err != nil {
+		return nil, err
+	}
+	out := &UTKResult{Stats: exportStats(res.Stats)}
+	for _, o := range res.Options {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	for _, p := range res.Partitions {
+		part := UTKPartition{Region: exportRegion(ix.inner.Region(p.Cell))}
+		for _, o := range p.TopK {
+			part.TopK = append(part.TopK, ix.origID(o))
+		}
+		out.Partitions = append(out.Partitions, part)
+	}
+	return out, nil
+}
+
+// ORUContext is ORU with cancellation and strict-depth behavior.
+func (ix *Index) ORUContext(ctx context.Context, k int, w []float64, m int) (*ORUResult, error) {
+	if k < 1 || m < 1 {
+		return nil, errors.New("tlevelindex: k and m must be >= 1")
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ix.inner.ORUCtx(ctx, k, x, m)
+	if err != nil {
+		return nil, err
+	}
+	out := &ORUResult{Rho: res.Rho, Stats: exportStats(res.Stats)}
+	for _, o := range res.Options {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	return out, nil
+}
+
+// MaxRankResult carries a best-achievable-rank answer together with its
+// traversal statistics.
+type MaxRankResult struct {
+	// Rank is the option's best rank anywhere in preference space, or -1
+	// when the option never ranks within τ.
+	Rank  int
+	Stats QueryStats
+}
+
+// MaxRankContext is MaxRank with cancellation; it also exports QueryStats,
+// which the plain MaxRank does not. MaxRank never extends the index, so no
+// strict-depth check applies.
+func (ix *Index) MaxRankContext(ctx context.Context, opt int) (*MaxRankResult, error) {
+	if opt < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid option %d", opt)
+	}
+	fid := ix.filteredID(opt)
+	if fid < 0 {
+		return &MaxRankResult{Rank: -1}, nil
+	}
+	rank, st, err := ix.inner.MaxRankCtx(ctx, fid)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxRankResult{Rank: rank, Stats: exportStats(st)}, nil
+}
+
+// WhyNotContext is WhyNot with cancellation and strict-depth behavior.
+func (ix *Index) WhyNotContext(ctx context.Context, opt int, w []float64, k int) (*WhyNotResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return nil, err
+	}
+	fid := ix.filteredID(opt)
+	if fid < 0 {
+		return &WhyNotResult{Rank: -1, MinShift: -1}, nil
+	}
+	res, err := ix.inner.WhyNotCtx(ctx, fid, x, k)
+	if err != nil {
+		return nil, err
+	}
+	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist,
+		Stats: exportStats(res.Stats)}
+	if res.NearestPoint != nil {
+		out.SuggestedW = geom.Lift(res.NearestPoint)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package tlevelindex
+
+import (
+	"errors"
+
+	"tlevelindex/internal/index"
+)
+
+// Sentinel errors returned by the public API. Callers branch on them with
+// errors.Is; the serve package maps them to HTTP statuses.
+var (
+	// ErrInvalidWeights reports a malformed weight vector: wrong length,
+	// negative entries, or weights that do not sum to one. All validation
+	// failures of full weight vectors wrap this sentinel.
+	ErrInvalidWeights = errors.New("tlevelindex: invalid weight vector")
+
+	// ErrNeedsFullData reports that a query's depth k exceeds the
+	// materialized levels and the index holds no reference to the full
+	// dataset (it was loaded with ReadIndex or built WithoutFullData), so
+	// on-demand extension cannot recruit the missing options. The
+	// context-aware query variants return it instead of extending
+	// best-effort over the filtered pool.
+	ErrNeedsFullData = errors.New("tlevelindex: k exceeds materialized levels and the index holds no full dataset")
+
+	// ErrExtended reports that Insert was called after a k > τ query
+	// extended the index on demand; the lazily materialized levels are not
+	// maintained incrementally. Promote them with ExtendTau or rebuild.
+	ErrExtended = errors.New("tlevelindex: cannot insert after on-demand extension")
+)
+
+// mapErr rewrites internal sentinel errors to their public identities.
+func mapErr(err error) error {
+	if errors.Is(err, index.ErrExtended) {
+		return ErrExtended
+	}
+	return err
+}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/pool"
 )
 
 // buildBSL is the UTK₂-adapted baseline (§5.1): for every level ℓ ∈ [1, τ]
@@ -11,6 +12,12 @@ import (
 // deliberately wasteful — re-partitioning repeats all the work of the lower
 // levels τ times, and edge reconnection is quadratic in the level sizes —
 // which is exactly the cost profile the paper reports for BSL.
+//
+// The τ scratch partitionings are fully independent, so they fan out over
+// the worker pool (each scratch build runs its inner loops sequentially to
+// avoid nested fan-out); so do the per-child edge reconnection LPs. All
+// cell and edge materialization stays sequential in level/cell order, so
+// the result is identical for every worker count.
 func buildBSL(ix *Index) {
 	type bslCell struct {
 		r     []int32 // result set in rank order
@@ -18,14 +25,16 @@ func buildBSL(ix *Index) {
 		bound []int32
 	}
 	perLevel := make([][]bslCell, ix.Tau+1)
-	for ell := 1; ell <= ix.Tau; ell++ {
+	lpCalls := make([]int64, ix.Tau+1)
+	pool.ForEach(ix.workers, ix.Tau, func(i int) {
+		ell := i + 1
 		// Fresh scratch enumeration of levels 1..ell; only level ell kept.
-		scratch := &Index{Dim: ix.Dim, Tau: ell, Pts: ix.Pts, OrigIDs: ix.OrigIDs}
+		scratch := &Index{Dim: ix.Dim, Tau: ell, Pts: ix.Pts, OrigIDs: ix.OrigIDs, workers: 1}
 		scratch.newCell(0, NoOption, nil, []int32{})
 		scratch.Stats.PostFilterCandidates = make([]float64, ell)
 		scratch.Stats.ActualCandidates = make([]float64, ell)
 		buildPBA(scratch, false)
-		ix.Stats.LPCalls += scratch.Stats.LPCalls
+		lpCalls[ell] = scratch.Stats.LPCalls
 		for _, id := range scratch.Levels[ell] {
 			perLevel[ell] = append(perLevel[ell], bslCell{
 				r:     scratch.ResultSet(id),
@@ -33,6 +42,9 @@ func buildBSL(ix *Index) {
 				bound: append([]int32(nil), scratch.Cells[id].Bound...),
 			})
 		}
+	})
+	for ell := 1; ell <= ix.Tau; ell++ {
+		ix.Stats.LPCalls += lpCalls[ell]
 	}
 
 	// Assemble the DAG: create the cells level by level and reconnect with
@@ -55,7 +67,14 @@ func buildBSL(ix *Index) {
 		for _, bc := range perLevel[ell] {
 			ids = append(ids, ix.newCell(int32(ell), bc.opt, nil, bc.bound))
 		}
-		for ci, bc := range perLevel[ell] {
+		type edgeResult struct {
+			parents []int32
+			lpCalls int64
+		}
+		results := make([]edgeResult, len(perLevel[ell]))
+		pool.ForEach(ix.workers, len(perLevel[ell]), func(ci int) {
+			bc := perLevel[ell][ci]
+			var res edgeResult
 			creg := regionOf(bc)
 			cset := make(map[int32]bool, len(bc.r))
 			for _, v := range bc.r {
@@ -63,7 +82,7 @@ func buildBSL(ix *Index) {
 			}
 			for pi, pid := range prevIDs {
 				if ell == 1 {
-					ix.addEdge(pid, ids[ci])
+					res.parents = append(res.parents, pid)
 					continue
 				}
 				pc := prevCells[pi]
@@ -79,10 +98,17 @@ func buildBSL(ix *Index) {
 				if !ok {
 					continue
 				}
-				ix.Stats.LPCalls++
+				res.lpCalls++
 				if regionOf(pc).IntersectsRegion(creg) {
-					ix.addEdge(pid, ids[ci])
+					res.parents = append(res.parents, pid)
 				}
+			}
+			results[ci] = res
+		})
+		for ci := range perLevel[ell] {
+			ix.Stats.LPCalls += results[ci].lpCalls
+			for _, pid := range results[ci].parents {
+				ix.addEdge(pid, ids[ci])
 			}
 		}
 		prevIDs, prevCells = ids, perLevel[ell]

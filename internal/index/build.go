@@ -67,6 +67,12 @@ type Config struct {
 	// queries with k > τ can extend it on demand. Defaults to true via
 	// Build; zero-value Config keeps it too.
 	DropFullData bool
+	// Workers bounds the goroutines used for the per-cell LP work during
+	// construction and on-demand extension. Values below 1 select
+	// runtime.GOMAXPROCS(0). The built index is identical for every worker
+	// count: the parallel phases only compute, and all structural mutations
+	// are applied sequentially in input order.
+	Workers int
 }
 
 // OnionMode controls the onion-layer filter.
@@ -149,6 +155,7 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	ix := &Index{
 		Dim: d, Tau: tau,
 		Pts: pts, OrigIDs: orig,
+		workers: cfg.Workers,
 	}
 	if !cfg.DropFullData {
 		ix.fullPts = data

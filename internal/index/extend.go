@@ -2,6 +2,7 @@ package index
 
 import (
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/pool"
 	"tlevelindex/internal/skyline"
 )
 
@@ -39,9 +40,28 @@ func (ix *Index) ensureLevels(k int) {
 	ix.ensurePool(k)
 	for l := ext.maxLevel; l < k; l++ {
 		parents := ix.levelCells(l)
+		// Parallel compute: each leaf cell's candidate refinement and
+		// feasibility LPs are independent. Cells and edges are then
+		// materialized sequentially in parent order, so the extension is
+		// deterministic for every worker count.
+		results := make([]extendResult, len(parents))
+		pool.ForEach(ix.workers, len(parents), func(i int) {
+			results[i] = ix.extendCompute(parents[i])
+		})
 		var created []int32
-		for _, pid := range parents {
-			created = append(created, ix.extendCell(pid)...)
+		for i, pid := range parents {
+			res := &results[i]
+			ix.Stats.LPCalls += res.lpCalls
+			if res.hadChildren {
+				created = append(created, ix.Cells[pid].Children...)
+				continue
+			}
+			level := ix.Cells[pid].Level
+			for _, cs := range res.children {
+				child := ix.newCell(level+1, cs.opt, []int32{pid}, cs.bound)
+				ix.addEdge(pid, child)
+				created = append(created, child)
+			}
 		}
 		merged := ix.mergeLevel(created)
 		ext.levels[l+1] = merged
@@ -53,8 +73,11 @@ func (ix *Index) ensureLevels(k int) {
 // dataset so that every option that can rank top-k is available.
 func (ix *Index) ensurePool(k int) {
 	ext := ix.ext
-	if ext.poolK >= k || ix.fullPts == nil {
-		ext.poolK = k
+	if ext.poolK >= k {
+		return // never shrink: a no-op here keeps deep-enough calls read-only
+	}
+	if ix.fullPts == nil {
+		ext.poolK = k // best-effort over the filtered pool
 		return
 	}
 	have := make(map[int]bool, len(ix.OrigIDs))
@@ -72,15 +95,25 @@ func (ix *Index) ensurePool(k int) {
 	ext.poolK = k
 }
 
-// extendCell partitions one leaf cell into its next-level children using
+// extendResult is the outcome of partitioning one leaf cell during
+// on-demand extension: computed in parallel, applied sequentially.
+type extendResult struct {
+	hadChildren bool // cell was already partitioned; reuse its children
+	children    []childSpec
+	lpCalls     int64
+}
+
+// extendCompute partitions one leaf cell into its next-level children using
 // the basic candidate computation (pairwise cell dominance with a global
-// dominance fast path), mirroring the PBA Partition step.
-func (ix *Index) extendCell(pid int32) []int32 {
+// dominance fast path), mirroring the PBA Partition step. It only reads
+// shared index state; the caller materializes the children.
+func (ix *Index) extendCompute(pid int32) extendResult {
+	var res extendResult
 	c := &ix.Cells[pid]
 	if len(c.Children) > 0 {
-		return append([]int32(nil), c.Children...)
+		res.hadChildren = true
+		return res
 	}
-	level := c.Level // ix.Cells may reallocate below; don't hold the pointer
 	reg := ix.Region(pid)
 	r := ix.ResultSet(pid)
 	inR := make(map[int32]bool, len(r))
@@ -116,7 +149,7 @@ func (ix *Index) extendCell(pid int32) []int32 {
 			if u == v {
 				continue
 			}
-			ix.Stats.LPCalls++
+			res.lpCalls++
 			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
 				dominated = true
 				break
@@ -126,7 +159,6 @@ func (ix *Index) extendCell(pid int32) []int32 {
 			p = append(p, v)
 		}
 	}
-	var created []int32
 	for _, ri := range p {
 		r2 := reg.Clone()
 		bound := make([]int32, 0, len(p)-1)
@@ -136,13 +168,11 @@ func (ix *Index) extendCell(pid int32) []int32 {
 				bound = append(bound, rj)
 			}
 		}
-		ix.Stats.LPCalls++
+		res.lpCalls++
 		if !r2.Feasible() {
 			continue
 		}
-		child := ix.newCell(level+1, ri, []int32{pid}, bound)
-		ix.addEdge(pid, child)
-		created = append(created, child)
+		res.children = append(res.children, childSpec{opt: ri, bound: bound})
 	}
-	return created
+	return res
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/pool"
 )
 
 // buildIBA is the insertion-based approach (Algorithm 1): options are
@@ -41,6 +42,11 @@ func buildIBA(ix *Index, order []int) {
 // parents of a cell are precisely the cells whose result set equals the
 // child's prefix (its R minus its own option); each candidate is settled
 // with one full-dimensional intersection test.
+//
+// Within a level, each cell's parent determination only consults cells of
+// the level below (already settled), so the intersection LPs fan out over
+// the worker pool; tombstoning and parent assignment are then applied
+// sequentially in slice order.
 func (ix *Index) fixupEdges() {
 	type info struct {
 		r   []int32
@@ -48,6 +54,7 @@ func (ix *Index) fixupEdges() {
 	}
 	byKey := make(map[string][]int32)
 	infos := make(map[int32]*info)
+	var allIDs []int32
 	for i := range ix.Cells {
 		c := &ix.Cells[i]
 		if c.Level < 1 {
@@ -55,16 +62,17 @@ func (ix *Index) fixupEdges() {
 		}
 		in := &info{r: ix.ResultSet(c.ID)}
 		infos[c.ID] = in
+		allIDs = append(allIDs, c.ID)
 		k := setKey(in.r)
 		byKey[k] = append(byKey[k], c.ID)
 	}
-	region := func(id int32) *geom.Region {
-		in := infos[id]
-		if in.reg == nil {
-			in.reg = ix.Region(id)
-		}
-		return in.reg
-	}
+	// Reassemble every cell's region up front, in parallel; each goroutine
+	// writes only its own info. Parent chains stay untouched until the
+	// rewiring at the end, so these regions match what lazy reassembly
+	// would have produced.
+	pool.ForEach(ix.workers, len(allIDs), func(i int) {
+		infos[allIDs[i]].reg = ix.Region(allIDs[i])
+	})
 	// Compute the exact parent set of every cell, ascending by level so that
 	// cells whose regions turn out empty are tombstoned before they can act
 	// as parents. Result sets were captured above, so rewiring edges
@@ -74,12 +82,23 @@ func (ix *Index) fixupEdges() {
 		perLevel[ix.Cells[id].Level] = append(perLevel[ix.Cells[id].Level], id)
 	}
 	newParents := make(map[int32][]int32)
+	type parentResult struct {
+		parents  []int32
+		fallback int32
+		lpCalls  int64
+	}
 	for l := 1; l <= ix.Tau; l++ {
-		for _, id := range perLevel[l] {
-			if l == 1 {
+		ids := perLevel[l]
+		if l == 1 {
+			for _, id := range ids {
 				newParents[id] = []int32{ix.Root()}
-				continue
 			}
+			continue
+		}
+		results := make([]parentResult, len(ids))
+		pool.ForEach(ix.workers, len(ids), func(i int) {
+			id := ids[i]
+			res := parentResult{fallback: -1}
 			in := infos[id]
 			opt := ix.Cells[id].Opt
 			prefix := make([]int32, 0, len(in.r)-1)
@@ -88,36 +107,48 @@ func (ix *Index) fixupEdges() {
 					prefix = append(prefix, v)
 				}
 			}
-			var fallback int32 = -1
 			var fallbackMargin float64
 			for _, p := range byKey[setKey(prefix)] {
 				if ix.Cells[p].Level < 0 {
 					continue // parent was tombstoned
 				}
-				comb := region(id).Clone()
-				comb.Add(region(p).HS...)
-				ix.Stats.LPCalls++
+				comb := in.reg.Clone()
+				comb.Add(infos[p].reg.HS...)
+				res.lpCalls++
 				if m, ok := comb.FeasibleMargin(); ok {
 					if m > geom.InteriorEps {
-						newParents[id] = append(newParents[id], p)
-					} else if fallback < 0 || m > fallbackMargin {
-						fallback, fallbackMargin = p, m
+						res.parents = append(res.parents, p)
+					} else if res.fallback < 0 || m > fallbackMargin {
+						res.fallback, fallbackMargin = p, m
 					}
 				}
 			}
-			if len(newParents[id]) == 0 {
-				// No full-dimensional parent intersection. Either the cell's
-				// own region is empty (a stale structural leftover — drop
-				// it), or everything is degenerate within tolerance (keep
-				// the best boundary-touching parent so paths stay intact).
-				ix.Stats.LPCalls++
-				if !region(id).Feasible() || fallback < 0 {
-					ix.Cells[id].Level = -1
-					delete(newParents, id)
-					continue
+			if len(res.parents) == 0 {
+				// No full-dimensional parent intersection: decide between
+				// dropping the cell and keeping its best boundary parent.
+				res.lpCalls++
+				if !in.reg.Feasible() {
+					res.fallback = -1
 				}
-				newParents[id] = []int32{fallback}
 			}
+			results[i] = res
+		})
+		for i, id := range ids {
+			res := &results[i]
+			ix.Stats.LPCalls += res.lpCalls
+			if len(res.parents) > 0 {
+				newParents[id] = res.parents
+				continue
+			}
+			// No full-dimensional parent intersection. Either the cell's
+			// own region is empty (a stale structural leftover — drop
+			// it), or everything is degenerate within tolerance (keep
+			// the best boundary-touching parent so paths stay intact).
+			if res.fallback < 0 {
+				ix.Cells[id].Level = -1
+				continue
+			}
+			newParents[id] = []int32{res.fallback}
 		}
 	}
 	for i := range ix.Cells {

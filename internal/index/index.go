@@ -70,6 +70,31 @@ type Index struct {
 	// extension beyond level τ (Figure 14's k > τ regime).
 	fullPts [][]float64
 	ext     *extension
+	// workers bounds the goroutines used for per-cell LP work; values
+	// below 1 mean runtime.GOMAXPROCS(0). Not serialized.
+	workers int
+}
+
+// Workers returns the configured worker bound (0 meaning the GOMAXPROCS
+// default).
+func (ix *Index) Workers() int { return ix.workers }
+
+// SetWorkers changes the worker bound used by on-demand extension; values
+// below 1 select the GOMAXPROCS default.
+func (ix *Index) SetWorkers(n int) { ix.workers = n }
+
+// HasFullData reports whether the index retains the unfiltered dataset, so
+// extension past τ can recruit options beyond the τ-skyband.
+func (ix *Index) HasFullData() bool { return ix.fullPts != nil }
+
+// MaxMaterializedLevel returns the deepest level whose cells exist right
+// now: τ, or further if on-demand extension has already run. Queries with
+// k up to this level are pure lookups that never mutate the index.
+func (ix *Index) MaxMaterializedLevel() int {
+	if ix.ext != nil && ix.ext.maxLevel > ix.Tau {
+		return ix.ext.maxLevel
+	}
+	return ix.Tau
 }
 
 // RDim returns the reduced preference-space dimension d−1.

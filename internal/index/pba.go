@@ -5,6 +5,7 @@ import (
 
 	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/pool"
 )
 
 // sampleCount sizes the interior sample set carried with every active cell
@@ -15,6 +16,22 @@ import (
 // samples for the certificates to fire.
 func sampleCount(dim int) int { return 8 + 6*dim }
 
+// cellSeed derives the deterministic RNG seed for the sample set of the
+// child cell created under parent for candidate opt. Keying the stream on
+// (parent id, option) rather than drawing from one shared sequential RNG is
+// what keeps parallel builds reproducible: cell ids are assigned in the
+// sequential apply phase, so the seed — and hence every sample — is the
+// same for any worker count.
+func cellSeed(parent, opt int32) int64 {
+	h := uint64(uint32(parent))<<32 | uint64(uint32(opt))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int64(h & (1<<62 - 1))
+}
+
 // pbaWork is the per-active-cell state of the partition-based builders.
 type pbaWork struct {
 	cell    int32
@@ -23,25 +40,48 @@ type pbaWork struct {
 	samples [][]float64 // interior sample set (includes nothing by contract)
 }
 
+// childSpec is one feasible child computed by the parallel phase, before
+// any cell has been allocated for it.
+type childSpec struct {
+	opt     int32
+	bound   []int32
+	witness []float64
+	samples [][]float64
+	g       *dg.Graph // nil unless PBA⁺
+}
+
+// pbaResult is the outcome of partitioning one cell: computed in parallel,
+// applied sequentially.
+type pbaResult struct {
+	pCount   int // |P| after refinement (stats)
+	children []childSpec
+	lpCalls  int64
+}
+
 // buildPBA constructs the index level by level (Algorithm 2). With
 // plus=true it is PBA⁺: each cell carries a dominance graph inherited from
 // its parent (Lemma 4), pruned by dominator counts, and merged alongside
 // cell merges (§6.3). With plus=false it is basic PBA: the candidate
 // r-skyband is recomputed from scratch for every cell, which repeats the
 // LP dominance tests that PBA⁺ memoizes as graph edges.
+//
+// Within a level every cell's candidate refinement and feasibility LPs are
+// independent, so they fan out over the configured worker pool; cells and
+// edges are then materialized sequentially in input order, which keeps ids
+// — and the serialized index — identical for every worker count.
 func buildPBA(ix *Index, plus bool) {
 	base := dg.NewBase(ix.Pts)
-	rng := rand.New(rand.NewSource(1))
 	rootReg := geom.NewRegion(ix.RDim())
 	rootCenter, _, ok := rootReg.ChebyshevCenter()
 	if !ok {
 		return // dim 0 (d=1) is rejected earlier; defensive only
 	}
+	rootRng := rand.New(rand.NewSource(cellSeed(ix.Root(), NoOption)))
 	cur := []pbaWork{{
 		cell:    ix.Root(),
 		g:       dg.NewGraph(base),
 		witness: rootCenter,
-		samples: rootReg.SampleFrom(rootCenter, sampleCount(ix.RDim()), rng.Float64),
+		samples: rootReg.SampleFrom(rootCenter, sampleCount(ix.RDim()), rootRng.Float64),
 	}}
 	ix.Levels = make([][]int32, ix.Tau+1)
 	ix.Levels[0] = []int32{ix.Root()}
@@ -49,32 +89,27 @@ func buildPBA(ix *Index, plus bool) {
 	ix.Stats.ActualCandidates = make([]float64, ix.Tau)
 
 	for l := 0; l < ix.Tau; l++ {
+		// Parallel compute phase: candidate refinement and feasibility.
+		results := make([]pbaResult, len(cur))
+		pool.ForEach(ix.workers, len(cur), func(i int) {
+			results[i] = ix.partitionCompute(&cur[i], plus, int32(l), base)
+		})
+		// Sequential apply phase: allocate cells and edges in input order.
 		var next []pbaWork
 		var sumP, sumActual int
-		for _, wk := range cur {
-			reg := ix.Region(wk.cell)
-			var g *dg.Graph
-			if plus {
-				g = wk.g
-			} else {
-				// Basic PBA: rebuild the per-cell dominance state from the
-				// global base, re-consuming R — the "expensive r-skyband
-				// function call for each cell" that PBA⁺ avoids.
-				g = dg.NewGraph(base)
-				for _, r := range ix.ResultSet(wk.cell) {
-					g.Consume(r)
-				}
+		for i := range cur {
+			wk := &cur[i]
+			res := &results[i]
+			ix.Stats.LPCalls += res.lpCalls
+			sumP += res.pCount
+			sumActual += len(res.children)
+			for _, cs := range res.children {
+				child := ix.newCell(ix.Cells[wk.cell].Level+1, cs.opt, []int32{wk.cell}, cs.bound)
+				ix.addEdge(wk.cell, child)
+				next = append(next, pbaWork{
+					cell: child, g: cs.g, witness: cs.witness, samples: cs.samples,
+				})
 			}
-			// Basic PBA's r-skyband subroutine is a generic pairwise pass
-			// with no sample certificates and no memoized edges — the cost
-			// PBA⁺ exists to avoid (§6.1 Observation II).
-			samples := wk.samples
-			if !plus {
-				samples = nil
-			}
-			p := computeP(ix, g, reg, int32(l), samples)
-			sumP += len(p)
-			sumActual += ix.partitionCell(&wk, reg, p, g, plus, &next, rng)
 		}
 		if len(cur) > 0 {
 			ix.Stats.PostFilterCandidates[l] = float64(sumP) / float64(len(cur))
@@ -114,13 +149,37 @@ func buildPBA(ix *Index, plus bool) {
 	}
 }
 
-// partitionCell implements the Partition routine of Algorithm 2 for one
-// cell: every candidate in p that can rank next somewhere in the cell
-// becomes a child. Feasibility is certified by an interior sample where the
-// candidate strictly outscores every other candidate when possible, and by
-// a Chebyshev LP otherwise. Returns the number of children created.
-func (ix *Index) partitionCell(wk *pbaWork, reg *geom.Region, p []int32,
-	g *dg.Graph, plus bool, next *[]pbaWork, rng *rand.Rand) int {
+// partitionCompute implements the Partition routine of Algorithm 2 for one
+// cell without touching shared index state: every candidate in P that can
+// rank next somewhere in the cell becomes a childSpec. Feasibility is
+// certified by an interior sample where the candidate strictly outscores
+// every other candidate when possible, and by a Chebyshev LP otherwise. It
+// only reads ix (cells, points, regions) and mutates data owned by this
+// work item, so calls for different cells can run concurrently.
+func (ix *Index) partitionCompute(wk *pbaWork, plus bool, level int32, base *dg.Base) pbaResult {
+	var res pbaResult
+	reg := ix.Region(wk.cell)
+	var g *dg.Graph
+	if plus {
+		g = wk.g
+	} else {
+		// Basic PBA: rebuild the per-cell dominance state from the
+		// global base, re-consuming R — the "expensive r-skyband
+		// function call for each cell" that PBA⁺ avoids.
+		g = dg.NewGraph(base)
+		for _, r := range ix.ResultSet(wk.cell) {
+			g.Consume(r)
+		}
+	}
+	// Basic PBA's r-skyband subroutine is a generic pairwise pass
+	// with no sample certificates and no memoized edges — the cost
+	// PBA⁺ exists to avoid (§6.1 Observation II).
+	samples := wk.samples
+	if !plus {
+		samples = nil
+	}
+	p := computeP(ix, g, reg, level, samples, &res.lpCalls)
+	res.pCount = len(p)
 
 	const strictEps = 1e-9
 	// For each sample, the strict winner among candidates certifies its own
@@ -147,7 +206,6 @@ func (ix *Index) partitionCell(wk *pbaWork, reg *geom.Region, p []int32,
 		}
 	}
 
-	created := 0
 	for _, ri := range p {
 		bound := make([]int32, 0, len(p)-1)
 		for _, rj := range p {
@@ -161,29 +219,24 @@ func (ix *Index) partitionCell(wk *pbaWork, reg *geom.Region, p []int32,
 		}
 		witness, ok := witnessOf[ri]
 		if !ok {
-			ix.Stats.LPCalls++
-			var margin float64
-			witness, margin, ok = childReg.ChebyshevCenter()
-			_ = margin
+			res.lpCalls++
+			witness, _, ok = childReg.ChebyshevCenter()
 			if !ok {
 				continue // infeasible candidate
 			}
 		}
-		created++
-		child := ix.newCell(ix.Cells[wk.cell].Level+1, ri, []int32{wk.cell}, bound)
-		ix.addEdge(wk.cell, child)
-		cw := pbaWork{
-			cell:    child,
-			witness: witness,
-			samples: childReg.SampleFrom(witness, sampleCount(ix.RDim()), rng.Float64),
+		crng := rand.New(rand.NewSource(cellSeed(wk.cell, ri)))
+		cs := childSpec{
+			opt: ri, bound: bound, witness: witness,
+			samples: childReg.SampleFrom(witness, sampleCount(ix.RDim()), crng.Float64),
 		}
 		if plus {
-			cw.g = g.Clone()
-			cw.g.Consume(ri)
+			cs.g = g.Clone()
+			cs.g.Consume(ri)
 		}
-		*next = append(*next, cw)
+		res.children = append(res.children, cs)
 	}
-	return created
+	return res
 }
 
 // computeP returns a superset of the options that can rank top-(ℓ+1) for
@@ -193,8 +246,9 @@ func (ix *Index) partitionCell(wk *pbaWork, reg *geom.Region, p []int32,
 // edge, which PBA⁺ children inherit. Dead options (dominator count above
 // τ−ℓ−1) are dropped from the pool permanently. An LP containment test for
 // "u dominates v in this cell" runs only when no interior sample already
-// refutes it.
-func computeP(ix *Index, g *dg.Graph, reg *geom.Region, level int32, samples [][]float64) []int32 {
+// refutes it. LP invocations are tallied into lpCalls (not the shared
+// Stats), so the caller can run many computeP calls concurrently.
+func computeP(ix *Index, g *dg.Graph, reg *geom.Region, level int32, samples [][]float64, lpCalls *int64) []int32 {
 	threshold := int32(ix.Tau) - level - 1
 	g.DropAbove(threshold)
 	frontier := g.Frontier()
@@ -224,7 +278,7 @@ func computeP(ix *Index, g *dg.Graph, reg *geom.Region, level int32, samples [][
 			if refuted {
 				continue
 			}
-			ix.Stats.LPCalls++
+			*lpCalls++
 			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
 				g.AddEdge(u, v)
 				dominated = true

@@ -2,6 +2,7 @@ package index
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 
@@ -12,6 +13,21 @@ import (
 type QueryStats struct {
 	VisitedCells int
 	LPCalls      int
+}
+
+// ctxCheckInterval is how many cell visits a query traversal makes between
+// cancellation checks: frequent enough to abandon a runaway walk quickly,
+// sparse enough that ctx.Err never shows up in profiles.
+const ctxCheckInterval = 64
+
+// checkCtx polls ctx every ctxCheckInterval visits.
+func checkCtx(ctx context.Context, visits int) error {
+	// Poll on the first visit (an already-canceled context aborts before
+	// any real work) and every ctxCheckInterval visits after that.
+	if visits == 1 || visits%ctxCheckInterval == 0 {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // KSPRResult holds the answer to a k-shortlist preference region query:
@@ -29,18 +45,30 @@ type KSPRResult struct {
 // focal cell is found, its entire region qualifies, so the search does not
 // descend below it.
 func (ix *Index) KSPR(k int, focal int32) *KSPRResult {
+	res, _ := ix.KSPRCtx(context.Background(), k, focal)
+	return res
+}
+
+// KSPRCtx is KSPR with cancellation checks between cell visits; it returns
+// the context's error when the traversal is abandoned.
+func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, error) {
 	res := &KSPRResult{}
 	if k > ix.Tau {
 		ix.ensureLevels(k)
 	}
 	seen := make(map[int32]bool)
+	var walkErr error
 	var walk func(id int32)
 	walk = func(id int32) {
-		if seen[id] {
+		if walkErr != nil || seen[id] {
 			return
 		}
 		seen[id] = true
 		res.Stats.VisitedCells++
+		if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
+			walkErr = err
+			return
+		}
 		c := &ix.Cells[id]
 		if c.Opt == focal {
 			res.Cells = append(res.Cells, id)
@@ -54,7 +82,10 @@ func (ix *Index) KSPR(k int, focal int32) *KSPRResult {
 		}
 	}
 	walk(ix.Root())
-	return res
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return res, nil
 }
 
 // UTKPartition is one piece of the level-k partitioning of the UTK query
@@ -78,6 +109,13 @@ type UTKResult struct {
 // level by level, keeping only cells whose region intersects the box, and
 // report the union of top-k options plus the level-k partitioning.
 func (ix *Index) UTK(k int, box geom.Box) *UTKResult {
+	res, _ := ix.UTKCtx(context.Background(), k, box)
+	return res
+}
+
+// UTKCtx is UTK with cancellation checks between cell visits; it returns
+// the context's error when the traversal is abandoned.
+func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, error) {
 	res := &UTKResult{}
 	if k > ix.Tau {
 		ix.ensureLevels(k)
@@ -98,6 +136,9 @@ func (ix *Index) UTK(k int, box geom.Box) *UTKResult {
 				}
 				seen[ch] = true
 				res.Stats.VisitedCells++
+				if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
+					return nil, err
+				}
 				reg := ix.Region(ch)
 				hit := false
 				for _, s := range samples {
@@ -130,7 +171,7 @@ func (ix *Index) UTK(k int, box geom.Box) *UTKResult {
 		res.Partitions = append(res.Partitions, UTKPartition{Cell: id, TopK: r})
 	}
 	res.Options = sortedKeys(optSet)
-	return res
+	return res, nil
 }
 
 // separatedFromBox reports whether one of the region's halfspaces excludes
@@ -229,6 +270,13 @@ func (h *oruHeap) Pop() interface{} {
 // distinct options are collected. Rho is the distance of the last cell
 // whose option completed the result.
 func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
+	res, _ := ix.ORUCtx(context.Background(), k, x, m)
+	return res
+}
+
+// ORUCtx is ORU with cancellation checks between cell visits; it returns
+// the context's error when the traversal is abandoned.
+func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORUResult, error) {
 	res := &ORUResult{}
 	if k > ix.Tau {
 		ix.ensureLevels(k)
@@ -245,6 +293,9 @@ func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
 			continue
 		}
 		res.Stats.VisitedCells++
+		if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
+			return nil, err
+		}
 		c := &ix.Cells[e.cell]
 		if c.Opt != NoOption && int(c.Level) <= k && !optSet[c.Opt] {
 			optSet[c.Opt] = true
@@ -266,7 +317,7 @@ func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
 			heap.Push(h, oruEntry{cell: ch, dist: lb})
 		}
 	}
-	return res
+	return res, nil
 }
 
 // TopK answers a classic top-k point query (type DD) by descending the DAG
@@ -280,6 +331,13 @@ func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
 // (Corollary 1), and the child containing x is precisely the one whose
 // option scores highest at x. Each level is one scan of children's scores.
 func (ix *Index) TopK(x []float64, k int) ([]int32, QueryStats) {
+	out, st, _ := ix.TopKCtx(context.Background(), x, k)
+	return out, st
+}
+
+// TopKCtx is TopK with cancellation checks between cell visits; it returns
+// the context's error when the walk is abandoned.
+func (ix *Index) TopKCtx(ctx context.Context, x []float64, k int) ([]int32, QueryStats, error) {
 	var st QueryStats
 	if k > ix.Tau {
 		ix.ensureLevels(k)
@@ -295,6 +353,9 @@ func (ix *Index) TopK(x []float64, k int) ([]int32, QueryStats) {
 		bestScore := math.Inf(-1)
 		for _, ch := range c.Children {
 			st.VisitedCells++
+			if err := checkCtx(ctx, st.VisitedCells); err != nil {
+				return nil, st, err
+			}
 			if s := geom.Score(ix.Pts[ix.Cells[ch].Opt], x); s > bestScore {
 				best, bestScore = ch, s
 			}
@@ -302,7 +363,7 @@ func (ix *Index) TopK(x []float64, k int) ([]int32, QueryStats) {
 		cur = best
 		out = append(out, ix.Cells[cur].Opt)
 	}
-	return out, st
+	return out, st, nil
 }
 
 func maxViolation(reg *geom.Region, x []float64) float64 {
@@ -320,16 +381,26 @@ func maxViolation(reg *geom.Region, x []float64) float64 {
 // the materialized levels. A breadth-first sweep suffices: the first level
 // containing a cell with the focal option is the answer ([31]).
 func (ix *Index) MaxRank(focal int32) (int, QueryStats) {
+	rank, st, _ := ix.MaxRankCtx(context.Background(), focal)
+	return rank, st
+}
+
+// MaxRankCtx is MaxRank with cancellation checks between cell visits; it
+// returns the context's error when the sweep is abandoned.
+func (ix *Index) MaxRankCtx(ctx context.Context, focal int32) (int, QueryStats, error) {
 	var st QueryStats
 	for l := 1; l <= ix.Tau; l++ {
 		for _, id := range ix.levelCells(l) {
 			st.VisitedCells++
+			if err := checkCtx(ctx, st.VisitedCells); err != nil {
+				return 0, st, err
+			}
 			if ix.Cells[id].Opt == focal {
-				return l, st
+				return l, st, nil
 			}
 		}
 	}
-	return -1, st
+	return -1, st, nil
 }
 
 // WhyNotResult explains why an option is not in a user's top-k (the
@@ -356,6 +427,14 @@ type WhyNotResult struct {
 // reduced weight x, and how far the user's weights must move to change
 // that: the distance from x to the nearest kSPR region of the option.
 func (ix *Index) WhyNot(focal int32, x []float64, k int) *WhyNotResult {
+	res, _ := ix.WhyNotCtx(context.Background(), focal, x, k)
+	return res
+}
+
+// WhyNotCtx is WhyNot with cancellation checks between cell visits and
+// between region projections; it returns the context's error when the
+// query is abandoned.
+func (ix *Index) WhyNotCtx(ctx context.Context, focal int32, x []float64, k int) (*WhyNotResult, error) {
 	res := &WhyNotResult{NearestCell: -1, NearestDist: -1}
 	scoreF := geom.Score(ix.Pts[focal], x)
 	rank := 1
@@ -366,9 +445,15 @@ func (ix *Index) WhyNot(focal int32, x []float64, k int) *WhyNotResult {
 	}
 	res.RankAtW = rank
 	res.InTopK = rank <= k
-	kspr := ix.KSPR(k, focal)
+	kspr, err := ix.KSPRCtx(ctx, k, focal)
+	if err != nil {
+		return nil, err
+	}
 	res.Stats = kspr.Stats
 	for _, id := range kspr.Cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		proj, d := ix.Region(id).Project(x)
 		res.Stats.LPCalls++
 		if res.NearestCell < 0 || d < res.NearestDist {
@@ -379,7 +464,7 @@ func (ix *Index) WhyNot(focal int32, x []float64, k int) *WhyNotResult {
 	if res.InTopK {
 		res.NearestDist = 0
 	}
-	return res
+	return res, nil
 }
 
 // levelCells returns the cell ids at the given level, consulting the

@@ -6,6 +6,11 @@ import (
 	"tlevelindex/internal/skyline"
 )
 
+// ErrExtended reports that an insert was attempted after on-demand level
+// extension; the extension's lazy levels are not maintained incrementally,
+// so updates are rejected until the extension is promoted via ExtendTau.
+var ErrExtended = errors.New("index: cannot insert after on-demand extension")
+
 // InsertOption adds a newly arrived option to a built index, the update
 // path of §6.2 ("For a new arriving option r, IBA inserts it into the
 // τ-LevelIndex accordingly"): the insertion-based machinery classifies the
@@ -19,7 +24,7 @@ func (ix *Index) InsertOption(r []float64) (int32, error) {
 		return -1, errors.New("index: option dimensionality mismatch")
 	}
 	if ix.ext != nil {
-		return -1, errors.New("index: cannot insert after on-demand extension")
+		return -1, ErrExtended
 	}
 	// τ-skyband check against the current filtered pool: if τ options of
 	// the pool dominate r, it can never rank top-τ.

@@ -1,0 +1,57 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 257
+		var hits [n]atomic.Int32
+		ForEach(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	// Per-slot writes must produce identical results for any worker count.
+	const n = 100
+	ref := make([]int, n)
+	ForEach(1, n, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 7, 16} {
+		out := make([]int, n)
+		ForEach(workers, n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0, 10); got != DefaultWorkers() && got != 10 {
+		// Clamp caps at n, so either the default or n is acceptable
+		// depending on GOMAXPROCS.
+		t.Errorf("Clamp(0, 10) = %d", got)
+	}
+	if got := Clamp(8, 3); got != 3 {
+		t.Errorf("Clamp(8, 3) = %d, want 3", got)
+	}
+	if got := Clamp(2, 100); got != 2 {
+		t.Errorf("Clamp(2, 100) = %d, want 2", got)
+	}
+}

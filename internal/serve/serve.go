@@ -2,22 +2,57 @@
 // deployment shape a product team would actually run: build the index once,
 // then answer preference queries from many clients with cheap lookups.
 //
-// Endpoints (all GET):
+// # Endpoints
 //
-//	/topk?w=0.2,0.8&k=5          ranked retrieval at a weight vector
-//	/kspr?focal=3&k=2            regions where an option ranks top-k
-//	/utk?lo=0.3&hi=0.4&k=3       options reachable for a weight region
-//	/oru?w=0.2,0.8&k=2&m=5       m options around approximate weights
-//	/maxrank?focal=3             best achievable rank of an option
-//	/whynot?focal=3&w=0.2,0.8&k=2  why-not explanation with suggestion
-//	/stats                       index shape and construction statistics
+// The API is versioned under /v1/; the bare paths remain as aliases for
+// existing clients. Query endpoints are GET:
 //
-// The index mutates lazily on k > τ queries, so the handler serializes all
-// query execution behind one mutex; HTTP handling itself stays concurrent.
+//	/v1/topk?w=0.2,0.8&k=5          ranked retrieval at a weight vector
+//	/v1/kspr?focal=3&k=2            regions where an option ranks top-k
+//	/v1/utk?lo=0.3&hi=0.4&k=3       options reachable for a weight region
+//	/v1/oru?w=0.2,0.8&k=2&m=5       m options around approximate weights
+//	/v1/maxrank?focal=3             best achievable rank of an option
+//	/v1/whynot?focal=3&w=0.2,0.8&k=2  why-not explanation with suggestion
+//	/v1/stats                       index shape and construction statistics
+//
+// Updates are POST:
+//
+//	/v1/insert                      add an option to the index
+//
+// # JSON envelope
+//
+// Success responses are 200 with an endpoint-specific JSON object; query
+// responses carry the traversal statistics as "visitedCells" and "lpCalls"
+// fields where applicable. Failures are a JSON object {"error": "..."}
+// with the status encoding the cause:
+//
+//	400  malformed parameters, including invalid weight vectors
+//	     (tlevelindex.ErrInvalidWeights)
+//	404  unknown path
+//	405  wrong method for the endpoint
+//	409  insert after on-demand extension (tlevelindex.ErrExtended)
+//	422  k beyond the materialized levels on an index without its full
+//	     dataset (tlevelindex.ErrNeedsFullData)
+//	499  client disconnected mid-query (context canceled)
+//
+// /v1/insert takes {"option": [attr, ...]} and answers {"id": n} where n is
+// the option's dataset id for use as a focal parameter, or -1 when the
+// option was filtered (it can never rank top-τ).
+//
+// # Concurrency
+//
+// Queries whose depth is already materialized are pure lookups and run
+// concurrently under a read lock. A query with larger k mutates the index
+// (on-demand extension), so it briefly takes the write lock, as do
+// /v1/insert and any request that arrives before the depth check can prove
+// read-only access is safe. Handlers honor the request context: a client
+// disconnect cancels the index traversal between cell visits.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -29,28 +64,72 @@ import (
 
 // Handler answers preference queries against one index.
 type Handler struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	ix *tlx.Index
 }
 
-// NewHandler wraps an index. The handler owns query serialization; the
-// caller must not use the index concurrently.
+// NewHandler wraps an index. The handler owns all index synchronization;
+// the caller must not use the index concurrently with the handler.
 func NewHandler(ix *tlx.Index) *Handler {
 	return &Handler{ix: ix}
 }
 
-// Mux returns a ServeMux with every endpoint registered.
+// Mux returns a ServeMux with every endpoint registered under /v1/ and at
+// its bare alias.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/topk", h.handleTopK)
-	mux.HandleFunc("/kspr", h.handleKSPR)
-	mux.HandleFunc("/utk", h.handleUTK)
-	mux.HandleFunc("/oru", h.handleORU)
-	mux.HandleFunc("/maxrank", h.handleMaxRank)
-	mux.HandleFunc("/whynot", h.handleWhyNot)
-	mux.HandleFunc("/stats", h.handleStats)
+	register := func(path string, fn http.HandlerFunc) {
+		mux.HandleFunc("/v1"+path, fn)
+		mux.HandleFunc(path, fn)
+	}
+	register("/topk", get(h.handleTopK))
+	register("/kspr", get(h.handleKSPR))
+	register("/utk", get(h.handleUTK))
+	register("/oru", get(h.handleORU))
+	register("/maxrank", get(h.handleMaxRank))
+	register("/whynot", get(h.handleWhyNot))
+	register("/stats", get(h.handleStats))
+	register("/insert", post(h.handleInsert))
 	return mux
 }
+
+func get(fn http.HandlerFunc) http.HandlerFunc  { return methodOnly(http.MethodGet, fn) }
+func post(fn http.HandlerFunc) http.HandlerFunc { return methodOnly(http.MethodPost, fn) }
+
+func methodOnly(method string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeJSON(w, http.StatusMethodNotAllowed,
+				errorBody{Error: fmt.Sprintf("method %s not allowed", r.Method)})
+			return
+		}
+		fn(w, r)
+	}
+}
+
+// runQuery executes fn with the locking its depth requires: a read lock
+// when every level up to k is already materialized (the query is then a
+// pure lookup and may run alongside other readers), the write lock
+// otherwise (the query extends the index on demand). The depth is
+// re-checked after acquiring the read lock because a concurrent writer may
+// have been mid-extension during the first check.
+func (h *Handler) runQuery(k int, fn func()) {
+	h.mu.RLock()
+	if k <= h.ix.MaxMaterializedLevel() {
+		defer h.mu.RUnlock()
+		fn()
+		return
+	}
+	h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fn()
+}
+
+// statusCanceled is the nonstandard 499 nginx popularized for client
+// disconnects; no stdlib constant exists.
+const statusCanceled = 499
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -67,6 +146,21 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErr maps the public sentinel errors to HTTP statuses; anything
+// unrecognized is a 400 (the remaining failures are all input validation).
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, tlx.ErrExtended):
+		status = http.StatusConflict
+	case errors.Is(err, tlx.ErrNeedsFullData):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = statusCanceled
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 func parseVec(s string) ([]float64, error) {
@@ -111,16 +205,16 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	top, err := h.ix.TopK(wv, k)
-	h.mu.Unlock()
+	var res *tlx.TopKResult
+	h.runQuery(k, func() { res, err = h.ix.TopKContext(r.Context(), wv, k) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Options []int `json:"options"`
-	}{top})
+		Options      []int `json:"options"`
+		VisitedCells int   `json:"visitedCells"`
+	}{res.Options, res.Stats.VisitedCells})
 }
 
 func (h *Handler) handleKSPR(w http.ResponseWriter, r *http.Request) {
@@ -134,11 +228,10 @@ func (h *Handler) handleKSPR(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	res, err := h.ix.KSPR(k, focal)
-	h.mu.Unlock()
+	var res *tlx.KSPRResult
+	h.runQuery(k, func() { res, err = h.ix.KSPRContext(r.Context(), k, focal) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -163,11 +256,10 @@ func (h *Handler) handleUTK(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	res, err := h.ix.UTK(k, lo, hi)
-	h.mu.Unlock()
+	var res *tlx.UTKResult
+	h.runQuery(k, func() { res, err = h.ix.UTKContext(r.Context(), k, lo, hi) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	parts := make([][]int, len(res.Partitions))
@@ -175,9 +267,10 @@ func (h *Handler) handleUTK(w http.ResponseWriter, r *http.Request) {
 		parts[i] = p.TopK
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Options    []int   `json:"options"`
-		Partitions [][]int `json:"partitionTopKSets"`
-	}{res.Options, parts})
+		Options      []int   `json:"options"`
+		Partitions   [][]int `json:"partitionTopKSets"`
+		VisitedCells int     `json:"visitedCells"`
+	}{res.Options, parts, res.Stats.VisitedCells})
 }
 
 func (h *Handler) handleORU(w http.ResponseWriter, r *http.Request) {
@@ -196,17 +289,17 @@ func (h *Handler) handleORU(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	res, err := h.ix.ORU(k, wv, m)
-	h.mu.Unlock()
+	var res *tlx.ORUResult
+	h.runQuery(k, func() { res, err = h.ix.ORUContext(r.Context(), k, wv, m) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Options []int   `json:"options"`
-		Rho     float64 `json:"rho"`
-	}{res.Options, res.Rho})
+		Options      []int   `json:"options"`
+		Rho          float64 `json:"rho"`
+		VisitedCells int     `json:"visitedCells"`
+	}{res.Options, res.Rho, res.Stats.VisitedCells})
 }
 
 func (h *Handler) handleMaxRank(w http.ResponseWriter, r *http.Request) {
@@ -215,16 +308,16 @@ func (h *Handler) handleMaxRank(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	rank, err := h.ix.MaxRank(focal)
-	h.mu.Unlock()
+	var res *tlx.MaxRankResult
+	h.runQuery(0, func() { res, err = h.ix.MaxRankContext(r.Context(), focal) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Rank int `json:"rank"`
-	}{rank})
+		Rank         int `json:"rank"`
+		VisitedCells int `json:"visitedCells"`
+	}{res.Rank, res.Stats.VisitedCells})
 }
 
 func (h *Handler) handleWhyNot(w http.ResponseWriter, r *http.Request) {
@@ -243,18 +336,41 @@ func (h *Handler) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	h.mu.Lock()
-	res, err := h.ix.WhyNot(focal, wv, k)
-	h.mu.Unlock()
+	var res *tlx.WhyNotResult
+	h.runQuery(k, func() { res, err = h.ix.WhyNotContext(r.Context(), focal, wv, k) })
 	if err != nil {
-		badRequest(w, "%v", err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Option []float64 `json:"option"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		badRequest(w, "bad insert body: %v", err)
+		return
+	}
+	if len(body.Option) == 0 {
+		badRequest(w, "missing option attributes")
+		return
+	}
 	h.mu.Lock()
+	id, err := h.ix.Insert(body.Option)
+	h.mu.Unlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID int `json:"id"`
+	}{id})
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
 	body := struct {
 		Tau           int            `json:"tau"`
 		Dim           int            `json:"dim"`
@@ -263,6 +379,6 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		SizeBytes     int64          `json:"sizeBytes"`
 		Build         tlx.BuildStats `json:"build"`
 	}{h.ix.Tau(), h.ix.Dim(), h.ix.NumCells(), h.ix.CellsPerLevel(), h.ix.SizeBytes(), h.ix.Stats()}
-	h.mu.Unlock()
+	h.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -181,5 +182,149 @@ func TestConcurrentQueries(t *testing.T) {
 			}
 		}(g)
 	}
+	wg.Wait()
+}
+
+// TestV1Aliases verifies every endpoint answers identically under /v1/ and
+// at its bare alias.
+func TestV1Aliases(t *testing.T) {
+	srv := newServer(t)
+	paths := []string{
+		"/topk?w=0.18,0.82&k=2",
+		"/kspr?focal=0&k=2",
+		"/utk?lo=0.35&hi=0.45&k=3",
+		"/oru?w=0.3,0.7&k=2&m=3",
+		"/maxrank?focal=4",
+		"/whynot?focal=0&w=0.9,0.1&k=2",
+		"/stats",
+	}
+	for _, p := range paths {
+		if code := getJSON(t, srv.URL+"/v1"+p, nil); code != http.StatusOK {
+			t.Errorf("/v1%s: status %d", p, code)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestInsertEndpoint covers the POST /v1/insert surface: a successful
+// insert, a filtered option, method enforcement, and the 409 mapping of
+// ErrExtended after on-demand extension.
+func TestInsertEndpoint(t *testing.T) {
+	srv := newServer(t)
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.ID != 5 {
+		t.Errorf("inserted id = %d, want 5", ins.ID)
+	}
+	// The new option dominates everything: top-1 everywhere.
+	var top struct {
+		Options []int `json:"options"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/topk?w=0.5,0.5&k=1", &top); code != http.StatusOK {
+		t.Fatal("topk after insert failed")
+	}
+	if len(top.Options) != 1 || top.Options[0] != ins.ID {
+		t.Errorf("top-1 after insert = %v", top.Options)
+	}
+	// A hopeless option is filtered: id -1, no error.
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.01,0.01]}`, &ins); code != http.StatusOK || ins.ID != -1 {
+		t.Errorf("filtered insert: code=%d id=%d", code, ins.ID)
+	}
+	// Malformed bodies are 400.
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":`, nil); code != http.StatusBadRequest {
+		t.Errorf("truncated body: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{}`, nil); code != http.StatusBadRequest {
+		t.Errorf("empty option: status %d", code)
+	}
+	// GET on a POST endpoint is 405, and vice versa.
+	if code := getJSON(t, srv.URL+"/v1/insert", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET insert: status %d", code)
+	}
+	resp, err := http.Post(srv.URL+"/v1/topk?w=0.5,0.5", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST topk: status %d", resp.StatusCode)
+	}
+	// Extend on demand via a deep query, then insert must 409.
+	if code := getJSON(t, srv.URL+"/v1/topk?w=0.5,0.5&k=4", nil); code != http.StatusOK {
+		t.Fatal("deep topk failed")
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.9,0.9]}`, nil); code != http.StatusConflict {
+		t.Errorf("insert after extension: status %d, want 409", code)
+	}
+}
+
+// TestConcurrentReadersAndInserts hammers the handler with concurrent
+// lookups, deep (extending) queries, and inserts; the read/write lock must
+// keep them consistent. Run under -race.
+func TestConcurrentReadersAndInserts(t *testing.T) {
+	srv := newServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				var url string
+				switch g % 3 {
+				case 0:
+					url = srv.URL + "/v1/topk?w=0.18,0.82&k=2"
+				case 1:
+					url = srv.URL + "/v1/kspr?focal=0&k=2"
+				case 2:
+					url = srv.URL + "/v1/maxrank?focal=1"
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d from %s", resp.StatusCode, url)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			body := fmt.Sprintf(`{"option":[0.8,%0.2f]}`, 0.8+float64(i)/100)
+			resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("insert status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
 	wg.Wait()
 }

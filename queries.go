@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/index"
 )
 
 // Halfspace is the closed set {x : A·x ≤ B} in reduced preference
@@ -19,6 +20,22 @@ type Halfspace struct {
 // halfspaces (the simplex bounds are included).
 type Region struct {
 	Halfspaces []Halfspace
+}
+
+// Feasible reports whether the region has nonempty interior-or-boundary in
+// the weight simplex — whether any valid weight vector satisfies all its
+// halfspaces. Regions returned by queries are always feasible; the helper
+// is for regions assembled or tightened by the caller. It runs one
+// feasibility LP (a region with no halfspaces is the whole simplex).
+func (r Region) Feasible() bool {
+	if len(r.Halfspaces) == 0 {
+		return true
+	}
+	reg := geom.NewRegion(len(r.Halfspaces[0].A))
+	for _, h := range r.Halfspaces {
+		reg.Add(geom.Halfspace{A: h.A, B: h.B})
+	}
+	return reg.Feasible()
 }
 
 // Contains reports whether the reduced point x lies in the region.
@@ -46,9 +63,16 @@ func exportRegion(reg *geom.Region) Region {
 	return out
 }
 
-// QueryStats reports traversal effort.
+// QueryStats reports traversal effort — the cells visited during the index
+// walk and the linear programs solved on the way (the paper's Table 5
+// metrics). Every query type exports it.
 type QueryStats struct {
 	VisitedCells int
+	LPCalls      int
+}
+
+func exportStats(s index.QueryStats) QueryStats {
+	return QueryStats{VisitedCells: s.VisitedCells, LPCalls: s.LPCalls}
 }
 
 // KSPRResult answers a k-shortlist preference region query (Problem 2).
@@ -70,17 +94,17 @@ func (ix *Index) KSPR(k, focal int) (*KSPRResult, error) {
 		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
 	}
 	fid := ix.filteredID(focal)
-	if fid < 0 && k > ix.inner.Tau {
+	if fid < 0 && k > ix.inner.MaxMaterializedLevel() {
 		// The option may enter deeper levels; extending refreshes the pool.
 		ix.inner.EnsureLevels(k)
-		ix.origToFiltered = nil
+		ix.idMap.Store(nil)
 		fid = ix.filteredID(focal)
 	}
 	if fid < 0 {
 		return &KSPRResult{}, nil
 	}
 	res := ix.inner.KSPR(k, fid)
-	out := &KSPRResult{Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	out := &KSPRResult{Stats: exportStats(res.Stats)}
 	for _, id := range res.Cells {
 		out.Regions = append(out.Regions, exportRegion(ix.inner.Region(id)))
 	}
@@ -119,7 +143,7 @@ func (ix *Index) UTK(k int, lo, hi []float64) (*UTKResult, error) {
 		}
 	}
 	res := ix.inner.UTK(k, geom.NewBox(lo, hi))
-	out := &UTKResult{Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	out := &UTKResult{Stats: exportStats(res.Stats)}
 	for _, o := range res.Options {
 		out.Options = append(out.Options, ix.origID(o))
 	}
@@ -156,7 +180,7 @@ func (ix *Index) ORU(k int, w []float64, m int) (*ORUResult, error) {
 		return nil, err
 	}
 	res := ix.inner.ORU(k, x, m)
-	out := &ORUResult{Rho: res.Rho, Stats: QueryStats{VisitedCells: res.Stats.VisitedCells}}
+	out := &ORUResult{Rho: res.Rho, Stats: exportStats(res.Stats)}
 	for _, o := range res.Options {
 		out.Options = append(out.Options, ix.origID(o))
 	}
@@ -211,6 +235,9 @@ type WhyNotResult struct {
 	// ranks top-k (nil when none exists). It answers the "how should the
 	// user change their preferences" half of the why-not query.
 	SuggestedW []float64
+	// Stats reports the traversal effort of the underlying kSPR walk plus
+	// the projection LPs.
+	Stats QueryStats
 }
 
 // WhyNot explains why the option is or is not among the user's top-k and
@@ -228,7 +255,8 @@ func (ix *Index) WhyNot(opt int, w []float64, k int) (*WhyNotResult, error) {
 		return &WhyNotResult{Rank: -1, MinShift: -1}, nil
 	}
 	res := ix.inner.WhyNot(fid, x, k)
-	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist}
+	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist,
+		Stats: exportStats(res.Stats)}
 	if res.NearestPoint != nil {
 		out.SuggestedW = geom.Lift(res.NearestPoint)
 	}

@@ -31,10 +31,10 @@
 package tlevelindex
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"tlevelindex/internal/index"
 )
@@ -82,6 +82,7 @@ type buildConfig struct {
 	seed         int64
 	dropFullData bool
 	onion        index.OnionMode
+	workers      int
 }
 
 // WithAlgorithm selects the construction algorithm (default PBAPlus).
@@ -89,6 +90,13 @@ func WithAlgorithm(a Algorithm) Option { return func(c *buildConfig) { c.alg = a
 
 // WithSeed sets the shuffle seed for the IBAR builder.
 func WithSeed(seed int64) Option { return func(c *buildConfig) { c.seed = seed } }
+
+// WithWorkers bounds the number of goroutines used for the LP-heavy phases
+// of construction and on-demand extension. Values below 1 select
+// runtime.GOMAXPROCS(0), the default. The built index is byte-identical for
+// every worker count: parallel phases only compute, and cells are always
+// materialized in a deterministic sequential order.
+func WithWorkers(n int) Option { return func(c *buildConfig) { c.workers = n } }
 
 // WithoutFullData drops the reference to the input dataset after building.
 // The index becomes smaller but queries with k > τ cannot recruit options
@@ -109,11 +117,43 @@ func WithoutOnionFilter() Option { return func(c *buildConfig) { c.onion = index
 type BuildStats = index.BuildStats
 
 // Index is a built τ-LevelIndex over a dataset.
+//
+// # Concurrency
+//
+// Query methods whose depth k stays within the materialized levels (k ≤ τ,
+// or k ≤ the deepest level a previous extension reached) are pure lookups
+// and safe to call from any number of goroutines simultaneously. Methods
+// that mutate the index — Insert, ExtendTau, EnsureLevels, and any query
+// with k beyond the materialized depth (it extends on demand) — require
+// exclusive access; the serve package arranges this with a read/write lock.
 type Index struct {
 	inner *index.Index
-	// origToFiltered maps dataset indices to internal filtered ids; rebuilt
-	// lazily because on-demand extension can grow the filtered set.
-	origToFiltered map[int]int32
+	// idMap memoizes the dataset-index → filtered-id mapping. It is an
+	// atomic pointer so concurrent readers share one published map: a
+	// rebuild stores a fresh map and never mutates a visible one.
+	idMap atomic.Pointer[idMapping]
+	// nextExternal is the dataset id the next externally inserted option
+	// receives; cached so Insert need not rescan OrigIDs.
+	nextExternal int
+}
+
+// idMapping is one immutable published version of the id memo, keyed by the
+// filtered-pool size it was derived from (the pool only ever grows).
+type idMapping struct {
+	n int
+	m map[int]int32
+}
+
+// newIndex wraps an internal index and primes the external-id counter past
+// every dataset id in use.
+func newIndex(inner *index.Index) *Index {
+	ix := &Index{inner: inner, nextExternal: inner.Stats.InputOptions}
+	for _, o := range inner.OrigIDs {
+		if o >= ix.nextExternal {
+			ix.nextExternal = o + 1
+		}
+	}
+	return ix
 }
 
 // Build constructs a τ-LevelIndex over data (options as rows, attributes as
@@ -130,11 +170,12 @@ func Build(data [][]float64, tau int, opts ...Option) (*Index, error) {
 		Seed:         cfg.seed,
 		DropFullData: cfg.dropFullData,
 		Onion:        cfg.onion,
+		Workers:      cfg.workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner}, nil
+	return newIndex(inner), nil
 }
 
 // Tau returns the number of precomputed levels.
@@ -172,21 +213,38 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{inner: inner}, nil
+	return newIndex(inner), nil
 }
+
+// Workers returns the worker bound used for parallel phases (see
+// WithWorkers); 0 means the runtime default is selected at use time.
+func (ix *Index) Workers() int { return ix.inner.Workers() }
+
+// MaxMaterializedLevel returns the deepest level that is already built —
+// τ, or further if an earlier k > τ query extended the index on demand.
+// Queries with k up to this depth are pure lookups and safe to run
+// concurrently.
+func (ix *Index) MaxMaterializedLevel() int { return ix.inner.MaxMaterializedLevel() }
+
+// HasFullData reports whether the index retains a reference to the full
+// dataset, which on-demand extension needs to recruit options beyond the
+// τ-skyband. It is false after ReadIndex or a WithoutFullData build.
+func (ix *Index) HasFullData() bool { return ix.inner.HasFullData() }
 
 // filteredID resolves a dataset index to the internal filtered id, or -1
 // when the option was filtered out (it cannot rank within the materialized
 // depth anywhere in preference space).
 func (ix *Index) filteredID(orig int) int32 {
-	if ix.origToFiltered == nil || len(ix.origToFiltered) != len(ix.inner.OrigIDs) {
+	mp := ix.idMap.Load()
+	if mp == nil || mp.n != len(ix.inner.OrigIDs) {
 		m := make(map[int]int32, len(ix.inner.OrigIDs))
 		for fid, o := range ix.inner.OrigIDs {
 			m[o] = int32(fid)
 		}
-		ix.origToFiltered = m
+		mp = &idMapping{n: len(ix.inner.OrigIDs), m: m}
+		ix.idMap.Store(mp) // racing rebuilds publish equivalent maps
 	}
-	if fid, ok := ix.origToFiltered[orig]; ok {
+	if fid, ok := mp.m[orig]; ok {
 		return fid
 	}
 	return -1
@@ -195,19 +253,20 @@ func (ix *Index) filteredID(orig int) int32 {
 func (ix *Index) origID(fid int32) int { return ix.inner.OrigIDs[fid] }
 
 // reduce validates a full weight vector and returns reduced coordinates.
+// Every validation failure wraps ErrInvalidWeights.
 func (ix *Index) reduce(w []float64) ([]float64, error) {
 	if len(w) != ix.inner.Dim {
-		return nil, fmt.Errorf("tlevelindex: weight vector has %d entries, want %d", len(w), ix.inner.Dim)
+		return nil, fmt.Errorf("%w: has %d entries, want %d", ErrInvalidWeights, len(w), ix.inner.Dim)
 	}
 	sum := 0.0
 	for _, v := range w {
 		if v < -1e-9 {
-			return nil, errors.New("tlevelindex: negative weight")
+			return nil, fmt.Errorf("%w: negative weight", ErrInvalidWeights)
 		}
 		sum += v
 	}
 	if math.Abs(sum-1) > 1e-6 {
-		return nil, fmt.Errorf("tlevelindex: weights sum to %v, want 1", sum)
+		return nil, fmt.Errorf("%w: weights sum to %v, want 1", ErrInvalidWeights, sum)
 	}
 	return append([]float64(nil), w[:len(w)-1]...), nil
 }
@@ -216,30 +275,28 @@ func (ix *Index) reduce(w []float64) ([]float64, error) {
 // path) and returns its id for use as a query argument: the index of the
 // option in the (conceptually appended) dataset. Options that cannot rank
 // top-τ anywhere are filtered and return -1 with a nil error; the index is
-// unchanged. Insert is not available after a k > τ query has extended the
-// index on demand — rebuild instead, as the paper recommends for bulk
-// changes.
+// unchanged. Insert returns ErrExtended after a k > τ query has extended
+// the index on demand — promote with ExtendTau or rebuild instead, as the
+// paper recommends for bulk changes. Insert requires exclusive access to
+// the index.
 func (ix *Index) Insert(option []float64) (int, error) {
 	fid, err := ix.inner.InsertOption(option)
 	if err != nil || fid < 0 {
-		return -1, err
+		return -1, mapErr(err)
+	}
+	// An exact duplicate resolves to the already-represented option; keep
+	// its id. Overwriting the mapping would orphan the old dataset id and
+	// make a later pool refresh re-recruit the same point as a new option.
+	if ix.inner.OrigIDs[fid] >= 0 {
+		return ix.origID(fid), nil
 	}
 	// Externally inserted options get fresh dataset ids past the original
 	// input; record the mapping so queries can address them.
-	id := ix.nextExternalID()
+	id := ix.nextExternal
+	ix.nextExternal++
 	ix.inner.OrigIDs[fid] = id
-	ix.origToFiltered = nil
+	ix.idMap.Store(nil)
 	return id, nil
-}
-
-func (ix *Index) nextExternalID() int {
-	max := ix.inner.Stats.InputOptions - 1
-	for _, o := range ix.inner.OrigIDs {
-		if o > max {
-			max = o
-		}
-	}
-	return max + 1
 }
 
 // ExtendTau deepens the index to newTau levels permanently — the paper's
@@ -248,7 +305,7 @@ func (ix *Index) ExtendTau(newTau int) error {
 	if err := ix.inner.ExtendTau(newTau); err != nil {
 		return err
 	}
-	ix.origToFiltered = nil
+	ix.idMap.Store(nil)
 	return nil
 }
 
