@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench lvbench
+.PHONY: ci vet fmt-check build test race bench lvbench fuzz-smoke
 
-ci: vet fmt-check build race
+ci: vet fmt-check build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Short fuzz runs over the two parsers that face crash-damaged or hostile
+# bytes: the WAL segment reader and the index deserializer.
+fuzz-smoke:
+	$(GO) test ./internal/store -run xxx -fuzz FuzzWALReplay -fuzztime 10s
+	$(GO) test ./internal/index -run xxx -fuzz FuzzReadIndex -fuzztime 10s
 
 lvbench:
 	$(GO) run ./cmd/lvbench -exp all -scale small

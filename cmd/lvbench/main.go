@@ -119,6 +119,7 @@ var experiments = []struct {
 	{"topk", "top-k point query: LevelIndex vs BRS (§7.3)", expTopK},
 	{"ablation", "design-choice ablations (DESIGN.md §9)", expAblation},
 	{"parallel", "parallel build speedup and determinism vs worker count", expParallel},
+	{"persist", "durability overhead: WAL fsync per insert, snapshot, recovery", expPersist},
 }
 
 // workersFlag is the -workers value, threaded into every build the

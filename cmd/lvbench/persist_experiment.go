@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/datagen"
+	"tlevelindex/internal/store"
+)
+
+// expPersist measures what durability costs on top of the in-memory index:
+// per-insert latency with and without the WAL fsync, WAL bytes per accepted
+// insert, snapshot latency and size, and cold-start recovery time after a
+// clean stop (no replay) versus after a simulated crash (full WAL replay).
+// Fsync latency is hardware-bound, so absolute numbers vary wildly between
+// laptops and servers; the shape to look for is that the durable insert is
+// fsync-dominated while recovery stays proportional to replayed records.
+func expPersist(sc scale) {
+	// d=2 keeps the insert itself cheap (the d≥3 LP cost would drown the
+	// fsync being measured); the WAL/snapshot machinery is d-agnostic.
+	n, d, tau := sc.defaultN, 2, sc.defaultTau
+	data := datagen.Generate(datagen.IND, n, d, 9)
+	const inserts = 64
+	// Bias the insert batch toward the top corner so the τ-skyband filter
+	// accepts (and therefore logs) essentially all of it.
+	batch := datagen.Generate(datagen.IND, inserts, d, 10)
+	for _, opt := range batch {
+		for i := range opt {
+			opt[i] = 0.8 + 0.2*opt[i]
+		}
+	}
+	fmt.Printf("-- durability overhead (IND, n=%d, d=%d, τ=%d, %d inserts) --\n",
+		n, d, tau, inserts)
+
+	// In-memory baseline.
+	ref, err := tlx.Build(data, tau, tlx.WithSeed(7), tlx.WithWorkers(workersFlag))
+	if err != nil {
+		panic(fmt.Sprintf("lvbench: build failed: %v", err))
+	}
+	memPer, accepted := timeInserts(batch, ref.Insert)
+
+	// Durable path: every accepted insert is WAL-appended and fsync'd
+	// before Insert returns.
+	dir, err := os.MkdirTemp("", "lvbench-persist-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	liveDir := filepath.Join(dir, "live")
+	st, err := store.Open(store.Options{Dir: liveDir}, func() (*tlx.Index, error) {
+		return tlx.Build(data, tau, tlx.WithSeed(7), tlx.WithWorkers(workersFlag))
+	})
+	if err != nil {
+		panic(fmt.Sprintf("lvbench: store open failed: %v", err))
+	}
+	durPer, _ := timeInserts(batch, st.Insert)
+	status := st.Status()
+	var walPerRec int64
+	if status.WALRecords > 0 {
+		walPerRec = status.WALBytes / int64(status.WALRecords)
+	}
+
+	// Freeze the crashed state (snapshot at LSN 0 plus the full WAL) by
+	// copying the directory before the snapshot below drains the log.
+	crashDir := filepath.Join(dir, "crashed")
+	copyDataDir(liveDir, crashDir)
+	replayRecs := status.WALRecords
+
+	info, err := st.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("lvbench: snapshot failed: %v", err))
+	}
+	if err := st.Close(); err != nil {
+		panic(fmt.Sprintf("lvbench: close failed: %v", err))
+	}
+
+	cleanDur, cleanStat := timeRecovery(liveDir)
+	crashDur, crashStat := timeRecovery(crashDir)
+	if int(crashStat.AppliedLSN) != replayRecs || crashStat.RecordsReplayed != replayRecs {
+		panic(fmt.Sprintf("lvbench: crash recovery replayed %d of %d records",
+			crashStat.RecordsReplayed, replayRecs))
+	}
+
+	fmt.Printf("  %d of %d inserts accepted by the τ-skyband filter (means below are over accepted inserts)\n",
+		accepted, inserts)
+	printTable([]string{"metric", "value"}, [][]string{
+		{"insert, in-memory (mean)", fmtDur(memPer)},
+		{"insert, durable WAL+fsync (mean)", fmtDur(durPer)},
+		{"durability overhead per insert", fmtDur(maxDur(durPer-memPer, 0))},
+		{"WAL bytes per accepted insert", fmt.Sprintf("%d B", walPerRec)},
+		{"snapshot latency", fmt.Sprintf("%.1f ms", info.TookMs)},
+		{"snapshot size", fmt.Sprintf("%d B", info.Bytes)},
+		{"recovery, clean stop (0 replayed)", fmtDur(cleanDur)},
+		{fmt.Sprintf("recovery, crash (%d replayed)", replayRecs), fmtDur(crashDur)},
+	})
+	if cleanStat.RecordsReplayed != 0 {
+		fmt.Printf("  WARNING: clean recovery replayed %d records\n", cleanStat.RecordsReplayed)
+	}
+}
+
+// timeInserts runs the batch through insert and returns the mean latency of
+// the accepted inserts (the filtered ones never touch the WAL, so they
+// would dilute the fsync being measured) and how many were accepted.
+func timeInserts(batch [][]float64, insert func([]float64) (int, error)) (time.Duration, int) {
+	var total time.Duration
+	accepted := 0
+	for _, opt := range batch {
+		start := time.Now()
+		id, err := insert(opt)
+		dur := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("lvbench: insert failed: %v", err))
+		}
+		if id >= 0 {
+			total += dur
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		return 0, 0
+	}
+	return total / time.Duration(accepted), accepted
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// timeRecovery opens the store in dir (no builder: disk state only) and
+// reports how long the cold start took.
+func timeRecovery(dir string) (time.Duration, store.Status) {
+	start := time.Now()
+	s, err := store.Open(store.Options{Dir: dir}, nil)
+	if err != nil {
+		panic(fmt.Sprintf("lvbench: recovery from %s failed: %v", dir, err))
+	}
+	dur := time.Since(start)
+	stat := s.Status()
+	if err := s.Close(); err != nil {
+		panic(fmt.Sprintf("lvbench: close failed: %v", err))
+	}
+	return dur, stat
+}
+
+// copyDataDir clones a store directory file by file, preserving the exact
+// bytes fsync made durable — the bench's stand-in for a crash image.
+func copyDataDir(src, dst string) {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		panic(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range entries {
+		blob, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), blob, 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

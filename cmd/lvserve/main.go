@@ -8,46 +8,128 @@
 //	curl 'localhost:8080/topk?w=0.18,0.82&k=2'
 //	curl 'localhost:8080/kspr?focal=0&k=2'
 //	curl 'localhost:8080/stats'
+//
+// With -data-dir the index is durable: accepted inserts are written to a
+// CRC-checked write-ahead log and fsync'd before the HTTP 200, snapshots
+// are taken automatically (and on demand via POST /v1/admin/snapshot), and
+// a restart recovers the index from disk — -in is then only needed for the
+// very first start, to seed the directory:
+//
+//	lvserve -in hotels.txt -tau 10 -data-dir /var/lib/lvserve
+//	curl -X POST -d '{"option":[0.95,0.95]}' localhost:8080/v1/insert
+//	curl localhost:8080/v1/admin/status
+//
+// SIGINT/SIGTERM trigger a graceful stop: in-flight requests drain (bounded
+// by -drain) and, in durable mode, a final snapshot is written so the next
+// start replays nothing.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	tlx "tlevelindex"
 	"tlevelindex/internal/dataio"
 	"tlevelindex/internal/serve"
+	"tlevelindex/internal/store"
 )
 
 func main() {
-	in := flag.String("in", "", "input dataset path (required)")
+	in := flag.String("in", "", "input dataset path (required unless -data-dir already holds an index)")
 	tau := flag.Int("tau", 10, "index levels")
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durable store directory (empty: memory-only, inserts lost on exit)")
+	snapBytes := flag.Int64("snapshot-bytes", 4<<20, "auto-snapshot after this many WAL bytes (durable mode; <=0 disables)")
+	snapRecords := flag.Int("snapshot-records", 1024, "auto-snapshot after this many WAL records (durable mode; <=0 disables)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
-	if *in == "" {
-		fatal(fmt.Errorf("-in is required"))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// The builder is only invoked when the data directory is empty (or in
+	// memory-only mode); a recovered start never re-reads the dataset.
+	build := func() (*tlx.Index, error) {
+		if *in == "" {
+			return nil, fmt.Errorf("-in is required to seed an empty index")
+		}
+		data, err := dataio.ReadFile(*in)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		ix, err := tlx.Build(data, *tau)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("indexed %d options (tau=%d, %d cells) in %v\n",
+			len(data), ix.Tau(), ix.NumCells(), time.Since(start))
+		return ix, nil
 	}
-	data, err := dataio.ReadFile(*in)
-	if err != nil {
-		fatal(err)
+
+	var handler *serve.Handler
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:             *dataDir,
+			SnapshotBytes:   *snapBytes,
+			SnapshotRecords: *snapRecords,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Printf(format+"\n", args...)
+			},
+		}, build)
+		if err != nil {
+			fatal(err)
+		}
+		status := st.Status()
+		fmt.Printf("recovered from %s (lsn %d, %d records replayed)\n",
+			status.RecoveredFrom, status.AppliedLSN, status.RecordsReplayed)
+		handler = serve.NewStoreHandler(st)
+	} else {
+		ix, err := build()
+		if err != nil {
+			fatal(err)
+		}
+		handler = serve.NewHandler(ix)
 	}
-	start := time.Now()
-	ix, err := tlx.Build(data, *tau)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("indexed %d options (tau=%d, %d cells) in %v; listening on %s\n",
-		len(data), ix.Tau(), ix.NumCells(), time.Since(start), *addr)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandler(ix).Mux(),
+		Handler:           handler.Mux(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills us
+		fmt.Println("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvserve: drain:", err)
+		}
+		if st != nil {
+			// Close takes a final snapshot, so a clean stop replays nothing
+			// on the next start.
+			if err := st.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

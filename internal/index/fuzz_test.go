@@ -20,6 +20,7 @@ func FuzzReadIndex(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	f.Add(writeLegacyX1(ix))
 	f.Add([]byte("TLVLIDX1 not really"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, blob []byte) {

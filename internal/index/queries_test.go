@@ -390,7 +390,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 		t.Error("expected error for garbage input")
 	}
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	buf.Write(magicX2[:])
 	buf.Write(make([]byte, 4)) // dim = 0
 	if _, err := Read(&buf); err == nil {
 		t.Error("expected error for truncated/invalid header")

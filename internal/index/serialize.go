@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -13,24 +15,39 @@ import (
 // options and the implicit cells (level, option, edges, bounding set). The
 // full dataset is not serialized; a loaded index answers queries up to τ.
 // The byte size of this encoding is the "index size" metric of Figure 10.
+//
+// Two on-disk versions exist. The current X2 format adds the input-dataset
+// cardinality (so a loaded index assigns the same external ids to later
+// inserts as the index it was saved from — the durable store replays its
+// WAL against snapshots and needs that determinism) and a trailing CRC32
+// (IEEE) over every preceding byte, magic included, so corruption is
+// detected instead of loading garbage. The legacy X1 format (no cardinality
+// field, no checksum) is still read.
 
-var magic = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '1'}
+var (
+	magicX1 = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '1'}
+	magicX2 = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '2'}
+)
 
 // ErrBadFormat reports a corrupt or foreign stream.
 var ErrBadFormat = errors.New("index: bad serialization format")
 
-// WriteTo serializes the index. It returns the number of bytes written.
+// WriteTo serializes the index in the X2 format. It returns the number of
+// bytes written, checksum footer included.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	cw := &countWriter{w: bw, h: crc32.NewIEEE()}
 	put := func(v int32) error { return binary.Write(cw, binary.LittleEndian, v) }
-	if _, err := cw.Write(magic[:]); err != nil {
+	if _, err := cw.Write(magicX2[:]); err != nil {
 		return cw.n, err
 	}
 	if err := put(int32(ix.Dim)); err != nil {
 		return cw.n, err
 	}
 	if err := put(int32(ix.Tau)); err != nil {
+		return cw.n, err
+	}
+	if err := put(int32(ix.Stats.InputOptions)); err != nil {
 		return cw.n, err
 	}
 	if err := put(int32(len(ix.Pts))); err != nil {
@@ -76,6 +93,10 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
+	sum := cw.h.Sum32()
+	if err := binary.Write(cw, binary.LittleEndian, sum); err != nil {
+		return cw.n, err
+	}
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
@@ -85,27 +106,57 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 type countWriter struct {
 	w io.Writer
 	n int64
+	h hash.Hash32
 }
 
 func (c *countWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	c.h.Write(p[:n]) // hash.Hash Write never fails
 	return n, err
 }
 
-// Read deserializes an index previously written with WriteTo.
+// Read deserializes an index previously written with WriteTo, accepting
+// both the current X2 stream and the legacy X1 stream. Every failure —
+// foreign magic, structural corruption, truncation, checksum mismatch —
+// reports ErrBadFormat.
 func Read(r io.Reader) (*Index, error) {
+	ix, err := readIndex(r)
+	if err != nil && !errors.Is(err, ErrBadFormat) {
+		// Truncations surface as io.EOF / io.ErrUnexpectedEOF from the
+		// decoder; fold them into the sentinel so callers need one check.
+		err = fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func readIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, err
 	}
-	if m != magic {
+	var (
+		src     io.Reader = br
+		h       hash.Hash32
+		withCRC bool
+	)
+	switch m {
+	case magicX1:
+	case magicX2:
+		withCRC = true
+		h = crc32.NewIEEE()
+		h.Write(m[:])
+		src = io.TeeReader(br, h)
+	default:
 		return nil, ErrBadFormat
 	}
 	get := func() (int32, error) {
 		var v int32
-		err := binary.Read(br, binary.LittleEndian, &v)
+		err := binary.Read(src, binary.LittleEndian, &v)
 		return v, err
 	}
 	dim, err := get()
@@ -119,6 +170,15 @@ func Read(r io.Reader) (*Index, error) {
 	if dim < 2 || tau < 1 || dim > 1<<20 || tau > 1<<20 {
 		return nil, ErrBadFormat
 	}
+	inputOptions := int32(0)
+	if withCRC {
+		if inputOptions, err = get(); err != nil {
+			return nil, err
+		}
+		if inputOptions < 0 {
+			return nil, ErrBadFormat
+		}
+	}
 	nOpts, err := get()
 	if err != nil {
 		return nil, err
@@ -127,6 +187,7 @@ func Read(r io.Reader) (*Index, error) {
 		return nil, ErrBadFormat
 	}
 	ix := &Index{Dim: int(dim), Tau: int(tau)}
+	ix.Stats.InputOptions = int(inputOptions)
 	ix.Pts = make([][]float64, nOpts)
 	ix.OrigIDs = make([]int, nOpts)
 	for i := int32(0); i < nOpts; i++ {
@@ -138,7 +199,7 @@ func Read(r io.Reader) (*Index, error) {
 		p := make([]float64, dim)
 		for k := range p {
 			var bits uint64
-			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			if err := binary.Read(src, binary.LittleEndian, &bits); err != nil {
 				return nil, err
 			}
 			p[k] = math.Float64frombits(bits)
@@ -184,6 +245,17 @@ func Read(r io.Reader) (*Index, error) {
 		}
 		if nilFlag == 1 {
 			c.Bound = nil
+		}
+	}
+	if withCRC {
+		// The footer is read from the raw stream: it must not feed the hash.
+		sum := h.Sum32()
+		var got uint32
+		if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+			return nil, err
+		}
+		if got != sum {
+			return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadFormat, got, sum)
 		}
 	}
 	ix.rebuildLevels()

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// writeLegacyX1 produces the footerless X1 stream by hand; the reader must
+// keep accepting it forever, so the test pins the legacy layout
+// independently of the production writer.
+func writeLegacyX1(ix *Index) []byte {
+	var buf bytes.Buffer
+	put := func(v int32) { binary.Write(&buf, binary.LittleEndian, v) }
+	buf.Write(magicX1[:])
+	put(int32(ix.Dim))
+	put(int32(ix.Tau))
+	put(int32(len(ix.Pts)))
+	for i, p := range ix.Pts {
+		put(int32(ix.OrigIDs[i]))
+		for _, v := range p {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(v))
+		}
+	}
+	put(int32(len(ix.Cells)))
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		put(c.Level)
+		put(c.Opt)
+		for _, lst := range [][]int32{c.Parents, c.Children, c.Bound} {
+			put(int32(len(lst)))
+			for _, v := range lst {
+				put(v)
+			}
+		}
+		nilFlag := int32(0)
+		if c.Bound == nil {
+			nilFlag = 1
+		}
+		put(nilFlag)
+	}
+	return buf.Bytes()
+}
+
+func TestReadLegacyX1Stream(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ix := buildOrFail(t, randData(rng, 18, 3), Config{Algorithm: PBAPlus, Tau: 3})
+	got, err := Read(bytes.NewReader(writeLegacyX1(ix)))
+	if err != nil {
+		t.Fatalf("X1 stream rejected: %v", err)
+	}
+	if got.Dim != ix.Dim || got.Tau != ix.Tau || len(got.Cells) != len(ix.Cells) {
+		t.Errorf("X1 roundtrip shape: d=%d τ=%d cells=%d", got.Dim, got.Tau, len(got.Cells))
+	}
+	if !reflect.DeepEqual(got.Pts, ix.Pts) || !reflect.DeepEqual(got.OrigIDs, ix.OrigIDs) {
+		t.Error("X1 roundtrip changed the option pool")
+	}
+	// X1 has no cardinality field: legacy semantics (0) apply.
+	if got.Stats.InputOptions != 0 {
+		t.Errorf("X1 InputOptions = %d, want 0", got.Stats.InputOptions)
+	}
+}
+
+func TestInputOptionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ix := buildOrFail(t, randData(rng, 25, 3), Config{Algorithm: PBAPlus, Tau: 2})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.InputOptions != 25 {
+		t.Errorf("InputOptions = %d, want 25", got.Stats.InputOptions)
+	}
+}
+
+// TestReadTruncatedX2 demands the sentinel, not just any error: every
+// truncation point must surface as ErrBadFormat.
+func TestReadTruncatedX2(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ix := buildOrFail(t, randData(rng, 15, 3), Config{Algorithm: PBAPlus, Tau: 2})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for cut := 0; cut < len(blob); cut++ {
+		_, err := Read(bytes.NewReader(blob[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded", cut, len(blob))
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation at %d: error %v does not wrap ErrBadFormat", cut, err)
+		}
+	}
+}
+
+// TestReadBitFlippedX2: the CRC32 footer must catch any single-bit
+// corruption that the structural checks let through.
+func TestReadBitFlippedX2(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	ix := buildOrFail(t, randData(rng, 15, 3), Config{Algorithm: PBAPlus, Tau: 2})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for pos := 0; pos < len(blob); pos++ {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 1 << uint(pos%8)
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d loaded garbage", pos)
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("bit flip at byte %d: error %v does not wrap ErrBadFormat", pos, err)
+		}
+	}
+}

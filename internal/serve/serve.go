@@ -39,6 +39,21 @@
 // the option's dataset id for use as a focal parameter, or -1 when the
 // option was filtered (it can never rank top-τ).
 //
+// # Durability
+//
+// A handler constructed with NewStoreHandler serves a store-backed index:
+// accepted inserts are appended to a write-ahead log and fsync'd before the
+// 200 is written, and two admin endpoints manage the durable state:
+//
+//	POST /v1/admin/snapshot         capture the index durably now
+//	GET  /v1/admin/status           applied/snapshot LSNs, WAL length,
+//	                                records replayed at recovery
+//
+// Admin endpoints exist only in store-backed mode; a memory-only handler
+// answers 404 for them. A snapshot request against an index holding
+// on-demand extension state is refused with 409 (tlevelindex.ErrExtended),
+// mirroring the insert rule.
+//
 // # Concurrency
 //
 // Queries whose depth is already materialized are pure lookups and run
@@ -60,18 +75,29 @@ import (
 	"sync"
 
 	tlx "tlevelindex"
+	"tlevelindex/internal/store"
 )
 
 // Handler answers preference queries against one index.
 type Handler struct {
-	mu sync.RWMutex
+	mu *sync.RWMutex
 	ix *tlx.Index
+	st *store.Store // nil in memory-only mode
 }
 
-// NewHandler wraps an index. The handler owns all index synchronization;
-// the caller must not use the index concurrently with the handler.
+// NewHandler wraps an index in a memory-only handler: inserts are accepted
+// but lost on restart. The handler owns all index synchronization; the
+// caller must not use the index concurrently with the handler.
 func NewHandler(ix *tlx.Index) *Handler {
-	return &Handler{ix: ix}
+	return &Handler{mu: new(sync.RWMutex), ix: ix}
+}
+
+// NewStoreHandler serves a store-backed index: inserts go through the
+// store's write-ahead log (fsync before the 200), and the admin endpoints
+// are registered. The handler shares the store's lock, so the store's
+// background snapshotter and the query handlers stay mutually consistent.
+func NewStoreHandler(st *store.Store) *Handler {
+	return &Handler{mu: st.Mutex(), ix: st.Index(), st: st}
 }
 
 // Mux returns a ServeMux with every endpoint registered under /v1/ and at
@@ -90,6 +116,10 @@ func (h *Handler) Mux() *http.ServeMux {
 	register("/whynot", get(h.handleWhyNot))
 	register("/stats", get(h.handleStats))
 	register("/insert", post(h.handleInsert))
+	if h.st != nil {
+		register("/admin/snapshot", post(h.handleSnapshot))
+		register("/admin/status", get(h.handleStatus))
+	}
 	return mux
 }
 
@@ -357,9 +387,19 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing option attributes")
 		return
 	}
-	h.mu.Lock()
-	id, err := h.ix.Insert(body.Option)
-	h.mu.Unlock()
+	var (
+		id  int
+		err error
+	)
+	if h.st != nil {
+		// The store locks internally and fsyncs the WAL record before
+		// returning: the 200 below is the durability acknowledgement.
+		id, err = h.st.Insert(body.Option)
+	} else {
+		h.mu.Lock()
+		id, err = h.ix.Insert(body.Option)
+		h.mu.Unlock()
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -367,6 +407,19 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		ID int `json:"id"`
 	}{id})
+}
+
+func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := h.st.Snapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.st.Status())
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/store"
+)
+
+// newStoreServer opens (or recovers) a store in dir and serves it. The
+// builder only runs on a fresh directory; restarts recover from disk.
+func newStoreServer(t *testing.T, dir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Logf: t.Logf}, func() (*tlx.Index, error) {
+		return tlx.Build(hotels, 3)
+	})
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(NewStoreHandler(st).Mux())
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+// TestInsertSurvivesRestart is the end-to-end durability contract: an
+// insert acknowledged over HTTP must be visible — under the same external
+// id — from a handler rebuilt out of the data directory alone.
+func TestInsertSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, st := newStoreServer(t, dir)
+
+	var ins struct {
+		ID int `json:"id"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, &ins); code != 200 {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.ID != 5 {
+		t.Fatalf("inserted id = %d, want 5", ins.ID)
+	}
+	// Simulate a process restart: drop the handler and store, reopen from
+	// the directory with no builder (nothing in memory survives).
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(store.Options{Dir: dir, Logf: t.Logf}, nil)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer st2.Close()
+	srv2 := httptest.NewServer(NewStoreHandler(st2).Mux())
+	defer srv2.Close()
+
+	var top struct {
+		Options []int `json:"options"`
+	}
+	if code := getJSON(t, srv2.URL+"/v1/topk?w=0.5,0.5&k=1", &top); code != 200 {
+		t.Fatalf("topk after restart: status %d", code)
+	}
+	if len(top.Options) != 1 || top.Options[0] != ins.ID {
+		t.Errorf("top-1 after restart = %v, want [%d]", top.Options, ins.ID)
+	}
+	// Ids keep advancing from the recovered high-water mark.
+	if code := postJSON(t, srv2.URL+"/v1/insert", `{"option":[0.97,0.96]}`, &ins); code != 200 || ins.ID != 6 {
+		t.Errorf("post-restart insert: code=%d id=%d, want 200/6", code, ins.ID)
+	}
+}
+
+// TestAdminEndpoints covers /v1/admin/status and /v1/admin/snapshot in
+// store-backed mode: status reflects WAL growth, snapshot drains it, and an
+// extended index refuses to snapshot with 409.
+func TestAdminEndpoints(t *testing.T) {
+	srv, _ := newStoreServer(t, t.TempDir())
+
+	var status struct {
+		AppliedLSN  uint64 `json:"appliedLsn"`
+		SnapshotLSN uint64 `json:"snapshotLsn"`
+		WALRecords  int    `json:"walRecords"`
+		ReadOnly    bool   `json:"readOnly"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/status", &status); code != 200 {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	if status.AppliedLSN != 0 || status.WALRecords != 0 || status.ReadOnly {
+		t.Errorf("fresh status: %+v", status)
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, nil); code != 200 {
+		t.Fatal("insert failed")
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/status", &status); code != 200 || status.WALRecords != 1 {
+		t.Errorf("status after insert: code=%d %+v", code, status)
+	}
+
+	var snap struct {
+		LSN      uint64 `json:"lsn"`
+		Bytes    int64  `json:"bytes"`
+		UpToDate bool   `json:"upToDate"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", &snap); code != 200 {
+		t.Fatalf("snapshot endpoint: %d", code)
+	}
+	if snap.LSN != 1 || snap.UpToDate || snap.Bytes == 0 {
+		t.Errorf("snapshot info: %+v", snap)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/status", &status); code != 200 || status.WALRecords != 0 || status.SnapshotLSN != 1 {
+		t.Errorf("status after snapshot: %+v", status)
+	}
+	// An idle repeat is up to date.
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", &snap); code != 200 || !snap.UpToDate {
+		t.Errorf("idle snapshot: code=%d %+v", code, snap)
+	}
+	// GET on the snapshot endpoint is 405.
+	if code := getJSON(t, srv.URL+"/v1/admin/snapshot", nil); code != 405 {
+		t.Errorf("GET snapshot: status %d, want 405", code)
+	}
+	// Extend on demand via a deep query; snapshot must then 409.
+	if code := getJSON(t, srv.URL+"/v1/topk?w=0.5,0.5&k=5", nil); code != 200 {
+		t.Fatal("deep topk failed")
+	}
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", nil); code != 409 {
+		t.Errorf("snapshot of extended index: status %d, want 409", code)
+	}
+}
+
+// TestAdminHiddenInMemoryMode: a memory-only handler must not expose the
+// admin surface at all.
+func TestAdminHiddenInMemoryMode(t *testing.T) {
+	srv := newServer(t)
+	if code := getJSON(t, srv.URL+"/v1/admin/status", nil); code != 404 {
+		t.Errorf("memory-mode admin status: %d, want 404", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", nil); code != 404 {
+		t.Errorf("memory-mode admin snapshot: %d, want 404", code)
+	}
+}
+
+// TestStoreBackedQueries sanity-checks that the query surface is unchanged
+// in store-backed mode.
+func TestStoreBackedQueries(t *testing.T) {
+	srv, _ := newStoreServer(t, t.TempDir())
+	var body struct {
+		Options []int `json:"options"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/topk?w=0.18,0.82&k=2", &body); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(body.Options) != 2 || body.Options[0] != 0 || body.Options[1] != 3 {
+		t.Errorf("topk = %v, want [0 3]", body.Options)
+	}
+}

@@ -1,0 +1,505 @@
+// Package store makes a served τ-LevelIndex durable: every accepted insert
+// is appended to a CRC-checked write-ahead log and fsync'd before it is
+// acknowledged, the full index is periodically captured in atomic snapshots
+// via its binary serialization, and opening a data directory recovers the
+// exact pre-crash state by loading the newest valid snapshot and replaying
+// the WAL tail.
+//
+// # Durability contract
+//
+// An insert acknowledged by Insert (non-negative id, nil error) survives
+// any crash: its WAL record was fsync'd before Insert returned. An insert
+// interrupted by a crash was never acknowledged, and recovery discards its
+// torn record. Replay re-applies records through the same deterministic
+// Insert path that produced them and cross-checks every re-assigned id
+// against the acknowledged id stored in the record, so silent divergence is
+// impossible — the recovered index is byte-identical to the pre-crash one.
+//
+// # File layout
+//
+//	<dir>/snapshot-<LSN>.idx   index serialization (X2, self-checksummed)
+//	<dir>/wal-<base>.log       records base+1.. (see wal.go for the format)
+//
+// The two newest snapshots are retained: if the newest is corrupt (torn
+// rename, bit rot), recovery falls back to the previous one and replays a
+// correspondingly longer WAL suffix. Segments are rotated at each snapshot
+// and pruned once no retained snapshot needs them.
+//
+// # Limitations
+//
+// Only inserts are logged. On-demand extension (a query with k > τ) is an
+// in-memory cache and is not persisted; because the index also rejects
+// inserts while extended, the WAL cannot record state that depends on an
+// extension. Snapshots of an extended index are refused for the same
+// reason. A recovered index does not retain the full dataset, so queries
+// with k > τ return ErrNeedsFullData after a restart (the documented
+// ReadIndex semantics).
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	tlx "tlevelindex"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// SnapshotBytes triggers an automatic background snapshot once the WAL
+	// holds at least this many record bytes since the last snapshot.
+	// Zero or negative disables the byte trigger.
+	SnapshotBytes int64
+	// SnapshotRecords triggers an automatic background snapshot once the
+	// WAL holds at least this many records since the last snapshot.
+	// Zero or negative disables the record trigger.
+	SnapshotRecords int
+	// Logf receives recovery and snapshot diagnostics; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// Store owns a durable index: the in-memory τ-LevelIndex plus its WAL and
+// snapshots. All index access must go through the store's lock; the serve
+// layer shares it via Mutex.
+type Store struct {
+	opts Options
+	logf func(string, ...interface{})
+
+	mu      sync.RWMutex // guards ix, applied, seg, counters, failed, closed
+	ix      *tlx.Index
+	applied uint64 // LSN of the last record applied to ix
+	seg     *segment
+	failed  error // a WAL write failed: memory and disk diverged, refuse writes
+	closed  bool
+
+	snapLSN        uint64
+	snapTime       time.Time
+	bytesSinceSnap int64
+	recsSinceSnap  int
+
+	replayed      int
+	recoveredFrom string
+	fallbacks     int
+
+	snapMu  sync.Mutex // serializes whole snapshot attempts
+	trigger chan struct{}
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// Open recovers a Store from dir. An empty directory is initialized from
+// build: the fresh index is captured as snapshot 0 so later restarts never
+// rebuild. A non-empty directory ignores build entirely — state comes from
+// the newest loadable snapshot plus the WAL tail. Open fails rather than
+// serve a directory whose every snapshot is corrupt or whose WAL has lost
+// acknowledged records anywhere but the torn tail.
+func Open(opts Options, build func() (*tlx.Index, error)) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: no data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	s := &Store{
+		opts:    opts,
+		logf:    logf,
+		trigger: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	snaps, segs, err := scanDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: %s has WAL segments but no snapshot", ErrCorrupt, opts.Dir)
+		}
+		if build == nil {
+			return nil, fmt.Errorf("store: %s is empty and no builder was given", opts.Dir)
+		}
+		if err := s.initialize(build); err != nil {
+			return nil, err
+		}
+	} else if err := s.recover(snaps, segs); err != nil {
+		return nil, err
+	}
+	if opts.SnapshotBytes > 0 || opts.SnapshotRecords > 0 {
+		s.wg.Add(1)
+		go s.autoSnapshotLoop()
+	}
+	return s, nil
+}
+
+// initialize captures a freshly built index as snapshot 0 and opens the
+// first WAL segment.
+func (s *Store) initialize(build func() (*tlx.Index, error)) error {
+	ix, err := build()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		return err
+	}
+	if _, err := writeSnapshot(s.opts.Dir, 0, buf.Bytes()); err != nil {
+		return err
+	}
+	seg, err := createSegment(s.opts.Dir, 0)
+	if err != nil {
+		return err
+	}
+	s.ix, s.seg, s.snapTime, s.recoveredFrom = ix, seg, time.Now(), "initial build"
+	s.logf("store: initialized %s (snapshot 0, %d bytes)", s.opts.Dir, buf.Len())
+	return nil
+}
+
+// recover loads the newest valid snapshot and replays the WAL tail.
+func (s *Store) recover(snaps, segs []fileEntry) error {
+	for i := len(snaps) - 1; i >= 0; i-- {
+		ix, err := loadSnapshot(snaps[i].path)
+		if err != nil {
+			s.logf("store: snapshot %s unusable (%v); falling back", snaps[i].path, err)
+			s.fallbacks++
+			continue
+		}
+		s.ix = ix
+		s.applied = snaps[i].lsn
+		s.snapLSN = snaps[i].lsn
+		s.recoveredFrom = snaps[i].path
+		if st, serr := os.Stat(snaps[i].path); serr == nil {
+			s.snapTime = st.ModTime()
+		}
+		break
+	}
+	if s.ix == nil {
+		return fmt.Errorf("%w: no loadable snapshot in %s", ErrCorrupt, s.opts.Dir)
+	}
+	// Replay every segment in LSN order. Records at or below the snapshot
+	// LSN are already part of the loaded state and are skipped; a gap above
+	// it means acknowledged records were lost — refuse to serve.
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		sd, err := readSegment(sg.path)
+		if err != nil {
+			if last && errors.Is(err, errShortHeader) {
+				// Torn during creation: no record was ever acknowledged
+				// into it. Replace it with a fresh segment below.
+				s.logf("store: removing segment %s torn at creation", sg.path)
+				os.Remove(sg.path)
+				segs = segs[:i]
+				break
+			}
+			return err
+		}
+		if sd.torn {
+			if !last {
+				s.logf("store: sealed segment %s has a corrupt record", sg.path)
+			} else {
+				s.logf("store: truncating torn WAL tail of %s at %d bytes", sg.path, sd.validSize)
+			}
+		}
+		// A segment's base is the snapshot LSN it was rotated at, so every
+		// record up to base existed when it was created: starting past the
+		// applied point means acknowledged records vanished (a corrupt
+		// record inside an earlier sealed segment, or a pruning accident).
+		if sd.base > s.applied {
+			return fmt.Errorf("%w: WAL gap: applied through %d but segment %s begins at %d",
+				ErrCorrupt, s.applied, sg.path, sd.base)
+		}
+		for _, rec := range sd.records {
+			if rec.lsn <= s.applied {
+				continue
+			}
+			if rec.lsn != s.applied+1 {
+				return fmt.Errorf("%w: WAL gap: applied through %d, next record %d (%s)",
+					ErrCorrupt, s.applied, rec.lsn, sg.path)
+			}
+			id, err := s.ix.Insert(rec.attrs)
+			if err != nil {
+				return fmt.Errorf("store: replay of record %d failed: %v", rec.lsn, err)
+			}
+			if int64(id) != rec.id {
+				return fmt.Errorf("%w: replay diverged at record %d: re-assigned id %d, acknowledged id %d",
+					ErrCorrupt, rec.lsn, id, rec.id)
+			}
+			s.applied++
+			s.replayed++
+		}
+		if last {
+			seg, err := openSegmentForAppend(sg.path, sd.base, sd.validSize)
+			if err != nil {
+				return err
+			}
+			s.seg = seg
+			s.bytesSinceSnap = sd.validSize - segHeaderSize
+			s.recsSinceSnap = int(s.applied - s.snapLSN)
+		}
+	}
+	if s.seg == nil {
+		seg, err := createSegment(s.opts.Dir, s.applied)
+		if err != nil {
+			return err
+		}
+		s.seg = seg
+	}
+	s.logf("store: recovered %s from %s, replayed %d records (state at LSN %d)",
+		s.opts.Dir, s.recoveredFrom, s.replayed, s.applied)
+	return nil
+}
+
+func loadSnapshot(path string) (*tlx.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tlx.ReadIndex(f)
+}
+
+// Index returns the recovered index. The pointer is stable for the life of
+// the store; all access must be synchronized via Mutex.
+func (s *Store) Index() *tlx.Index { return s.ix }
+
+// Mutex returns the lock guarding the index so the serve layer and the
+// store serialize index access against each other.
+func (s *Store) Mutex() *sync.RWMutex { return &s.mu }
+
+// Insert applies an option to the index and, if it was accepted, makes it
+// durable before acknowledging: the WAL record is fsync'd before Insert
+// returns. Filtered options (id -1) change nothing and are not logged.
+func (s *Store) Insert(option []float64) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return -1, errors.New("store: closed")
+	}
+	if s.failed != nil {
+		s.mu.Unlock()
+		return -1, fmt.Errorf("store: read-only after WAL failure: %v", s.failed)
+	}
+	id, err := s.ix.Insert(option)
+	if err != nil || id < 0 {
+		s.mu.Unlock()
+		return id, err
+	}
+	n, werr := s.seg.append(record{lsn: s.applied + 1, id: int64(id), attrs: option})
+	if werr != nil {
+		// The in-memory index has the option but the log does not; any
+		// further write would make replay assign ids that contradict the
+		// acknowledged ones. Fail the store for writes.
+		s.failed = werr
+		s.mu.Unlock()
+		return -1, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr)
+	}
+	s.applied++
+	s.recsSinceSnap++
+	s.bytesSinceSnap += int64(n)
+	trip := (s.opts.SnapshotRecords > 0 && s.recsSinceSnap >= s.opts.SnapshotRecords) ||
+		(s.opts.SnapshotBytes > 0 && s.bytesSinceSnap >= s.opts.SnapshotBytes)
+	s.mu.Unlock()
+	if trip {
+		select {
+		case s.trigger <- struct{}{}:
+		default:
+		}
+	}
+	return id, nil
+}
+
+// SnapshotInfo describes one snapshot attempt.
+type SnapshotInfo struct {
+	LSN      uint64  `json:"lsn"`
+	Bytes    int64   `json:"bytes"`
+	File     string  `json:"file"`
+	TookMs   float64 `json:"tookMs"`
+	UpToDate bool    `json:"upToDate"`
+}
+
+// Snapshot captures the current index state durably and rotates the WAL.
+// When the newest snapshot already covers every applied record it returns
+// immediately with UpToDate set. An index holding an on-demand extension
+// cannot be snapshotted (the error wraps tlevelindex.ErrExtended).
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	start := time.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SnapshotInfo{}, errors.New("store: closed")
+	}
+	if s.ix.MaxMaterializedLevel() > s.ix.Tau() {
+		s.mu.Unlock()
+		return SnapshotInfo{}, fmt.Errorf("store: %w: on-demand levels are not persisted; snapshot refused", tlx.ErrExtended)
+	}
+	lsn := s.applied
+	if lsn == s.snapLSN {
+		s.mu.Unlock()
+		return SnapshotInfo{LSN: lsn, UpToDate: true}, nil
+	}
+	var buf bytes.Buffer
+	if _, err := s.ix.WriteTo(&buf); err != nil {
+		s.mu.Unlock()
+		return SnapshotInfo{}, err
+	}
+	// Rotate under the write lock: the new segment's base equals the
+	// serialized LSN exactly, which is what lets pruning reason about
+	// segment contents from file names alone.
+	newSeg, err := createSegment(s.opts.Dir, lsn)
+	if err != nil {
+		s.mu.Unlock()
+		return SnapshotInfo{}, err
+	}
+	old := s.seg
+	s.seg = newSeg
+	s.bytesSinceSnap, s.recsSinceSnap = 0, 0
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+
+	path, err := writeSnapshot(s.opts.Dir, lsn, buf.Bytes())
+	if err != nil {
+		// The rotation already happened; recovery simply replays through
+		// the rotated segments from the previous snapshot.
+		return SnapshotInfo{}, err
+	}
+	s.mu.Lock()
+	s.snapLSN = lsn
+	s.snapTime = time.Now()
+	s.mu.Unlock()
+	s.prune()
+	return SnapshotInfo{
+		LSN:    lsn,
+		Bytes:  int64(buf.Len()),
+		File:   path,
+		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// prune deletes snapshots beyond the two newest and every WAL segment no
+// retained snapshot could need. Failures are logged, not fatal: pruning
+// reruns at the next snapshot.
+func (s *Store) prune() {
+	snaps, segs, err := scanDir(s.opts.Dir)
+	if err != nil {
+		s.logf("store: prune scan: %v", err)
+		return
+	}
+	if len(snaps) <= 2 {
+		return
+	}
+	keepFrom := snaps[len(snaps)-2].lsn
+	for _, sn := range snaps[:len(snaps)-2] {
+		if err := os.Remove(sn.path); err != nil {
+			s.logf("store: prune %s: %v", sn.path, err)
+		}
+	}
+	// A segment with base b holds records b+1..b' only; once b' ≤ keepFrom
+	// it cannot matter, and b' is the next segment's base.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].lsn <= keepFrom {
+			if err := os.Remove(segs[i].path); err != nil {
+				s.logf("store: prune %s: %v", segs[i].path, err)
+			}
+		}
+	}
+}
+
+func (s *Store) autoSnapshotLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.trigger:
+			if _, err := s.Snapshot(); err != nil {
+				s.logf("store: auto snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// Status reports the store's durability state.
+type Status struct {
+	Dir               string  `json:"dir"`
+	AppliedLSN        uint64  `json:"appliedLsn"`
+	SnapshotLSN       uint64  `json:"snapshotLsn"`
+	SnapshotAgeSec    float64 `json:"snapshotAgeSeconds"`
+	WALRecords        int     `json:"walRecords"`
+	WALBytes          int64   `json:"walBytes"`
+	RecordsReplayed   int     `json:"recordsReplayed"`
+	RecoveredFrom     string  `json:"recoveredFrom"`
+	SnapshotFallbacks int     `json:"snapshotFallbacks"`
+	ReadOnly          bool    `json:"readOnly"`
+}
+
+// Status returns a consistent view of the durability state.
+func (s *Store) Status() Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Status{
+		Dir:               s.opts.Dir,
+		AppliedLSN:        s.applied,
+		SnapshotLSN:       s.snapLSN,
+		SnapshotAgeSec:    time.Since(s.snapTime).Seconds(),
+		WALRecords:        int(s.applied - s.snapLSN),
+		WALBytes:          s.bytesSinceSnap,
+		RecordsReplayed:   s.replayed,
+		RecoveredFrom:     s.recoveredFrom,
+		SnapshotFallbacks: s.fallbacks,
+		ReadOnly:          s.failed != nil,
+	}
+}
+
+// Close stops the background snapshotter, takes a final snapshot (so a
+// clean stop never needs WAL replay), and releases the WAL file.
+func (s *Store) Close() error {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+	var err error
+	s.mu.RLock()
+	needsSnap := s.failed == nil && !s.closed
+	s.mu.RUnlock()
+	if needsSnap {
+		if _, serr := s.Snapshot(); serr != nil && !errors.Is(serr, tlx.ErrExtended) {
+			err = serr
+		}
+	}
+	s.mu.Lock()
+	s.closed = true
+	if s.seg != nil {
+		if cerr := s.seg.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.seg = nil
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// kill simulates a crash for tests: the background snapshotter stops and
+// the WAL file handle is dropped with no final snapshot, leaving the data
+// directory exactly as fsync has it.
+func (s *Store) kill() {
+	s.once.Do(func() { close(s.done) })
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closed = true
+	if s.seg != nil {
+		s.seg.Close()
+		s.seg = nil
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// The write-ahead log is a sequence of segment files, wal-<base>.log, where
+// base is the LSN of the snapshot the segment was opened at: a segment
+// created at snapshot n holds exactly the records n+1 .. n' (n' being the
+// next snapshot's LSN), because rotation happens under the store's write
+// lock at the moment the snapshot state is captured.
+//
+// Segment layout (all integers little-endian):
+//
+//	header:  8-byte magic "TLVLWAL1" | uint64 base LSN | uint32 CRC32(magic‖base)
+//	record:  uint32 payload length   | uint32 CRC32(payload) | payload
+//	payload: uint64 LSN | int64 acknowledged id | uint32 nattrs | nattrs × float64
+//
+// A record becomes durable — and the insert acknowledgeable — only after
+// the segment file is fsync'd past it. The reader therefore treats the
+// first malformed record as the torn tail of an interrupted write and
+// reports the byte offset where the valid prefix ends, so recovery can
+// truncate the file and append from there.
+
+const (
+	segMagic      = "TLVLWAL1"
+	segHeaderSize = 8 + 8 + 4
+	recHeaderSize = 4 + 4
+	// minPayload is the fixed part of a record payload (LSN, id, nattrs).
+	minPayload = 8 + 8 + 4
+	// maxPayload bounds a record so a corrupt length field cannot drive a
+	// giant allocation; 1<<20 float64 attributes is far beyond any option.
+	maxPayload = minPayload + 8*(1<<20)
+)
+
+// ErrCorrupt reports on-disk state the recovery procedure cannot use.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// errShortHeader distinguishes a segment torn during creation (no record
+// was ever acknowledged into it) from one with a damaged header.
+var errShortHeader = errors.New("store: segment shorter than its header")
+
+// record is one durable insert.
+type record struct {
+	lsn   uint64
+	id    int64
+	attrs []float64
+}
+
+func encodeRecord(rec record) []byte {
+	payload := minPayload + 8*len(rec.attrs)
+	buf := make([]byte, recHeaderSize+payload)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payload))
+	p := buf[recHeaderSize:]
+	binary.LittleEndian.PutUint64(p[0:], rec.lsn)
+	binary.LittleEndian.PutUint64(p[8:], uint64(rec.id))
+	binary.LittleEndian.PutUint32(p[16:], uint32(len(rec.attrs)))
+	for i, v := range rec.attrs {
+		binary.LittleEndian.PutUint64(p[minPayload+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(p))
+	return buf
+}
+
+func decodePayload(p []byte) (record, error) {
+	if len(p) < minPayload {
+		return record{}, fmt.Errorf("%w: record payload %d bytes", ErrCorrupt, len(p))
+	}
+	rec := record{
+		lsn: binary.LittleEndian.Uint64(p[0:]),
+		id:  int64(binary.LittleEndian.Uint64(p[8:])),
+	}
+	nattrs := binary.LittleEndian.Uint32(p[16:])
+	if int(nattrs)*8 != len(p)-minPayload {
+		return record{}, fmt.Errorf("%w: record declares %d attrs in %d payload bytes", ErrCorrupt, nattrs, len(p))
+	}
+	if rec.id < 0 {
+		return record{}, fmt.Errorf("%w: record id %d", ErrCorrupt, rec.id)
+	}
+	rec.attrs = make([]float64, nattrs)
+	for i := range rec.attrs {
+		rec.attrs[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[minPayload+8*i:]))
+	}
+	return rec, nil
+}
+
+// segment is the active WAL segment, open for appends.
+type segment struct {
+	f    *os.File
+	path string
+	base uint64
+	size int64
+}
+
+// createSegment writes a fresh segment with the given base LSN and makes it
+// durable (file and directory both fsync'd) before returning.
+func createSegment(dir string, base uint64) (*segment, error) {
+	path := segmentPath(dir, base)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(hdr[:16]))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{f: f, path: path, base: base, size: segHeaderSize}, nil
+}
+
+// openSegmentForAppend reopens an existing segment whose valid prefix is
+// validSize bytes: the torn tail (if any) is truncated away so new records
+// land exactly after the last durable one.
+func openSegmentForAppend(path string, base uint64, validSize int64) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{f: f, path: path, base: base, size: validSize}, nil
+}
+
+// append writes one record and fsyncs before returning: when append returns
+// nil the record is durable and the insert may be acknowledged.
+func (s *segment) append(rec record) (int, error) {
+	buf := encodeRecord(rec)
+	if _, err := s.f.Write(buf); err != nil {
+		return 0, err
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, err
+	}
+	s.size += int64(len(buf))
+	return len(buf), nil
+}
+
+func (s *segment) Close() error { return s.f.Close() }
+
+// segmentData is the parse result of one segment file.
+type segmentData struct {
+	base      uint64
+	records   []record
+	validSize int64 // bytes up to and including the last valid record
+	torn      bool  // the file continues past validSize with garbage
+}
+
+// readSegment parses a segment file. A malformed or truncated record stops
+// the scan and marks the segment torn at validSize; only a damaged header
+// is a hard error (errShortHeader when the file cannot even hold one).
+func readSegment(path string) (*segmentData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < segHeaderSize {
+		return nil, errShortHeader
+	}
+	br := bufio.NewReader(f)
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr[:8]) != segMagic {
+		return nil, fmt.Errorf("%w: bad WAL magic in %s", ErrCorrupt, path)
+	}
+	if binary.LittleEndian.Uint32(hdr[16:]) != crc32.ChecksumIEEE(hdr[:16]) {
+		return nil, fmt.Errorf("%w: WAL header checksum in %s", ErrCorrupt, path)
+	}
+	sd := &segmentData{
+		base:      binary.LittleEndian.Uint64(hdr[8:]),
+		validSize: segHeaderSize,
+	}
+	fileSize := st.Size()
+	for sd.validSize < fileSize {
+		var rh [recHeaderSize]byte
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			sd.torn = true
+			return sd, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(rh[0:])
+		wantCRC := binary.LittleEndian.Uint32(rh[4:])
+		if payloadLen < minPayload || payloadLen > maxPayload ||
+			sd.validSize+recHeaderSize+int64(payloadLen) > fileSize {
+			sd.torn = true
+			return sd, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			sd.torn = true
+			return sd, nil
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			sd.torn = true
+			return sd, nil
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			sd.torn = true
+			return sd, nil
+		}
+		sd.records = append(sd.records, rec)
+		sd.validSize += recHeaderSize + int64(payloadLen)
+	}
+	return sd, nil
+}
