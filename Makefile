@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench lvbench fuzz-smoke
+.PHONY: ci vet fmt-check build test race bench bench-smoke lvbench fuzz-smoke
 
-ci: vet fmt-check build race fuzz-smoke
+ci: vet fmt-check build race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# One-iteration pass over the predicate-layer microbenchmarks (LP kernel,
+# region predicates, projection): catches compile breakage and allocation
+# regressions in seconds, and archives the numbers as BENCH_lp.json.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run xxx \
+		./internal/lp ./internal/geom | $(GO) run ./cmd/benchjson > BENCH_lp.json
+	@echo "wrote BENCH_lp.json"
 
 # Short fuzz runs over the two parsers that face crash-damaged or hostile
 # bytes: the WAL segment reader and the index deserializer.

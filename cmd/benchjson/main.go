@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a JSON array of benchmark results, so CI can archive and diff
+// microbenchmark numbers without parsing the text format downstream.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run xxx ./internal/lp | benchjson > BENCH_lp.json
+//
+// Only benchmark result lines are consumed; everything else (pass/fail
+// summaries, pkg headers) is ignored. allocs/op and B/op are present only
+// when the run used -benchmem or b.ReportAllocs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line in structured form.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var out []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		// Benchmark lines look like:
+		//   BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := result{Name: trimProcSuffix(fields[0]), Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				r.BytesPerOp = &v
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			}
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// trimProcSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, keeping names stable across machines.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

@@ -5,12 +5,14 @@ import (
 
 	tlx "tlevelindex"
 	"tlevelindex/datagen"
+	"tlevelindex/internal/geom"
 )
 
 // expAblation isolates the design choices DESIGN.md calls out, one row per
 // ablation: dominance-graph candidate computation (PBA⁺ vs PBA), insertion
-// ordering (IBA vs IBA-R), and the onion-layer option filter on the
-// insertion-based builder.
+// ordering (IBA vs IBA-R), the onion-layer option filter on the
+// insertion-based builder, and the witness-point LP short-circuits of the
+// predicate layer.
 func expAblation(sc scale) {
 	header := []string{"ablation", "with", "without", "speedup"}
 	var rows [][]string
@@ -54,6 +56,20 @@ func expAblation(sc scale) {
 		},
 		func() (*tlx.Index, interface{ Seconds() float64 }) {
 			ix, d := buildTimedOpts(anti, 2, tlx.WithAlgorithm(tlx.IBA), tlx.WithoutOnionFilter())
+			return ix, d
+		})
+	// The predicate-level short-circuits need enough cells per level to rise
+	// above timer noise, so this row runs on a larger option set.
+	indW := datagen.Generate(datagen.IND, 2*sc.ibaMaxN, sc.defaultD, 1)
+	speedRow("witness fast paths (PBA+)",
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			ix, d := buildTimed(indW, sc.defaultTau, tlx.PBAPlus)
+			return ix, d
+		},
+		func() (*tlx.Index, interface{ Seconds() float64 }) {
+			geom.SetWitnessFastPaths(false)
+			defer geom.SetWitnessFastPaths(true)
+			ix, d := buildTimed(indW, sc.defaultTau, tlx.PBAPlus)
 			return ix, d
 		})
 

@@ -94,6 +94,25 @@ func PrefHalfspace(ri, rj []float64) Halfspace {
 	return NewHalfspace(a, last)
 }
 
+// key returns a canonical 64-bit identity of the halfspace, hashing the
+// exact bit patterns of its (normalized) coefficients. PrefHalfspace and
+// NewHalfspace are bit-deterministic for identical inputs, so equal
+// halfspaces reached via different regions produce equal keys.
+func (h Halfspace) key() uint64 {
+	k := uint64(0x9e3779b97f4a7c15)
+	for _, v := range h.A {
+		k = mix64(k ^ math.Float64bits(v))
+	}
+	return mix64(k ^ math.Float64bits(h.B))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Eval returns A·x − B; nonpositive values are inside the halfspace.
 func (h Halfspace) Eval(x []float64) float64 {
 	s := -h.B

@@ -1,12 +1,38 @@
 package geom
 
-import "math"
+import (
+	"math"
+
+	"tlevelindex/internal/pool"
+)
 
 // Projection parameters for Dykstra's alternating-projection algorithm.
 const (
 	dykstraMaxCycles = 4000
 	dykstraTol       = 1e-10
 )
+
+// projScratch holds the Dykstra working set: the current iterate, the flat
+// m×dim correction matrix, and a temporary. Pooled so that query traversals
+// projecting onto many cells (ORU's priority-queue walk) stop allocating.
+type projScratch struct {
+	cur, corr, tmp []float64
+}
+
+var projPool = pool.NewScratch(func() *projScratch { return new(projScratch) })
+
+// growZero extends s to length n reusing capacity, zeroing the added tail.
+func growZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	old := len(s)
+	s = s[:n]
+	for i := old; i < n; i++ {
+		s[i] = 0
+	}
+	return s
+}
 
 // Project returns the Euclidean projection of x onto the region and the
 // distance ‖x − proj‖. The region must be nonempty; for the convex cells of
@@ -20,23 +46,33 @@ func (r *Region) Project(x []float64) (proj []float64, dist float64) {
 	if r.ContainsPoint(x, PointTol) {
 		return append([]float64(nil), x...), 0
 	}
-	m := len(r.HS)
-	cur := append([]float64(nil), x...)
-	// Dykstra correction vectors, one per halfspace.
-	corr := make([][]float64, m)
-	for i := range corr {
-		corr[i] = make([]float64, r.Dim)
-	}
-	tmp := make([]float64, r.Dim)
+	ps := projPool.Get()
+	defer projPool.Put(ps)
+	cur := r.dykstra(ps, x)
+	return append([]float64(nil), cur...), Dist(x, cur)
+}
+
+// dykstra runs the alternating projection loop on pooled buffers and returns
+// the final iterate (scratch-owned; valid until ps is recycled).
+func (r *Region) dykstra(ps *projScratch, x []float64) []float64 {
+	dim := r.Dim
+	ps.cur = append(ps.cur[:0], x...)
+	cur := ps.cur
+	// Dykstra correction vectors, one per halfspace, flattened to m×dim.
+	ps.corr = growZero(ps.corr[:0], len(r.HS)*dim)
+	corr := ps.corr
+	ps.tmp = growZero(ps.tmp[:0], dim)
+	tmp := ps.tmp
 	for cycle := 0; cycle < dykstraMaxCycles; cycle++ {
 		moved := 0.0
 		for i, h := range r.HS {
 			if triv, _ := h.Trivial(); triv {
 				continue
 			}
+			ci := corr[i*dim : (i+1)*dim]
 			// y = cur + corr[i]
 			for k := range tmp {
-				tmp[k] = cur[k] + corr[i][k]
+				tmp[k] = cur[k] + ci[k]
 			}
 			// Project y onto halfspace h: subtract the positive violation
 			// along the (unit) normal.
@@ -48,10 +84,10 @@ func (r *Region) Project(x []float64) (proj []float64, dist float64) {
 			}
 			// corr[i] = y_old − proj; cur = proj.
 			for k := range tmp {
-				newCorr := cur[k] + corr[i][k] - tmp[k]
+				newCorr := cur[k] + ci[k] - tmp[k]
 				d := tmp[k] - cur[k]
 				moved += d * d
-				corr[i][k] = newCorr
+				ci[k] = newCorr
 				cur[k] = tmp[k]
 			}
 		}
@@ -59,14 +95,19 @@ func (r *Region) Project(x []float64) (proj []float64, dist float64) {
 			break
 		}
 	}
-	return cur, Dist(x, cur)
+	return cur
 }
 
 // DistanceTo returns the Euclidean distance from x to the region (zero when
-// x is inside).
+// x is inside). Unlike Project it does not retain the projection, so the
+// whole computation runs on pooled buffers without heap allocation.
 func (r *Region) DistanceTo(x []float64) float64 {
-	_, d := r.Project(x)
-	return d
+	if r.ContainsPoint(x, PointTol) {
+		return 0
+	}
+	ps := projPool.Get()
+	defer projPool.Put(ps)
+	return Dist(x, r.dykstra(ps, x))
 }
 
 // RandomInteriorPoints samples up to k points from the interior of the

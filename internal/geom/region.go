@@ -2,8 +2,10 @@ package geom
 
 import (
 	"math"
+	"sync/atomic"
 
 	"tlevelindex/internal/lp"
+	"tlevelindex/internal/pool"
 )
 
 // Numeric tolerances for the LP-backed predicates. Halfspace normals are
@@ -18,17 +20,79 @@ const (
 	PointTol = 1e-9
 )
 
+// fastPathsOff disables the witness-point LP short-circuits when nonzero.
+// It exists for the ablation experiment and for tests that want to compare
+// the fast paths against the pure-LP reference; see SetWitnessFastPaths.
+var fastPathsOff atomic.Bool
+
+// SetWitnessFastPaths enables or disables the witness-point short-circuits
+// in Feasible, ContainsHalfspace, and Classify (enabled by default). The
+// LP fallbacks always remain sound; this knob only controls whether the
+// cheap certificates are consulted first. Intended for benchmarks/ablations.
+func SetWitnessFastPaths(enabled bool) { fastPathsOff.Store(!enabled) }
+
 // Region is a convex subset of the reduced preference simplex expressed as
 // an intersection of halfspaces. The simplex bounds are part of HS, so a
 // freshly built Region is the whole simplex.
+//
+// Alongside the halfspace list a region caches cheap geometric certificates:
+// a witness point (any known interior point — the Chebyshev center of the
+// last feasibility LP, or a point supplied by SetWitness) with its worst
+// constraint slack, a canonical hash of the halfspace set, and an emptiness
+// flag. The predicates consult the certificates before building a tableau,
+// which answers the common cases in O(dim) instead of an LP solve.
 type Region struct {
 	Dim int
 	HS  []Halfspace
+
+	// keys[i] is the canonical hash of HS[i]; Add uses it to deduplicate
+	// halfspaces that reach the region via several paths (cloned siblings,
+	// merged bounds). hash is the order-independent combination of keys —
+	// the cell-region identity used by the builders' verdict memo.
+	keys []uint64
+	hash uint64
+
+	// witness is a point known to satisfy every halfspace when
+	// witnessSlack >= 0; witnessSlack is min over HS of -h.Eval(witness)
+	// (the distance to the nearest constraint, normals being unit length).
+	// Add updates the slack incrementally, so a halfspace cutting the
+	// witness off invalidates the certificate without a scan.
+	witness      []float64
+	witnessSlack float64
+
+	// empty records a proven-infeasible constraint system. Add only ever
+	// shrinks the region, so the flag is sticky until Reset.
+	empty bool
 }
 
 // NewRegion returns the full reduced preference simplex of dimension dim.
+// The simplex centroid is installed as the initial witness, so a region
+// that is never constrained past its simplex bounds answers Feasible
+// without any LP at all.
 func NewRegion(dim int) *Region {
-	return &Region{Dim: dim, HS: SimplexBounds(dim)}
+	r := &Region{}
+	r.Reset(dim)
+	return r
+}
+
+// Reset reinitializes r to the full simplex of dimension dim, reusing its
+// backing arrays. It is the recycling counterpart of NewRegion for scratch
+// regions obtained from GetRegion.
+func (r *Region) Reset(dim int) {
+	r.Dim = dim
+	r.HS = r.HS[:0]
+	r.keys = r.keys[:0]
+	r.hash = 0
+	r.empty = false
+	r.witness = r.witness[:0]
+	r.witnessSlack = 0
+	r.Add(SimplexBounds(dim)...)
+	// Centroid of the reduced simplex: x_k = 1/(dim+1) keeps equal slack to
+	// every bound — a constant interior witness.
+	for k := 0; k < dim; k++ {
+		r.witness = append(r.witness, 1/float64(dim+1))
+	}
+	r.witnessSlack = r.computeSlack(r.witness)
 }
 
 // EmptyRegionLike returns a region with the same dimension but no
@@ -38,19 +102,133 @@ func EmptyRegionLike(dim int) *Region {
 	return &Region{Dim: dim}
 }
 
+// regions recycles scratch Regions for callers that rebuild constraint sets
+// per visit (query traversals, per-candidate child regions).
+var regions = pool.NewScratch(func() *Region { return &Region{} })
+
+// GetRegion returns a scratch region from the shared pool. The caller must
+// Reset or CopyFrom it before use and should PutRegion it when done.
+func GetRegion() *Region { return regions.Get() }
+
+// PutRegion recycles a scratch region obtained from GetRegion.
+func PutRegion(r *Region) { regions.Put(r) }
+
 // Add appends halfspaces to the region (mutating it) and returns the region
-// for chaining.
+// for chaining. Halfspaces already present (canonically identical A and B)
+// are skipped, so sibling regions assembled from overlapping bounding sets
+// do not accumulate duplicate LP rows; the witness slack is maintained
+// incrementally.
 func (r *Region) Add(hs ...Halfspace) *Region {
-	r.HS = append(r.HS, hs...)
+	for _, h := range hs {
+		k := h.key()
+		if r.hasKey(k, h) {
+			continue
+		}
+		r.HS = append(r.HS, h)
+		r.keys = append(r.keys, k)
+		r.hash += mix64(k)
+		if len(r.witness) == r.Dim && r.Dim > 0 {
+			if s := -h.Eval(r.witness); s < r.witnessSlack {
+				r.witnessSlack = s
+			}
+		}
+	}
 	return r
 }
 
+// hasKey reports whether a halfspace with key k is already present,
+// verifying actual equality on a hash match so a collision can never drop a
+// distinct constraint.
+func (r *Region) hasKey(k uint64, h Halfspace) bool {
+	for i, ki := range r.keys {
+		if ki != k {
+			continue
+		}
+		e := r.HS[i]
+		if e.B != h.B || len(e.A) != len(h.A) {
+			continue
+		}
+		same := true
+		for j := range e.A {
+			if e.A[j] != h.A[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// Hash returns an order-independent identity of the region's halfspace set.
+// Two regions assembled from the same (deduplicated) halfspaces hash
+// equally regardless of insertion order; the builders key their memoized
+// C-dominance verdicts on it.
+func (r *Region) Hash() uint64 { return r.hash }
+
 // Clone returns a deep-enough copy: the halfspace slice is copied, the
-// (immutable) halfspaces are shared.
+// (immutable) halfspaces are shared, and the cached certificates carry over.
 func (r *Region) Clone() *Region {
-	hs := make([]Halfspace, len(r.HS))
-	copy(hs, r.HS)
-	return &Region{Dim: r.Dim, HS: hs}
+	c := &Region{}
+	c.CopyFrom(r)
+	return c
+}
+
+// CopyFrom overwrites r with a copy of src, reusing r's backing arrays.
+func (r *Region) CopyFrom(src *Region) *Region {
+	r.Dim = src.Dim
+	r.HS = append(r.HS[:0], src.HS...)
+	r.keys = append(r.keys[:0], src.keys...)
+	r.hash = src.hash
+	r.witness = append(r.witness[:0], src.witness...)
+	r.witnessSlack = src.witnessSlack
+	r.empty = src.empty
+	return r
+}
+
+// SetWitness installs x as the region's witness point, computing its slack.
+// The builders call it with the interior points they already carry per cell
+// (inherited witnesses, sample certificates), which arms the fast paths
+// without a Chebyshev LP.
+func (r *Region) SetWitness(x []float64) {
+	if len(x) != r.Dim {
+		return
+	}
+	r.witness = append(r.witness[:0], x...)
+	r.witnessSlack = r.computeSlack(x)
+}
+
+// Witness returns a cached interior point certifying a full-dimensional
+// region, or ok=false when no such certificate is available. The returned
+// slice is region-owned; callers must not mutate it.
+func (r *Region) Witness() (x []float64, ok bool) {
+	if len(r.witness) == r.Dim && r.Dim > 0 && r.witnessSlack > InteriorEps {
+		return r.witness, true
+	}
+	return nil, false
+}
+
+// computeSlack returns min over HS of -h.Eval(x): positive when x is
+// strictly interior, negative when some constraint cuts it off.
+func (r *Region) computeSlack(x []float64) float64 {
+	s := math.Inf(1)
+	for _, h := range r.HS {
+		if v := -h.Eval(x); v < s {
+			s = v
+		}
+	}
+	if math.IsInf(s, 1) {
+		return 0
+	}
+	return s
+}
+
+// cacheWitness stores a workspace-owned point as the region witness.
+func (r *Region) cacheWitness(x []float64, slack float64) {
+	r.witness = append(r.witness[:0], x...)
+	r.witnessSlack = slack
 }
 
 // ContainsPoint reports whether x satisfies every halfspace within tol.
@@ -63,61 +241,94 @@ func (r *Region) ContainsPoint(x []float64, tol float64) bool {
 	return true
 }
 
-// chebyshevLP builds and solves max t s.t. A_i·x + t ≤ b_i, t ≤ 1 over
-// x ≥ 0, t ≥ 0. It returns the maximizing x, the margin t*, and whether the
-// constraint system admits any solution at all.
-func (r *Region) chebyshevLP() (x []float64, margin float64, feasible bool) {
+// chebyshevWS builds and solves max t s.t. A_i·x + t ≤ b_i, t ≤ 1 over
+// x ≥ 0, t ≥ 0 on the given workspace. It returns the maximizing x
+// (workspace-owned), the margin t*, and whether the constraint system
+// admits any solution at all. On success the center is cached as the
+// region's witness; proven infeasibility sets the sticky empty flag.
+func (r *Region) chebyshevWS(ws *lp.Workspace) (x []float64, margin float64, feasible bool) {
 	n := r.Dim + 1 // x plus margin variable t
-	p := lp.Problem{
-		C: make([]float64, n),
-		A: make([][]float64, 0, len(r.HS)+1),
-		B: make([]float64, 0, len(r.HS)+1),
-	}
-	p.C[r.Dim] = 1
+	ws.Begin(n)
 	for _, h := range r.HS {
 		if triv, whole := h.Trivial(); triv {
 			if !whole {
+				r.empty = true
 				return nil, 0, false
 			}
 			continue
 		}
-		row := make([]float64, n)
+		row := ws.AppendRow(h.B)
 		copy(row, h.A)
 		row[r.Dim] = 1
-		p.A = append(p.A, row)
-		p.B = append(p.B, h.B)
 	}
-	capRow := make([]float64, n)
+	capRow := ws.AppendRow(1)
 	capRow[r.Dim] = 1
-	p.A = append(p.A, capRow)
-	p.B = append(p.B, 1)
-	res, err := lp.Solve(p)
-	if err != nil || res.Status != lp.Optimal {
+	c := ws.Cost()
+	c[r.Dim] = 1
+	res := ws.SolveMax(c)
+	if res.Status != lp.Optimal {
+		if res.Status == lp.Infeasible {
+			r.empty = true
+		}
 		return nil, 0, false
 	}
-	return res.X[:r.Dim], res.X[r.Dim], true
+	x, margin = res.X[:r.Dim], res.X[r.Dim]
+	if margin > InteriorEps {
+		// Cache the deepest point found; its true slack equals the margin
+		// except for the artificial t ≤ 1 cap, so recompute exactly once.
+		r.cacheWitness(x, r.computeSlack(x))
+		x = r.witness
+	}
+	return x, margin, true
 }
 
 // Feasible reports whether the region has a full-dimensional interior
 // (Chebyshev margin above InteriorEps). Degenerate lower-dimensional
 // intersections — cells touching only along a boundary — count as empty,
 // which is exactly the edge semantics of Definition 4.
+//
+// A cached witness with positive slack answers without an LP; so does a
+// previously proven-empty constraint system.
 func (r *Region) Feasible() bool {
-	_, m, ok := r.chebyshevLP()
+	if r.empty {
+		return false
+	}
+	if !fastPathsOff.Load() {
+		if _, ok := r.Witness(); ok {
+			return true
+		}
+	}
+	ws := lp.Get()
+	defer lp.Put(ws)
+	_, m, ok := r.chebyshevWS(ws)
 	return ok && m > InteriorEps
 }
 
 // FeasibleMargin returns the Chebyshev margin (radius of the largest inball,
-// capped at 1) and whether the region is nonempty at all.
+// capped at 1) and whether the region is nonempty at all. The margin is
+// always computed exactly (callers compare margins across regions), but the
+// solve still warms the witness cache for later predicate calls.
 func (r *Region) FeasibleMargin() (float64, bool) {
-	_, m, ok := r.chebyshevLP()
+	if r.empty {
+		return 0, false
+	}
+	ws := lp.Get()
+	defer lp.Put(ws)
+	_, m, ok := r.chebyshevWS(ws)
 	return m, ok
 }
 
 // ChebyshevCenter returns a deepest interior point and its margin. ok is
-// false when the region has no full-dimensional interior.
+// false when the region has no full-dimensional interior. The returned
+// point is region-owned (it doubles as the cached witness); callers must
+// copy it if they outlive the region.
 func (r *Region) ChebyshevCenter() (x []float64, margin float64, ok bool) {
-	x, m, feas := r.chebyshevLP()
+	if r.empty {
+		return nil, 0, false
+	}
+	ws := lp.Get()
+	defer lp.Put(ws)
+	x, m, feas := r.chebyshevWS(ws)
 	if !feas || m <= InteriorEps {
 		return nil, m, false
 	}
@@ -129,27 +340,30 @@ func (r *Region) ChebyshevCenter() (x []float64, margin float64, ok bool) {
 // vacuously true). Unbounded cannot happen for regions inside the simplex,
 // but is mapped to +Inf defensively.
 func (r *Region) maximize(a []float64) (float64, bool) {
-	p := lp.Problem{
-		C: append([]float64(nil), a...),
-		A: make([][]float64, 0, len(r.HS)),
-		B: make([]float64, 0, len(r.HS)),
+	if r.empty {
+		return 0, false
 	}
+	ws := lp.Get()
+	defer lp.Put(ws)
+	return r.maximizeWS(ws, a)
+}
+
+func (r *Region) maximizeWS(ws *lp.Workspace, a []float64) (float64, bool) {
+	ws.Begin(r.Dim)
 	for _, h := range r.HS {
 		if triv, whole := h.Trivial(); triv {
 			if !whole {
+				r.empty = true
 				return 0, false
 			}
 			continue
 		}
-		p.A = append(p.A, h.A)
-		p.B = append(p.B, h.B)
+		copy(ws.AppendRow(h.B), h.A)
 	}
-	res, err := lp.Solve(p)
-	if err != nil {
-		return 0, false
-	}
+	res := ws.SolveMax(a)
 	switch res.Status {
 	case lp.Infeasible:
+		r.empty = true
 		return 0, false
 	case lp.Unbounded:
 		return math.Inf(1), true
@@ -157,11 +371,24 @@ func (r *Region) maximize(a []float64) (float64, bool) {
 	return res.Objective, true
 }
 
+// witnessIn reports whether the cached witness is a valid region point
+// (within tolerance), making it usable as a one-sided certificate.
+func (r *Region) witnessIn() bool {
+	return !fastPathsOff.Load() && len(r.witness) == r.Dim && r.Dim > 0 && r.witnessSlack >= 0
+}
+
 // ContainsHalfspace reports whether h ⊇ region, i.e. every point of the
-// region satisfies h. Empty regions are vacuously contained.
+// region satisfies h. Empty regions are vacuously contained. A witness on
+// the violating side of h refutes containment without an LP.
 func (r *Region) ContainsHalfspace(h Halfspace) bool {
 	if triv, whole := h.Trivial(); triv {
 		return whole
+	}
+	if r.empty {
+		return true
+	}
+	if r.witnessIn() && h.Eval(r.witness) > ContainTol {
+		return false // the witness itself escapes h
 	}
 	max, ok := r.maximize(h.A)
 	if !ok {
@@ -185,12 +412,45 @@ const (
 // Classify determines whether h covers the region, its complement covers the
 // region, or the bounding hyperplane splits the region. This is the
 // three-case test at the heart of the insertion-based builder (IBA).
+//
+// A cached witness settles one side for free: a witness strictly violating
+// h rules out RelInside (skipping that LP entirely), a witness strictly
+// inside h rules out RelOutside.
 func Classify(r *Region, h Halfspace) Rel {
 	if triv, whole := h.Trivial(); triv {
 		if whole {
 			return RelInside
 		}
 		return RelOutside
+	}
+	if r.empty {
+		return RelInside // empty region: vacuous, callers prune separately
+	}
+	neg := h.Neg()
+	if r.witnessIn() {
+		switch v := h.Eval(r.witness); {
+		case v > ContainTol:
+			// The witness escapes h: RelInside is impossible; decide between
+			// RelOutside and RelSplit with the one remaining LP.
+			min, ok := r.maximize(neg.A)
+			if !ok {
+				return RelInside
+			}
+			if min <= neg.B+ContainTol {
+				return RelOutside
+			}
+			return RelSplit
+		case v < -ContainTol:
+			// The witness is strictly inside h: RelOutside is impossible.
+			max, ok := r.maximize(h.A)
+			if !ok {
+				return RelInside
+			}
+			if max <= h.B+ContainTol {
+				return RelInside
+			}
+			return RelSplit
+		}
 	}
 	max, ok := r.maximize(h.A)
 	if !ok {
@@ -199,7 +459,6 @@ func Classify(r *Region, h Halfspace) Rel {
 	if max <= h.B+ContainTol {
 		return RelInside
 	}
-	neg := h.Neg()
 	min, ok := r.maximize(neg.A)
 	if !ok {
 		return RelInside
@@ -211,9 +470,12 @@ func Classify(r *Region, h Halfspace) Rel {
 }
 
 // IntersectsRegion reports whether the two regions share a full-dimensional
-// intersection.
+// intersection. The combined constraint set is assembled in a pooled
+// scratch region, so repeated pairwise tests do not allocate.
 func (r *Region) IntersectsRegion(o *Region) bool {
-	comb := r.Clone()
+	comb := GetRegion()
+	defer PutRegion(comb)
+	comb.CopyFrom(r)
 	comb.Add(o.HS...)
 	return comb.Feasible()
 }

@@ -29,7 +29,11 @@ func buildBSL(ix *Index) {
 	pool.ForEach(ix.workers, ix.Tau, func(i int) {
 		ell := i + 1
 		// Fresh scratch enumeration of levels 1..ell; only level ell kept.
-		scratch := &Index{Dim: ix.Dim, Tau: ell, Pts: ix.Pts, OrigIDs: ix.OrigIDs, workers: 1}
+		// The scratch builds share the parent index's verdict cache: the
+		// level-ℓ build re-partitions exactly the cells of every level below
+		// ℓ, so all but the deepest level's dominance LPs are cache hits.
+		scratch := &Index{Dim: ix.Dim, Tau: ell, Pts: ix.Pts, OrigIDs: ix.OrigIDs,
+			workers: 1, verdicts: ix.verdicts}
 		scratch.newCell(0, NoOption, nil, []int32{})
 		scratch.Stats.PostFilterCandidates = make([]float64, ell)
 		scratch.Stats.ActualCandidates = make([]float64, ell)

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"tlevelindex/internal/dg"
 	"tlevelindex/internal/skyline"
 )
 
@@ -155,7 +156,8 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	ix := &Index{
 		Dim: d, Tau: tau,
 		Pts: pts, OrigIDs: orig,
-		workers: cfg.Workers,
+		workers:  cfg.Workers,
+		verdicts: dg.NewVerdictCache(),
 	}
 	if !cfg.DropFullData {
 		ix.fullPts = data

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
 	"tlevelindex/internal/pool"
 	"tlevelindex/internal/skyline"
@@ -141,7 +142,8 @@ func (ix *Index) extendCompute(pid int32) extendResult {
 			frontier = append(frontier, v)
 		}
 	}
-	// Refine with cell-specific dominance tests.
+	// Refine with cell-specific dominance tests (memoized on the cell's
+	// halfspace-set hash, like the builders).
 	var p []int32
 	for _, v := range frontier {
 		dominated := false
@@ -149,8 +151,14 @@ func (ix *Index) extendCompute(pid int32) extendResult {
 			if u == v {
 				continue
 			}
-			res.lpCalls++
-			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
+			key := dg.VerdictKey{Kind: dg.KindDominates, U: u, V: v, Region: reg.Hash()}
+			dom, hit := ix.verdicts.LookupBool(key)
+			if !hit {
+				res.lpCalls++
+				dom = reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v]))
+				ix.verdicts.StoreBool(key, dom)
+			}
+			if dom {
 				dominated = true
 				break
 			}
@@ -159,8 +167,10 @@ func (ix *Index) extendCompute(pid int32) extendResult {
 			p = append(p, v)
 		}
 	}
+	r2 := geom.GetRegion()
+	defer geom.PutRegion(r2)
 	for _, ri := range p {
-		r2 := reg.Clone()
+		r2.CopyFrom(reg)
 		bound := make([]int32, 0, len(p)-1)
 		for _, rj := range p {
 			if rj != ri {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
 	"tlevelindex/internal/pool"
 )
@@ -108,11 +109,13 @@ func (ix *Index) fixupEdges() {
 				}
 			}
 			var fallbackMargin float64
+			comb := geom.GetRegion()
+			defer geom.PutRegion(comb)
 			for _, p := range byKey[setKey(prefix)] {
 				if ix.Cells[p].Level < 0 {
 					continue // parent was tombstoned
 				}
-				comb := in.reg.Clone()
+				comb.CopyFrom(in.reg)
 				comb.Add(infos[p].reg.HS...)
 				res.lpCalls++
 				if m, ok := comb.FeasibleMargin(); ok {
@@ -272,9 +275,21 @@ func (st *ibaState) insert(id int32) {
 	}
 
 	reg := st.regionOver(id, false)
-	h := geom.PrefHalfspace(ix.Pts[c.Opt], ix.Pts[st.rj]) // S_opt >= S_rj
-	ix.Stats.LPCalls += 2
-	switch geom.Classify(reg, h) {
+	// Duplicate (R, opt) cells under different parents share the same
+	// Definition-2 region until the post-insertion merge, so the three-way
+	// classification for (opt, rj) is memoized on the region hash: the
+	// second twin answers from the cache instead of re-running both LPs.
+	key := dg.VerdictKey{Kind: dg.KindClassify, U: c.Opt, V: st.rj, Region: reg.Hash()}
+	var rel geom.Rel
+	if v, hit := ix.verdicts.Lookup(key); hit {
+		rel = geom.Rel(v)
+	} else {
+		h := geom.PrefHalfspace(ix.Pts[c.Opt], ix.Pts[st.rj]) // S_opt >= S_rj
+		ix.Stats.LPCalls += 2
+		rel = geom.Classify(reg, h)
+		ix.verdicts.Store(key, int8(rel))
+	}
+	switch rel {
 	case geom.RelInside: // Case I: the cell's option always outranks rj here.
 		if len(c.Children) > 0 {
 			for _, ch := range append([]int32(nil), c.Children...) {
@@ -367,8 +382,15 @@ func (st *ibaState) cloneUnder(old, newParent int32, memo map[int32]int32) {
 	ix.addEdge(newParent, cid)
 	st.visited[cid] = true
 	st.created[cid] = true
-	ix.Stats.LPCalls++
-	if !st.regionOver(cid, true).Feasible() {
+	creg := st.regionOver(cid, true)
+	fkey := dg.VerdictKey{Kind: dg.KindFeasible, Region: creg.Hash()}
+	feasible, hit := ix.verdicts.LookupBool(fkey)
+	if !hit {
+		ix.Stats.LPCalls++
+		feasible = creg.Feasible()
+		ix.verdicts.StoreBool(fkey, feasible)
+	}
+	if !feasible {
 		// Empty region: unlink and tombstone.
 		st.unlink(newParent, cid)
 		ix.Cells[cid].Level = -1

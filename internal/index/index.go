@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
 )
 
@@ -73,6 +74,11 @@ type Index struct {
 	// workers bounds the goroutines used for per-cell LP work; values
 	// below 1 mean runtime.GOMAXPROCS(0). Not serialized.
 	workers int
+	// verdicts memoizes pairwise C-dominance LP outcomes keyed by
+	// (option pair, cell halfspace-set hash) within a build; BSL's scratch
+	// indexes share their parent's cache. Not serialized (nil after Load,
+	// which the cache treats as always-miss).
+	verdicts *dg.VerdictCache
 }
 
 // Workers returns the configured worker bound (0 meaning the GOMAXPROCS
@@ -148,8 +154,15 @@ func (ix *Index) rKey(id int32) string {
 // halfspaces (Opt beats each bounding option), and the simplex bounds. When
 // Bound is nil, the Definition-2 bound over every non-R option is used.
 func (ix *Index) Region(id int32) *geom.Region {
+	return ix.RegionInto(id, geom.NewRegion(ix.RDim()))
+}
+
+// RegionInto is Region reassembling into a caller-provided (typically
+// pooled) region, which is reset first. Query traversals use it to avoid an
+// allocation per visited cell.
+func (ix *Index) RegionInto(id int32, reg *geom.Region) *geom.Region {
 	c := &ix.Cells[id]
-	reg := geom.NewRegion(ix.RDim())
+	reg.Reset(ix.RDim())
 	if c.Opt == NoOption {
 		return reg
 	}

@@ -72,8 +72,8 @@ func canWin(pts [][]float64, i int, s []int) bool {
 		p.A = append(p.A, h.A)
 		p.B = append(p.B, h.B)
 	}
-	res, err := lp.Solve(p)
-	return err == nil && res.Status != lp.Infeasible
+	st, err := lp.SolveStatus(p)
+	return err == nil && st != lp.Infeasible
 }
 
 // onionFilter returns the indices of the options within the first tau

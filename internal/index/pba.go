@@ -159,6 +159,10 @@ func buildPBA(ix *Index, plus bool) {
 func (ix *Index) partitionCompute(wk *pbaWork, plus bool, level int32, base *dg.Base) pbaResult {
 	var res pbaResult
 	reg := ix.Region(wk.cell)
+	// Arm the region's witness fast paths with the interior point the work
+	// item already carries; SetWitness computes the exact slack, so a stale
+	// witness (possible after cell merges) simply leaves the fast paths cold.
+	reg.SetWitness(wk.witness)
 	var g *dg.Graph
 	if plus {
 		g = wk.g
@@ -206,6 +210,8 @@ func (ix *Index) partitionCompute(wk *pbaWork, plus bool, level int32, base *dg.
 		}
 	}
 
+	childReg := geom.GetRegion()
+	defer geom.PutRegion(childReg)
 	for _, ri := range p {
 		bound := make([]int32, 0, len(p)-1)
 		for _, rj := range p {
@@ -213,7 +219,7 @@ func (ix *Index) partitionCompute(wk *pbaWork, plus bool, level int32, base *dg.
 				bound = append(bound, rj)
 			}
 		}
-		childReg := reg.Clone()
+		childReg.CopyFrom(reg)
 		for _, rj := range bound {
 			childReg.Add(geom.PrefHalfspace(ix.Pts[ri], ix.Pts[rj]))
 		}
@@ -224,6 +230,9 @@ func (ix *Index) partitionCompute(wk *pbaWork, plus bool, level int32, base *dg.
 			if !ok {
 				continue // infeasible candidate
 			}
+			// ChebyshevCenter hands back region-owned memory; the childSpec
+			// outlives the scratch region, so take a copy.
+			witness = append([]float64(nil), witness...)
 		}
 		crng := rand.New(rand.NewSource(cellSeed(wk.cell, ri)))
 		cs := childSpec{
@@ -278,8 +287,14 @@ func computeP(ix *Index, g *dg.Graph, reg *geom.Region, level int32, samples [][
 			if refuted {
 				continue
 			}
-			*lpCalls++
-			if reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v])) {
+			key := dg.VerdictKey{Kind: dg.KindDominates, U: u, V: v, Region: reg.Hash()}
+			dom, hit := ix.verdicts.LookupBool(key)
+			if !hit {
+				*lpCalls++
+				dom = reg.ContainsHalfspace(geom.PrefHalfspace(ix.Pts[u], ix.Pts[v]))
+				ix.verdicts.StoreBool(key, dom)
+			}
+			if dom {
 				g.AddEdge(u, v)
 				dominated = true
 				break

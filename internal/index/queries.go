@@ -125,6 +125,8 @@ func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, e
 	// halfspaces proves intersection without an LP. The sampler is a small
 	// deterministic lattice plus the box center.
 	samples := boxSamples(box)
+	scratch := geom.GetRegion()
+	defer geom.PutRegion(scratch)
 	frontier := []int32{ix.Root()}
 	for l := 1; l <= k; l++ {
 		var next []int32
@@ -139,7 +141,7 @@ func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, e
 				if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
 					return nil, err
 				}
-				reg := ix.Region(ch)
+				reg := ix.RegionInto(ch, scratch)
 				hit := false
 				for _, s := range samples {
 					if reg.ContainsPoint(s, -1e-9) {
@@ -284,10 +286,12 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 	h := &oruHeap{{cell: ix.Root(), dist: 0, exact: true}}
 	pushed := map[int32]bool{ix.Root(): true}
 	optSet := make(map[int32]bool)
+	scratch := geom.GetRegion()
+	defer geom.PutRegion(scratch)
 	for h.Len() > 0 && len(res.Options) < m {
 		e := heap.Pop(h).(oruEntry)
 		if !e.exact {
-			_, d := ix.Region(e.cell).Project(x)
+			d := ix.RegionInto(e.cell, scratch).DistanceTo(x)
 			res.Stats.LPCalls++
 			heap.Push(h, oruEntry{cell: e.cell, dist: d, exact: true})
 			continue
@@ -313,7 +317,7 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 				continue
 			}
 			pushed[ch] = true
-			lb := maxViolation(ix.Region(ch), x)
+			lb := maxViolation(ix.RegionInto(ch, scratch), x)
 			heap.Push(h, oruEntry{cell: ch, dist: lb})
 		}
 	}
@@ -450,11 +454,13 @@ func (ix *Index) WhyNotCtx(ctx context.Context, focal int32, x []float64, k int)
 		return nil, err
 	}
 	res.Stats = kspr.Stats
+	scratch := geom.GetRegion()
+	defer geom.PutRegion(scratch)
 	for _, id := range kspr.Cells {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		proj, d := ix.Region(id).Project(x)
+		proj, d := ix.RegionInto(id, scratch).Project(x)
 		res.Stats.LPCalls++
 		if res.NearestCell < 0 || d < res.NearestDist {
 			res.NearestCell, res.NearestDist = id, d
@@ -499,8 +505,10 @@ func (ix *Index) MonoRTopK(k int, focal int32) ([]Interval, QueryStats) {
 	res := ix.KSPR(k, focal)
 	st = res.Stats
 	segs := make([]Interval, 0, len(res.Cells))
+	scratch := geom.GetRegion()
+	defer geom.PutRegion(scratch)
 	for _, id := range res.Cells {
-		reg := ix.Region(id)
+		reg := ix.RegionInto(id, scratch)
 		lo, _ := reg.Project([]float64{-1})
 		hi, _ := reg.Project([]float64{2})
 		segs = append(segs, Interval{Lo: lo[0], Hi: hi[0]})

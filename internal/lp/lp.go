@@ -5,12 +5,16 @@
 // reduced preference dimension, d-1 <= 7 in practice) and up to a few
 // thousand inequality constraints, so a dense tableau is both simple and
 // fast. The solver replaces the lp_solve library used by the paper.
+//
+// The solver core lives in Workspace (workspace.go): a reusable flat-array
+// tableau that performs zero heap allocations at steady state. Solve and
+// SolveStatus are thin wrappers that borrow a pooled Workspace per call;
+// hot paths (geom.Region predicates) drive a Workspace directly.
 package lp
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Status reports the outcome of a solve.
@@ -71,49 +75,6 @@ const (
 // ErrBadShape reports inconsistent problem dimensions.
 var ErrBadShape = errors.New("lp: inconsistent problem dimensions")
 
-// Solve runs the two-phase simplex method on p. It never panics on valid
-// shapes; numerically hopeless problems surface as one of the three statuses
-// with a best-effort answer.
-func Solve(p Problem) (Result, error) {
-	n := len(p.C)
-	m := len(p.A)
-	if len(p.B) != m {
-		return Result{}, ErrBadShape
-	}
-	for _, row := range p.A {
-		if len(row) != n {
-			return Result{}, ErrBadShape
-		}
-	}
-	if m == 0 {
-		// No constraints: optimum is 0 at x=0 unless some c_j > 0, in which
-		// case the problem is unbounded (x >= 0 only).
-		for _, cj := range p.C {
-			if cj > costTol {
-				return Result{Status: Unbounded}, nil
-			}
-		}
-		return Result{Status: Optimal, X: make([]float64, n)}, nil
-	}
-
-	t := newTableau(p)
-	if t.needPhase1 {
-		if !t.phase1() {
-			return Result{Status: Infeasible}, nil
-		}
-	}
-	switch t.phase2(p.C) {
-	case phaseUnbounded:
-		return Result{Status: Unbounded}, nil
-	}
-	x := t.extract(n)
-	obj := 0.0
-	for j, cj := range p.C {
-		obj += cj * x[j]
-	}
-	return Result{Status: Optimal, X: x, Objective: obj}, nil
-}
-
 type phaseOutcome int
 
 const (
@@ -121,241 +82,58 @@ const (
 	phaseUnbounded
 )
 
-// tableau is a dense simplex tableau. Columns are ordered structural vars
-// [0,n), slack vars [n, n+m), artificial vars [n+m, n+m+na). The objective
-// row stores reduced costs for the current phase.
-type tableau struct {
-	rows       [][]float64 // m rows, each ncol+1 wide (last entry = rhs)
-	obj        []float64   // objective row, ncol+1 wide (last = -objective value)
-	banned     []bool      // columns barred from entering (artificials in phase 2)
-	basis      []int       // basis[i] = column basic in row i
-	n, m       int
-	ncol       int
-	nart       int
-	needPhase1 bool
-	artCol     int // first artificial column
+// checkShape validates problem dimensions.
+func checkShape(p Problem) error {
+	n := len(p.C)
+	if len(p.B) != len(p.A) {
+		return ErrBadShape
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return ErrBadShape
+		}
+	}
+	return nil
 }
 
-func newTableau(p Problem) *tableau {
-	n, m := len(p.C), len(p.A)
-	// Count artificials: one per row with negative rhs.
-	nart := 0
-	for _, bi := range p.B {
-		if bi < 0 {
-			nart++
-		}
+// load assembles p into ws.
+func load(ws *Workspace, p Problem) {
+	ws.Begin(len(p.C))
+	for i, row := range p.A {
+		copy(ws.AppendRow(p.B[i]), row)
 	}
-	ncol := n + m + nart
-	t := &tableau{
-		n: n, m: m, ncol: ncol, nart: nart,
-		needPhase1: nart > 0,
-		artCol:     n + m,
-		basis:      make([]int, m),
-		rows:       make([][]float64, m),
-		obj:        make([]float64, ncol+1),
-		banned:     make([]bool, ncol),
-	}
-	ai := 0
-	for i := 0; i < m; i++ {
-		row := make([]float64, ncol+1)
-		sign := 1.0
-		if p.B[i] < 0 {
-			sign = -1.0
-		}
-		for j := 0; j < n; j++ {
-			row[j] = sign * p.A[i][j]
-		}
-		row[n+i] = sign // slack
-		row[ncol] = sign * p.B[i]
-		if sign < 0 {
-			col := t.artCol + ai
-			row[col] = 1
-			t.basis[i] = col
-			ai++
-		} else {
-			t.basis[i] = n + i
-		}
-		t.rows[i] = row
-	}
-	return t
 }
 
-// phase1 minimizes the sum of artificial variables. Returns false when the
-// problem is infeasible.
-func (t *tableau) phase1() bool {
-	// Objective: maximize -(sum of artificials). Reduced costs start from
-	// -1 on each artificial column, then are made consistent with the basis
-	// (artificials are basic, so add their rows back in).
-	for j := range t.obj {
-		t.obj[j] = 0
+// Solve runs the two-phase simplex method on p using a pooled Workspace. It
+// never panics on valid shapes; numerically hopeless problems surface as one
+// of the three statuses with a best-effort answer. Result.X is freshly
+// allocated and safe to retain; callers on hot paths should drive a
+// Workspace directly instead.
+func Solve(p Problem) (Result, error) {
+	if err := checkShape(p); err != nil {
+		return Result{}, err
 	}
-	for c := t.artCol; c < t.artCol+t.nart; c++ {
-		t.obj[c] = -1
+	ws := Get()
+	defer Put(ws)
+	load(ws, p)
+	res := ws.SolveMax(p.C)
+	if res.X != nil {
+		res.X = append([]float64(nil), res.X...)
 	}
-	for i, b := range t.basis {
-		if b >= t.artCol {
-			addScaled(t.obj, t.rows[i], 1)
-		}
-	}
-	if t.iterate() == phaseUnbounded {
-		// Phase-1 objective is bounded above by 0; unbounded cannot happen
-		// with exact arithmetic. Treat as numerical failure => infeasible.
-		return false
-	}
-	// obj[ncol] holds -(current objective value); objective value is
-	// -(sum of artificials) which is <= 0. Feasible iff it reached ~0.
-	if -t.obj[t.ncol] < -feasTol {
-		return false
-	}
-	// Drive any artificial variables out of the basis.
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < t.artCol {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < t.n+t.m; j++ {
-			if math.Abs(t.rows[i][j]) > pivotTol {
-				t.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// Redundant row: zero it out; keep the artificial basic at value 0.
-			for j := 0; j < t.ncol; j++ {
-				t.rows[i][j] = 0
-			}
-			t.rows[i][t.ncol] = 0
-		}
-	}
-	return true
+	return res, nil
 }
 
-// phase2 maximizes c over the current basic feasible solution.
-func (t *tableau) phase2(c []float64) phaseOutcome {
-	for j := range t.obj {
-		t.obj[j] = 0
+// SolveStatus reports only the solve status, skipping the maximizer copy
+// entirely — including the trivial m == 0 path's zero-slice — for callers
+// that need a feasibility verdict and nothing else.
+func SolveStatus(p Problem) (Status, error) {
+	if err := checkShape(p); err != nil {
+		return Infeasible, err
 	}
-	for j := 0; j < t.n; j++ {
-		t.obj[j] = c[j]
-	}
-	// Forbid artificials from re-entering.
-	for cc := t.artCol; cc < t.artCol+t.nart; cc++ {
-		t.banned[cc] = true
-	}
-	// Price out the basic columns. A zero-valued artificial stuck in the
-	// basis of a redundant row has an all-zero row and never affects
-	// pricing.
-	for i, b := range t.basis {
-		if b < t.ncol && t.obj[b] != 0 && !t.banned[b] {
-			addScaled(t.obj, t.rows[i], -t.obj[b])
-		}
-	}
-	return t.iterate()
-}
-
-// iterate runs simplex pivots until optimality or unboundedness. Dantzig's
-// rule is used first; after a cycling-safe iteration budget it switches to
-// Bland's rule, which guarantees termination.
-func (t *tableau) iterate() phaseOutcome {
-	maxDantzig := 50 * (t.m + t.ncol)
-	maxTotal := 500*(t.m+t.ncol) + 10000
-	for iter := 0; iter < maxTotal; iter++ {
-		bland := iter >= maxDantzig
-		col := t.chooseEntering(bland)
-		if col < 0 {
-			return phaseOptimal
-		}
-		row := t.chooseLeaving(col, bland)
-		if row < 0 {
-			return phaseUnbounded
-		}
-		t.pivot(row, col)
-	}
-	// Iteration budget exhausted: accept the current (feasible) point as
-	// optimal-enough. This is unreachable in practice for our problem sizes.
-	return phaseOptimal
-}
-
-func (t *tableau) chooseEntering(bland bool) int {
-	if bland {
-		for j := 0; j < t.ncol; j++ {
-			if t.obj[j] > costTol && !t.banned[j] {
-				return j
-			}
-		}
-		return -1
-	}
-	best, bestv := -1, costTol
-	for j := 0; j < t.ncol; j++ {
-		if v := t.obj[j]; v > bestv && !t.banned[j] {
-			best, bestv = j, v
-		}
-	}
-	return best
-}
-
-func (t *tableau) chooseLeaving(col int, bland bool) int {
-	best := -1
-	bestRatio := math.Inf(1)
-	for i := 0; i < t.m; i++ {
-		a := t.rows[i][col]
-		if a <= pivotTol {
-			continue
-		}
-		ratio := t.rows[i][t.ncol] / a
-		if ratio < bestRatio-1e-12 {
-			best, bestRatio = i, ratio
-		} else if ratio < bestRatio+1e-12 && best >= 0 {
-			// Tie-break: Bland (lowest basis index) to avoid cycling.
-			if bland && t.basis[i] < t.basis[best] {
-				best = i
-			} else if !bland && t.rows[i][col] > t.rows[best][col] {
-				best = i // prefer larger pivot for stability
-			}
-		}
-	}
-	return best
-}
-
-func (t *tableau) pivot(row, col int) {
-	pr := t.rows[row]
-	pv := pr[col]
-	inv := 1 / pv
-	for j := range pr {
-		pr[j] *= inv
-	}
-	pr[col] = 1 // exact
-	for i := 0; i < t.m; i++ {
-		if i == row {
-			continue
-		}
-		if f := t.rows[i][col]; f != 0 {
-			addScaled(t.rows[i], pr, -f)
-			t.rows[i][col] = 0
-		}
-	}
-	if f := t.obj[col]; f != 0 {
-		addScaled(t.obj, pr, -f)
-		t.obj[col] = 0
-	}
-	t.basis[row] = col
-}
-
-func (t *tableau) extract(n int) []float64 {
-	x := make([]float64, n)
-	for i, b := range t.basis {
-		if b < n {
-			x[b] = t.rows[i][t.ncol]
-		}
-	}
-	// Clamp tiny negatives introduced by roundoff.
-	for j := range x {
-		if x[j] < 0 && x[j] > -1e-9 {
-			x[j] = 0
-		}
-	}
-	return x
+	ws := Get()
+	defer Put(ws)
+	load(ws, p)
+	return ws.SolveMax(p.C).Status, nil
 }
 
 // addScaled computes dst += f*src element-wise.

@@ -1,0 +1,170 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// loadWorkspace assembles p into ws the way hot-path callers do.
+func loadWorkspace(ws *Workspace, p Problem) {
+	ws.Begin(len(p.C))
+	for i, row := range p.A {
+		copy(ws.AppendRow(p.B[i]), row)
+	}
+}
+
+// TestWorkspaceMatchesSolve: the workspace path must agree with the
+// compatibility wrapper on status, objective, and maximizer across random
+// feasible problems.
+func TestWorkspaceMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ws := Get()
+	defer Put(ws)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(25)
+		p := feasibleOrigin(rng, n, m)
+		want, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadWorkspace(ws, p)
+		got := ws.SolveMax(p.C)
+		if got.Status != want.Status {
+			t.Fatalf("trial %d: status %v, want %v", trial, got.Status, want.Status)
+		}
+		if got.Status == Optimal {
+			if !approx(got.Objective, want.Objective, 1e-8) {
+				t.Fatalf("trial %d: objective %v, want %v", trial, got.Objective, want.Objective)
+			}
+			for j := range got.X {
+				if !approx(got.X[j], want.X[j], 1e-8) {
+					t.Fatalf("trial %d: X[%d] = %v, want %v", trial, j, got.X[j], want.X[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceInfeasibleAndUnbounded covers the non-optimal statuses on the
+// workspace path, including reuse across statuses.
+func TestWorkspaceInfeasibleAndUnbounded(t *testing.T) {
+	ws := Get()
+	defer Put(ws)
+
+	loadWorkspace(ws, Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}})
+	if res := ws.SolveMax([]float64{1}); res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+	loadWorkspace(ws, Problem{C: []float64{1, 0}, A: [][]float64{{0, 1}}, B: []float64{5}})
+	if res := ws.SolveMax([]float64{1, 0}); res.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+	// Reuse after failure statuses must still solve correctly.
+	loadWorkspace(ws, Problem{C: []float64{3, 2}, A: [][]float64{{1, 1}, {1, 3}}, B: []float64{4, 6}})
+	res := ws.SolveMax([]float64{3, 2})
+	if res.Status != Optimal || !approx(res.Objective, 12, 1e-8) {
+		t.Fatalf("got %v obj=%v, want optimal 12", res.Status, res.Objective)
+	}
+}
+
+// TestWorkspaceNoConstraints covers the m == 0 trivial path: no allocation
+// beyond the (reused) zero point, correct statuses.
+func TestWorkspaceNoConstraints(t *testing.T) {
+	ws := Get()
+	defer Put(ws)
+	ws.Begin(2)
+	res := ws.SolveMax([]float64{-1, -2})
+	if res.Status != Optimal || res.Objective != 0 {
+		t.Fatalf("got %v obj=%v, want optimal 0", res.Status, res.Objective)
+	}
+	if len(res.X) != 2 || res.X[0] != 0 || res.X[1] != 0 {
+		t.Fatalf("X = %v, want origin", res.X)
+	}
+	ws.Begin(1)
+	if res := ws.SolveMax([]float64{1}); res.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", res.Status)
+	}
+}
+
+// TestSolveStatusMatchesSolve: the status-only entry point agrees with Solve.
+func TestSolveStatusMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	probs := []Problem{
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}},
+		{C: []float64{1, 0}, A: [][]float64{{0, 1}}, B: []float64{5}},
+		{C: []float64{-1, -2}},
+		feasibleOrigin(rng, 3, 10),
+	}
+	for i, p := range probs {
+		want, err1 := Solve(p)
+		got, err2 := SolveStatus(p)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("case %d: errs %v %v", i, err1, err2)
+		}
+		if got != want.Status {
+			t.Fatalf("case %d: SolveStatus = %v, Solve = %v", i, got, want.Status)
+		}
+	}
+	if _, err := SolveStatus(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+// TestWorkspaceSolveZeroAllocs is the allocation regression gate of the
+// zero-allocation kernel: after one warm-up solve grows the buffers, a
+// steady-state Begin/AppendRow/SolveMax cycle must not touch the heap.
+func TestWorkspaceSolveZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := feasibleOrigin(rng, 4, 40)
+	ws := Get()
+	defer Put(ws)
+	solve := func() {
+		loadWorkspace(ws, p)
+		if res := ws.SolveMax(p.C); res.Status != Optimal {
+			t.Fatalf("status = %v, want optimal", res.Status)
+		}
+	}
+	solve() // warm up: grow all buffers
+	if allocs := testing.AllocsPerRun(100, solve); allocs != 0 {
+		t.Fatalf("steady-state Workspace.Solve allocates %.1f objects per run, want 0", allocs)
+	}
+	// The trivial m == 0 path must be allocation-free too.
+	trivial := func() {
+		ws.Begin(4)
+		if res := ws.SolveMax(p.C[:4]); res.Status != Optimal && res.Status != Unbounded {
+			t.Fatalf("unexpected status %v", res.Status)
+		}
+	}
+	trivial()
+	if allocs := testing.AllocsPerRun(100, trivial); allocs != 0 {
+		t.Fatalf("m==0 Workspace.Solve allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkLPSolve measures the steady-state workspace solve on a
+// geometry-sized problem (4 vars, 40 rows — a mid-build cell feasibility
+// LP), with the legacy allocate-per-call wrapper as the contrast series.
+func BenchmarkLPSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := feasibleOrigin(rng, 4, 40)
+	b.Run("workspace", func(b *testing.B) {
+		ws := Get()
+		defer Put(ws)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loadWorkspace(ws, p)
+			if res := ws.SolveMax(p.C); res.Status != Optimal {
+				b.Fatalf("status = %v", res.Status)
+			}
+		}
+	})
+	b.Run("wrapper", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package pool
+
+import "sync"
+
+// Scratch is a typed free list over sync.Pool for per-goroutine reusable
+// workspaces (LP tableaus, projection buffers, scratch regions). Get either
+// pops a recycled value or constructs a fresh one; Put returns it for reuse.
+//
+// The contract mirrors sync.Pool: values carry no identity, may be dropped
+// under memory pressure, and must be fully re-initialized by their owner on
+// Get (the constructors and Reset methods of the workspace types do this).
+// Each ForEach worker goroutine that Gets a workspace and Puts it back when
+// done effectively owns a private instance for the duration of a task, so
+// steady-state building and querying stop allocating once the pools warm up.
+type Scratch[T any] struct {
+	pool sync.Pool
+}
+
+// NewScratch returns a recycler whose Get constructs values with fresh when
+// the free list is empty.
+func NewScratch[T any](fresh func() *T) *Scratch[T] {
+	return &Scratch[T]{pool: sync.Pool{New: func() any { return fresh() }}}
+}
+
+// Get pops a recycled value or constructs a fresh one.
+func (s *Scratch[T]) Get() *T { return s.pool.Get().(*T) }
+
+// Put recycles v for a future Get. v must not be used after Put.
+func (s *Scratch[T]) Put(v *T) { s.pool.Put(v) }
