@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-smoke lvbench fuzz-smoke
+.PHONY: ci vet fmt-check build test race bench bench-smoke lvbench fuzz-smoke obs-smoke
 
-ci: vet fmt-check build race fuzz-smoke bench-smoke
+ci: vet fmt-check build race fuzz-smoke bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,14 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -run xxx \
 		./internal/lp ./internal/geom | $(GO) run ./cmd/benchjson > BENCH_lp.json
 	@echo "wrote BENCH_lp.json"
+
+# Observability smoke: scrape /v1/metrics through httptest, assert the
+# exposition parses and every promised metric family is present, and lint
+# each registered metric name against the Prometheus naming convention.
+# The zero-allocation guard for the disabled tracer path rides along.
+obs-smoke:
+	$(GO) test ./internal/serve -run 'TestMetricsEndpoint|TestMetricNamesLint' -count 1
+	$(GO) test . -run 'TestNoopTracerZeroAlloc' -count 1
 
 # Short fuzz runs over the two parsers that face crash-damaged or hostile
 # bytes: the WAL segment reader and the index deserializer.

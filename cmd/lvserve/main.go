@@ -19,6 +19,15 @@
 //	curl -X POST -d '{"option":[0.95,0.95]}' localhost:8080/v1/insert
 //	curl localhost:8080/v1/admin/status
 //
+// Observability: every request is access-logged through log/slog
+// (-log-level, -log-format) and counted into the Prometheus metrics served
+// at GET /v1/metrics; -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ for live profiling:
+//
+//	lvserve -in hotels.txt -log-format json -pprof
+//	curl localhost:8080/v1/metrics
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
+//
 // SIGINT/SIGTERM trigger a graceful stop: in-flight requests drain (bounded
 // by -drain) and, in durable mode, a final snapshot is written so the next
 // start replays nothing.
@@ -36,6 +45,7 @@ import (
 
 	tlx "tlevelindex"
 	"tlevelindex/internal/dataio"
+	"tlevelindex/internal/obs"
 	"tlevelindex/internal/serve"
 	"tlevelindex/internal/store"
 )
@@ -48,7 +58,16 @@ func main() {
 	snapBytes := flag.Int64("snapshot-bytes", 4<<20, "auto-snapshot after this many WAL bytes (durable mode; <=0 disables)")
 	snapRecords := flag.Int("snapshot-records", 1024, "auto-snapshot after this many WAL records (durable mode; <=0 disables)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	progress := flag.Bool("progress", false, "log per-level build progress (cells/sec)")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -63,41 +82,51 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
+		var buildOpts []tlx.Option
+		if *progress {
+			buildOpts = append(buildOpts, tlx.WithProgress(func(p tlx.BuildProgress) {
+				log.Info("build progress", "algorithm", p.Algorithm,
+					"level", p.Level, "maxLevel", p.MaxLevel,
+					"levelCells", p.LevelCells, "cellsPerSec", p.CellsPerSec,
+					"elapsed", p.Elapsed.String())
+			}))
+		}
 		start := time.Now()
-		ix, err := tlx.Build(data, *tau)
+		ix, err := tlx.Build(data, *tau, buildOpts...)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("indexed %d options (tau=%d, %d cells) in %v\n",
-			len(data), ix.Tau(), ix.NumCells(), time.Since(start))
+		log.Info("index built", "options", len(data), "tau", ix.Tau(),
+			"cells", ix.NumCells(), "took", time.Since(start).String())
 		return ix, nil
 	}
 
+	handlerOpts := []serve.HandlerOption{serve.WithLogger(log)}
+	if *pprofOn {
+		handlerOpts = append(handlerOpts, serve.WithPprof())
+	}
 	var handler *serve.Handler
 	var st *store.Store
 	if *dataDir != "" {
-		var err error
 		st, err = store.Open(store.Options{
 			Dir:             *dataDir,
 			SnapshotBytes:   *snapBytes,
 			SnapshotRecords: *snapRecords,
-			Logf: func(format string, args ...interface{}) {
-				fmt.Printf(format+"\n", args...)
-			},
+			Logger:          log,
 		}, build)
 		if err != nil {
 			fatal(err)
 		}
 		status := st.Status()
-		fmt.Printf("recovered from %s (lsn %d, %d records replayed)\n",
-			status.RecoveredFrom, status.AppliedLSN, status.RecordsReplayed)
-		handler = serve.NewStoreHandler(st)
+		log.Info("store ready", "recoveredFrom", status.RecoveredFrom,
+			"appliedLsn", status.AppliedLSN, "replayed", status.RecordsReplayed)
+		handler = serve.NewStoreHandler(st, handlerOpts...)
 	} else {
 		ix, err := build()
 		if err != nil {
 			fatal(err)
 		}
-		handler = serve.NewHandler(ix)
+		handler = serve.NewHandler(ix, handlerOpts...)
 	}
 
 	srv := &http.Server{
@@ -107,7 +136,7 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s\n", *addr)
+		log.Info("listening", "addr", *addr, "pprof", *pprofOn)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -116,12 +145,12 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills us
-		fmt.Println("shutting down...")
+		log.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := srv.Shutdown(shutCtx)
 		cancel()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lvserve: drain:", err)
+			log.Error("drain failed", "err", err)
 		}
 		if st != nil {
 			// Close takes a final snapshot, so a clean stop replays nothing

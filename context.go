@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/obs"
 )
 
 // This file holds the context-aware query variants. Each one behaves like
@@ -19,8 +20,50 @@ import (
 //     of extending best-effort over the filtered pool like the plain
 //     methods do.
 //
+// Partial stats on cancellation: when a traversal is abandoned mid-walk,
+// every variant returns the context's error together with a non-nil result
+// whose Stats field reports the QueryStats accumulated before the
+// abandonment (the answer fields themselves are incomplete and must not be
+// interpreted). Validation failures — bad weights, bad k, ErrNeedsFullData —
+// still return a nil result: no traversal ran, so there are no stats.
+//
 // Variants whose depth stays within the materialized levels are pure
 // lookups and safe to call concurrently from many goroutines.
+
+// querySpan bundles the per-query tracing state. With no tracer attached
+// (the default) starting and finishing it performs one atomic load and two
+// nil checks and allocates nothing.
+type querySpan struct {
+	tr Tracer
+	sp obs.Span
+	wf uint64 // witness fast-path counter baseline
+}
+
+func (ix *Index) startQuerySpan(name string) querySpan {
+	q := querySpan{tr: ix.loadTracer()}
+	if q.tr != nil {
+		q.sp = obs.StartSpan(name)
+		s, e, c := geom.WitnessStats()
+		q.wf = s + e + c
+	}
+	return q
+}
+
+// finish stamps traversal stats onto the span and delivers it. The
+// witnessFastPaths attribute is the delta of the process-wide fast-path
+// counters over the query, so under concurrent queries it is an
+// approximation that attributes overlapping work to whichever span closes.
+func (q *querySpan) finish(st QueryStats, err error) {
+	if q.tr == nil {
+		return
+	}
+	s, e, c := geom.WitnessStats()
+	q.sp.Err = err
+	q.sp.Set("visitedCells", float64(st.VisitedCells))
+	q.sp.Set("lpCalls", float64(st.LPCalls))
+	q.sp.Set("witnessFastPaths", float64(s+e+c-q.wf))
+	q.sp.FinishTo(q.tr)
+}
 
 // needsData enforces the strict-depth rule of the context variants.
 func (ix *Index) needsData(k int) error {
@@ -40,6 +83,10 @@ type TopKResult struct {
 
 // TopKContext is TopK with cancellation and strict-depth behavior; it also
 // exports QueryStats, which the plain TopK does not.
+//
+// On cancellation it returns ctx's error together with a non-nil result
+// carrying the partial QueryStats and the ranks resolved before the
+// abandonment.
 func (ix *Index) TopKContext(ctx context.Context, w []float64, k int) (*TopKResult, error) {
 	if k < 1 {
 		return nil, errors.New("tlevelindex: k must be >= 1")
@@ -51,18 +98,20 @@ func (ix *Index) TopKContext(ctx context.Context, w []float64, k int) (*TopKResu
 	if err != nil {
 		return nil, err
 	}
+	q := ix.startQuerySpan("query.topk")
 	opts, st, err := ix.inner.TopKCtx(ctx, x, k)
-	if err != nil {
-		return nil, err
-	}
+	q.finish(exportStats(st), err)
 	out := &TopKResult{Stats: exportStats(st)}
 	for _, o := range opts {
 		out.Options = append(out.Options, ix.origID(o))
 	}
-	return out, nil
+	return out, err
 }
 
-// KSPRContext is KSPR with cancellation and strict-depth behavior.
+// KSPRContext is KSPR with cancellation and strict-depth behavior. On
+// cancellation it returns ctx's error together with a non-nil result whose
+// Stats carry the traversal work done before the abandonment (Regions is
+// left empty).
 func (ix *Index) KSPRContext(ctx context.Context, k, focal int) (*KSPRResult, error) {
 	if k < 1 {
 		return nil, errors.New("tlevelindex: k must be >= 1")
@@ -83,18 +132,22 @@ func (ix *Index) KSPRContext(ctx context.Context, k, focal int) (*KSPRResult, er
 	if fid < 0 {
 		return &KSPRResult{}, nil
 	}
+	q := ix.startQuerySpan("query.kspr")
 	res, err := ix.inner.KSPRCtx(ctx, k, fid)
-	if err != nil {
-		return nil, err
-	}
+	q.finish(exportStats(res.Stats), err)
 	out := &KSPRResult{Stats: exportStats(res.Stats)}
+	if err != nil {
+		return out, err
+	}
 	for _, id := range res.Cells {
 		out.Regions = append(out.Regions, exportRegion(ix.inner.Region(id)))
 	}
 	return out, nil
 }
 
-// UTKContext is UTK with cancellation and strict-depth behavior.
+// UTKContext is UTK with cancellation and strict-depth behavior. On
+// cancellation it returns ctx's error together with a non-nil result whose
+// Stats carry the traversal work done before the abandonment.
 func (ix *Index) UTKContext(ctx context.Context, k int, lo, hi []float64) (*UTKResult, error) {
 	if k < 1 {
 		return nil, errors.New("tlevelindex: k must be >= 1")
@@ -110,11 +163,13 @@ func (ix *Index) UTKContext(ctx context.Context, k int, lo, hi []float64) (*UTKR
 	if err := ix.needsData(k); err != nil {
 		return nil, err
 	}
+	q := ix.startQuerySpan("query.utk")
 	res, err := ix.inner.UTKCtx(ctx, k, geom.NewBox(lo, hi))
-	if err != nil {
-		return nil, err
-	}
+	q.finish(exportStats(res.Stats), err)
 	out := &UTKResult{Stats: exportStats(res.Stats)}
+	if err != nil {
+		return out, err
+	}
 	for _, o := range res.Options {
 		out.Options = append(out.Options, ix.origID(o))
 	}
@@ -128,7 +183,9 @@ func (ix *Index) UTKContext(ctx context.Context, k int, lo, hi []float64) (*UTKR
 	return out, nil
 }
 
-// ORUContext is ORU with cancellation and strict-depth behavior.
+// ORUContext is ORU with cancellation and strict-depth behavior. On
+// cancellation it returns ctx's error together with a non-nil result
+// carrying the partial QueryStats and the options collected so far.
 func (ix *Index) ORUContext(ctx context.Context, k int, w []float64, m int) (*ORUResult, error) {
 	if k < 1 || m < 1 {
 		return nil, errors.New("tlevelindex: k and m must be >= 1")
@@ -140,15 +197,14 @@ func (ix *Index) ORUContext(ctx context.Context, k int, w []float64, m int) (*OR
 	if err != nil {
 		return nil, err
 	}
+	q := ix.startQuerySpan("query.oru")
 	res, err := ix.inner.ORUCtx(ctx, k, x, m)
-	if err != nil {
-		return nil, err
-	}
+	q.finish(exportStats(res.Stats), err)
 	out := &ORUResult{Rho: res.Rho, Stats: exportStats(res.Stats)}
 	for _, o := range res.Options {
 		out.Options = append(out.Options, ix.origID(o))
 	}
-	return out, nil
+	return out, err
 }
 
 // MaxRankResult carries a best-achievable-rank answer together with its
@@ -162,7 +218,9 @@ type MaxRankResult struct {
 
 // MaxRankContext is MaxRank with cancellation; it also exports QueryStats,
 // which the plain MaxRank does not. MaxRank never extends the index, so no
-// strict-depth check applies.
+// strict-depth check applies. On cancellation it returns ctx's error
+// together with a non-nil result carrying the partial QueryStats (Rank is
+// meaningless then).
 func (ix *Index) MaxRankContext(ctx context.Context, opt int) (*MaxRankResult, error) {
 	if opt < 0 {
 		return nil, fmt.Errorf("tlevelindex: invalid option %d", opt)
@@ -171,14 +229,15 @@ func (ix *Index) MaxRankContext(ctx context.Context, opt int) (*MaxRankResult, e
 	if fid < 0 {
 		return &MaxRankResult{Rank: -1}, nil
 	}
+	q := ix.startQuerySpan("query.maxrank")
 	rank, st, err := ix.inner.MaxRankCtx(ctx, fid)
-	if err != nil {
-		return nil, err
-	}
-	return &MaxRankResult{Rank: rank, Stats: exportStats(st)}, nil
+	q.finish(exportStats(st), err)
+	return &MaxRankResult{Rank: rank, Stats: exportStats(st)}, err
 }
 
-// WhyNotContext is WhyNot with cancellation and strict-depth behavior.
+// WhyNotContext is WhyNot with cancellation and strict-depth behavior. On
+// cancellation it returns ctx's error together with a non-nil result whose
+// Stats carry the work done before the abandonment.
 func (ix *Index) WhyNotContext(ctx context.Context, opt int, w []float64, k int) (*WhyNotResult, error) {
 	if k < 1 {
 		return nil, errors.New("tlevelindex: k must be >= 1")
@@ -194,14 +253,13 @@ func (ix *Index) WhyNotContext(ctx context.Context, opt int, w []float64, k int)
 	if fid < 0 {
 		return &WhyNotResult{Rank: -1, MinShift: -1}, nil
 	}
+	q := ix.startQuerySpan("query.whynot")
 	res, err := ix.inner.WhyNotCtx(ctx, fid, x, k)
-	if err != nil {
-		return nil, err
-	}
+	q.finish(exportStats(res.Stats), err)
 	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist,
 		Stats: exportStats(res.Stats)}
 	if res.NearestPoint != nil {
 		out.SuggestedW = geom.Lift(res.NearestPoint)
 	}
-	return out, nil
+	return out, err
 }

@@ -63,7 +63,9 @@ func (r *Region) dykstra(ps *projScratch, x []float64) []float64 {
 	corr := ps.corr
 	ps.tmp = growZero(ps.tmp[:0], dim)
 	tmp := ps.tmp
+	cycles := 0
 	for cycle := 0; cycle < dykstraMaxCycles; cycle++ {
+		cycles = cycle + 1
 		moved := 0.0
 		for i, h := range r.HS {
 			if triv, _ := h.Trivial(); triv {
@@ -95,6 +97,8 @@ func (r *Region) dykstra(ps *projScratch, x []float64) []float64 {
 			break
 		}
 	}
+	dykstraCalls.Add(1)
+	dykstraCycles.Add(uint64(cycles))
 	return cur
 }
 

@@ -295,6 +295,7 @@ func (r *Region) Feasible() bool {
 	}
 	if !fastPathsOff.Load() {
 		if _, ok := r.Witness(); ok {
+			witnessSettles.Add(1)
 			return true
 		}
 	}
@@ -388,6 +389,7 @@ func (r *Region) ContainsHalfspace(h Halfspace) bool {
 		return true
 	}
 	if r.witnessIn() && h.Eval(r.witness) > ContainTol {
+		witnessEscapes.Add(1)
 		return false // the witness itself escapes h
 	}
 	max, ok := r.maximize(h.A)
@@ -430,6 +432,7 @@ func Classify(r *Region, h Halfspace) Rel {
 	if r.witnessIn() {
 		switch v := h.Eval(r.witness); {
 		case v > ContainTol:
+			witnessClassifies.Add(1)
 			// The witness escapes h: RelInside is impossible; decide between
 			// RelOutside and RelSplit with the one remaining LP.
 			min, ok := r.maximize(neg.A)
@@ -441,6 +444,7 @@ func Classify(r *Region, h Halfspace) Rel {
 			}
 			return RelSplit
 		case v < -ContainTol:
+			witnessClassifies.Add(1)
 			// The witness is strictly inside h: RelOutside is impossible.
 			max, ok := r.maximize(h.A)
 			if !ok {

@@ -1,0 +1,29 @@
+package geom
+
+import "sync/atomic"
+
+// Process-wide instrumentation counters for the predicate layer. They are
+// plain atomic adds on paths that each replace (or bound) an LP solve, so
+// the cost is noise relative to the work being counted and nothing here
+// allocates — the predicate layer stays zero-allocation with or without a
+// scraper attached.
+var (
+	witnessSettles    atomic.Uint64 // Feasible answered by a cached witness
+	witnessEscapes    atomic.Uint64 // ContainsHalfspace refuted by the witness
+	witnessClassifies atomic.Uint64 // Classify sides settled by the witness
+	dykstraCalls      atomic.Uint64
+	dykstraCycles     atomic.Uint64
+)
+
+// WitnessStats returns cumulative witness fast-path hits: Feasible calls
+// settled without an LP, ContainsHalfspace refutations, and Classify calls
+// where the witness eliminated one side's LP.
+func WitnessStats() (settles, escapes, classifies uint64) {
+	return witnessSettles.Load(), witnessEscapes.Load(), witnessClassifies.Load()
+}
+
+// DykstraStats returns the number of Dykstra projection runs and the total
+// alternating-projection cycles they consumed.
+func DykstraStats() (calls, cycles uint64) {
+	return dykstraCalls.Load(), dykstraCycles.Load()
+}

@@ -6,8 +6,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"tlevelindex/internal/dg"
+	"tlevelindex/internal/obs"
 	"tlevelindex/internal/skyline"
 )
 
@@ -74,6 +76,30 @@ type Config struct {
 	// count: the parallel phases only compute, and all structural mutations
 	// are applied sequentially in input order.
 	Workers int
+	// Trace, when non-nil, receives build-phase spans: "build.filter",
+	// "build.<algorithm>", "build.compact", one "build.level" span per
+	// materialized level of the partition-based builders, and
+	// "extend.level" spans from later on-demand extension. nil disables
+	// tracing; instrumented code then only pays a nil check.
+	Trace obs.Tracer
+	// Progress, when non-nil, is called after every completed level of a
+	// partition-based build (and of on-demand extension) with cells/sec
+	// throughput, so long builds can be watched. Called from the build
+	// goroutine; it must not call back into the index.
+	Progress func(BuildProgress)
+}
+
+// BuildProgress is one progress report from a partition-based build or an
+// on-demand extension.
+type BuildProgress struct {
+	Algorithm  string
+	Level      int // level just materialized (1-based)
+	MaxLevel   int // target level: τ for builds, k for extension
+	LevelCells int // cells in the completed level after merging
+	// Elapsed is wall time since the build (or extension) started;
+	// CellsPerSec is the completed level's instantaneous throughput.
+	Elapsed     time.Duration
+	CellsPerSec float64
 }
 
 // OnionMode controls the onion-layer filter.
@@ -109,6 +135,10 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 		return nil, errors.New("index: tau must be >= 1")
 	}
 
+	var filterSpan obs.Span
+	if cfg.Trace != nil {
+		filterSpan = obs.StartSpan("build.filter")
+	}
 	uniq, uniqIDs := dedupeOptions(data)
 	var filtered []int
 	if cfg.SkipFilter {
@@ -152,12 +182,20 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	if tau > len(pts) {
 		tau = len(pts)
 	}
+	if cfg.Trace != nil {
+		filterSpan.Set("input", float64(len(data)))
+		filterSpan.Set("unique", float64(len(uniq)))
+		filterSpan.Set("filtered", float64(len(pts)))
+		filterSpan.FinishTo(cfg.Trace)
+	}
 
 	ix := &Index{
 		Dim: d, Tau: tau,
 		Pts: pts, OrigIDs: orig,
 		workers:  cfg.Workers,
 		verdicts: dg.NewVerdictCache(),
+		trace:    cfg.Trace,
+		progress: cfg.Progress,
 	}
 	if !cfg.DropFullData {
 		ix.fullPts = data
@@ -168,6 +206,10 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 
 	ix.newCell(0, NoOption, nil, []int32{})
 
+	var buildSpan obs.Span
+	if cfg.Trace != nil {
+		buildSpan = obs.StartSpan("build." + cfg.Algorithm.String())
+	}
 	switch cfg.Algorithm {
 	case PBAPlus:
 		buildPBA(ix, true)
@@ -189,8 +231,25 @@ func Build(data [][]float64, cfg Config) (*Index, error) {
 	default:
 		return nil, fmt.Errorf("index: unknown algorithm %v", cfg.Algorithm)
 	}
+	ix.refreshVerdictStats()
+	if cfg.Trace != nil {
+		buildSpan.Set("cells", float64(ix.NumCells()))
+		buildSpan.Set("lpCalls", float64(ix.Stats.LPCalls))
+		buildSpan.Set("verdictHits", float64(ix.Stats.VerdictHits))
+		buildSpan.Set("verdictMisses", float64(ix.Stats.VerdictMisses))
+		buildSpan.Set("verdictHitRate", ix.Stats.VerdictHitRate())
+		buildSpan.FinishTo(cfg.Trace)
+	}
+	var compactSpan obs.Span
+	if cfg.Trace != nil {
+		compactSpan = obs.StartSpan("build.compact")
+	}
 	ix.compact()
 	ix.fillCellStats()
+	if cfg.Trace != nil {
+		compactSpan.Set("cells", float64(ix.NumCells()))
+		compactSpan.FinishTo(cfg.Trace)
+	}
 	return ix, nil
 }
 

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"time"
+
 	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
 	"tlevelindex/internal/pool"
@@ -39,7 +41,16 @@ func (ix *Index) ensureLevels(k int) {
 	}
 	ext := ix.ext
 	ix.ensurePool(k)
+	instrumented := ix.trace != nil || ix.progress != nil
+	var extendStart, levelStart time.Time
+	if instrumented {
+		extendStart = time.Now()
+	}
 	for l := ext.maxLevel; l < k; l++ {
+		if instrumented {
+			levelStart = time.Now()
+		}
+		lpBefore := ix.Stats.LPCalls
 		parents := ix.levelCells(l)
 		// Parallel compute: each leaf cell's candidate refinement and
 		// feasibility LPs are independent. Cells and edges are then
@@ -67,7 +78,12 @@ func (ix *Index) ensureLevels(k int) {
 		merged := ix.mergeLevel(created)
 		ext.levels[l+1] = merged
 		ext.maxLevel = l + 1
+		if instrumented {
+			ix.reportLevel("extend.level", l+1, k, len(merged),
+				ix.Stats.LPCalls-lpBefore, extendStart, levelStart)
+		}
 	}
+	ix.refreshVerdictStats()
 }
 
 // ensurePool grows the filtered option set to the k-skyband of the full

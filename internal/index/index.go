@@ -19,6 +19,7 @@ import (
 
 	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/obs"
 )
 
 // NoOption marks the entry cell's option slot.
@@ -51,6 +52,23 @@ type BuildStats struct {
 	CellsPerLevel        []int
 	HyperplanesPerCell   []float64
 	LPCalls              int64
+	// VerdictCache effectiveness over the build (and any later extension):
+	// memoized LP verdicts served vs computed fresh, and entries held.
+	// Like the cache itself these are not serialized; a loaded index
+	// reports zeros.
+	VerdictHits    uint64
+	VerdictMisses  uint64
+	VerdictEntries int
+}
+
+// VerdictHitRate returns the fraction of verdict lookups served from the
+// cache, or 0 when there were none.
+func (s *BuildStats) VerdictHitRate() float64 {
+	total := s.VerdictHits + s.VerdictMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.VerdictHits) / float64(total)
 }
 
 // Index is a built τ-LevelIndex.
@@ -79,6 +97,21 @@ type Index struct {
 	// indexes share their parent's cache. Not serialized (nil after Load,
 	// which the cache treats as always-miss).
 	verdicts *dg.VerdictCache
+	// trace and progress carry the build-time observability hooks from
+	// Config into the level loops (and later on-demand extension). Both may
+	// be nil, which disables them at the cost of one nil check. Not
+	// serialized.
+	trace    obs.Tracer
+	progress func(BuildProgress)
+}
+
+// refreshVerdictStats copies the verdict-cache counters into Stats; called
+// at the end of Build and of every on-demand extension.
+func (ix *Index) refreshVerdictStats() {
+	hits, misses, size := ix.verdicts.Stats()
+	ix.Stats.VerdictHits = hits
+	ix.Stats.VerdictMisses = misses
+	ix.Stats.VerdictEntries = size
 }
 
 // Workers returns the configured worker bound (0 meaning the GOMAXPROCS

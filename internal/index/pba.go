@@ -2,9 +2,11 @@ package index
 
 import (
 	"math/rand"
+	"time"
 
 	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
+	"tlevelindex/internal/obs"
 	"tlevelindex/internal/pool"
 )
 
@@ -88,7 +90,19 @@ func buildPBA(ix *Index, plus bool) {
 	ix.Stats.PostFilterCandidates = make([]float64, ix.Tau)
 	ix.Stats.ActualCandidates = make([]float64, ix.Tau)
 
+	// Per-level observability: spans and cells/sec progress, both off (and
+	// unstamped — no clock reads) unless a hook is attached.
+	instrumented := ix.trace != nil || ix.progress != nil
+	var buildStart, levelStart time.Time
+	if instrumented {
+		buildStart = time.Now()
+	}
+
 	for l := 0; l < ix.Tau; l++ {
+		if instrumented {
+			levelStart = time.Now()
+		}
+		lpBefore := ix.Stats.LPCalls
 		// Parallel compute phase: candidate refinement and feasibility.
 		results := make([]pbaResult, len(cur))
 		pool.ForEach(ix.workers, len(cur), func(i int) {
@@ -146,6 +160,37 @@ func buildPBA(ix *Index, plus bool) {
 			cur = append(cur, wk)
 		}
 		ix.Levels[l+1] = append([]int32(nil), merged...)
+		if instrumented {
+			ix.reportLevel("build.level", l+1, ix.Tau, len(merged),
+				ix.Stats.LPCalls-lpBefore, buildStart, levelStart)
+		}
+	}
+}
+
+// reportLevel emits the per-level span and progress callback shared by the
+// partition builders and on-demand extension.
+func (ix *Index) reportLevel(spanName string, level, maxLevel, cells int, lpCalls int64, buildStart, levelStart time.Time) {
+	took := time.Since(levelStart)
+	if ix.trace != nil {
+		sp := obs.Span{Name: spanName, Start: levelStart}
+		sp.Set("level", float64(level))
+		sp.Set("cells", float64(cells))
+		sp.Set("lpCalls", float64(lpCalls))
+		sp.FinishTo(ix.trace)
+	}
+	if ix.progress != nil {
+		cps := 0.0
+		if s := took.Seconds(); s > 0 {
+			cps = float64(cells) / s
+		}
+		ix.progress(BuildProgress{
+			Algorithm:   ix.Stats.Algorithm,
+			Level:       level,
+			MaxLevel:    maxLevel,
+			LevelCells:  cells,
+			Elapsed:     time.Since(buildStart),
+			CellsPerSec: cps,
+		})
 	}
 }
 

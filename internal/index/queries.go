@@ -49,8 +49,10 @@ func (ix *Index) KSPR(k int, focal int32) *KSPRResult {
 	return res
 }
 
-// KSPRCtx is KSPR with cancellation checks between cell visits; it returns
-// the context's error when the traversal is abandoned.
+// KSPRCtx is KSPR with cancellation checks between cell visits. When the
+// traversal is abandoned it returns the context's error together with the
+// partial result: Stats reflects the work done up to the abandonment and
+// Cells holds whatever was collected (incomplete).
 func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, error) {
 	res := &KSPRResult{}
 	if k > ix.Tau {
@@ -83,7 +85,7 @@ func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, 
 	}
 	walk(ix.Root())
 	if walkErr != nil {
-		return nil, walkErr
+		return res, walkErr
 	}
 	return res, nil
 }
@@ -113,8 +115,10 @@ func (ix *Index) UTK(k int, box geom.Box) *UTKResult {
 	return res
 }
 
-// UTKCtx is UTK with cancellation checks between cell visits; it returns
-// the context's error when the traversal is abandoned.
+// UTKCtx is UTK with cancellation checks between cell visits. When the
+// traversal is abandoned it returns the context's error together with the
+// partial result: Stats reflects the work done up to the abandonment
+// (Options/Partitions stay empty — they are only assembled at the end).
 func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, error) {
 	res := &UTKResult{}
 	if k > ix.Tau {
@@ -139,7 +143,7 @@ func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, e
 				seen[ch] = true
 				res.Stats.VisitedCells++
 				if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
-					return nil, err
+					return res, err
 				}
 				reg := ix.RegionInto(ch, scratch)
 				hit := false
@@ -276,8 +280,10 @@ func (ix *Index) ORU(k int, x []float64, m int) *ORUResult {
 	return res
 }
 
-// ORUCtx is ORU with cancellation checks between cell visits; it returns
-// the context's error when the traversal is abandoned.
+// ORUCtx is ORU with cancellation checks between cell visits. When the
+// traversal is abandoned it returns the context's error together with the
+// partial result: Stats reflects the work done up to the abandonment and
+// Options holds the options collected so far (fewer than m).
 func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORUResult, error) {
 	res := &ORUResult{}
 	if k > ix.Tau {
@@ -298,7 +304,7 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 		}
 		res.Stats.VisitedCells++
 		if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
-			return nil, err
+			return res, err
 		}
 		c := &ix.Cells[e.cell]
 		if c.Opt != NoOption && int(c.Level) <= k && !optSet[c.Opt] {
@@ -339,8 +345,9 @@ func (ix *Index) TopK(x []float64, k int) ([]int32, QueryStats) {
 	return out, st
 }
 
-// TopKCtx is TopK with cancellation checks between cell visits; it returns
-// the context's error when the walk is abandoned.
+// TopKCtx is TopK with cancellation checks between cell visits. When the
+// walk is abandoned it returns the context's error together with the ranks
+// resolved so far and the QueryStats accumulated up to the abandonment.
 func (ix *Index) TopKCtx(ctx context.Context, x []float64, k int) ([]int32, QueryStats, error) {
 	var st QueryStats
 	if k > ix.Tau {
@@ -358,7 +365,7 @@ func (ix *Index) TopKCtx(ctx context.Context, x []float64, k int) ([]int32, Quer
 		for _, ch := range c.Children {
 			st.VisitedCells++
 			if err := checkCtx(ctx, st.VisitedCells); err != nil {
-				return nil, st, err
+				return out, st, err
 			}
 			if s := geom.Score(ix.Pts[ix.Cells[ch].Opt], x); s > bestScore {
 				best, bestScore = ch, s
@@ -389,8 +396,9 @@ func (ix *Index) MaxRank(focal int32) (int, QueryStats) {
 	return rank, st
 }
 
-// MaxRankCtx is MaxRank with cancellation checks between cell visits; it
-// returns the context's error when the sweep is abandoned.
+// MaxRankCtx is MaxRank with cancellation checks between cell visits. When
+// the sweep is abandoned it returns the context's error together with the
+// QueryStats accumulated up to the abandonment (the rank is meaningless).
 func (ix *Index) MaxRankCtx(ctx context.Context, focal int32) (int, QueryStats, error) {
 	var st QueryStats
 	for l := 1; l <= ix.Tau; l++ {
@@ -436,8 +444,9 @@ func (ix *Index) WhyNot(focal int32, x []float64, k int) *WhyNotResult {
 }
 
 // WhyNotCtx is WhyNot with cancellation checks between cell visits and
-// between region projections; it returns the context's error when the
-// query is abandoned.
+// between region projections. When the query is abandoned it returns the
+// context's error together with the partial result, whose Stats reflect
+// the work done up to the abandonment.
 func (ix *Index) WhyNotCtx(ctx context.Context, focal int32, x []float64, k int) (*WhyNotResult, error) {
 	res := &WhyNotResult{NearestCell: -1, NearestDist: -1}
 	scoreF := geom.Score(ix.Pts[focal], x)
@@ -450,15 +459,15 @@ func (ix *Index) WhyNotCtx(ctx context.Context, focal int32, x []float64, k int)
 	res.RankAtW = rank
 	res.InTopK = rank <= k
 	kspr, err := ix.KSPRCtx(ctx, k, focal)
-	if err != nil {
-		return nil, err
-	}
 	res.Stats = kspr.Stats
+	if err != nil {
+		return res, err
+	}
 	scratch := geom.GetRegion()
 	defer geom.PutRegion(scratch)
 	for _, id := range kspr.Cells {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return res, err
 		}
 		proj, d := ix.RegionInto(id, scratch).Project(x)
 		res.Stats.LPCalls++

@@ -1,0 +1,12 @@
+package lp
+
+import "sync/atomic"
+
+// solveCount tallies SolveMax calls process-wide. A single uncontended
+// atomic add per solve is noise next to a simplex run and allocates
+// nothing, so the zero-allocation guarantee of the kernel is preserved.
+var solveCount atomic.Uint64
+
+// Solves returns the total number of SolveMax calls since process start.
+// The observability layer exposes it as the tlx_lp_solves_total gauge.
+func Solves() uint64 { return solveCount.Load() }

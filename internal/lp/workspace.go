@@ -93,6 +93,7 @@ func (ws *Workspace) Cost() []float64 {
 // memory: it is valid until the next SolveMax, Begin, or Put. A warmed-up
 // workspace performs no heap allocations here.
 func (ws *Workspace) SolveMax(c []float64) Result {
+	solveCount.Add(1)
 	n, m := ws.n, ws.m
 	if m == 0 {
 		// No constraints: optimum 0 at the origin unless some c_j > 0, in

@@ -1,0 +1,395 @@
+// Package obs is the stdlib-only observability layer: a lock-cheap metrics
+// registry with Prometheus text-format exposition, a lightweight span/tracer
+// API for the hot paths, slog construction helpers, and runtime gauges.
+//
+// Metrics are registered get-or-create by (name, labels), so package-level
+// instruments can be declared once and shared across handlers and tests
+// without duplicate-registration panics. All instruments update through
+// atomics; the registry mutex is only taken at registration and scrape time,
+// never on the instrument hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricNameRe is the Prometheus metric-name convention. Kept as a plain
+// validator (no regexp at instrument time) so registration stays cheap.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidMetricName reports whether name follows the Prometheus naming
+// convention ([a-zA-Z_:][a-zA-Z0-9_:]*). Exposed for the registry lint test.
+func ValidMetricName(name string) bool { return validMetricName(name) }
+
+// Label is one metric dimension, e.g. {"endpoint", "topk"}.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; use NewRegistry or the
+// package Default registry.
+type Registry struct {
+	mu        sync.Mutex
+	order     []string // family names in registration order
+	fams      map[string]*family
+	scrapeFns []func()
+}
+
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histogram families only
+	order           []string  // label signatures in registration order
+	metrics         map[string]*metric
+}
+
+// metric is one (family, label-set) series. Exactly one of the value
+// representations is active, selected by the family type.
+type metric struct {
+	labels []Label
+	bits   atomic.Uint64 // counter count / gauge float bits
+	fn     func() float64
+	hist   *histData
+}
+
+type histData struct {
+	counts []atomic.Uint64 // one per bucket bound, +Inf implicit via count
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry that the serve, store, index, lp and
+// geom instrumentation registers into and that GET /v1/metrics exposes.
+func Default() *Registry { return defaultRegistry }
+
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// getOrCreate returns the metric for (name, labels), creating the family
+// and series on first use. Type or bucket mismatches against an existing
+// family panic: they are programmer errors, as is an invalid name.
+func (r *Registry) getOrCreate(name, help, typ string, buckets []float64, labels []Label) *metric {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Name, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			metrics: make(map[string]*metric)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	sig := labelSig(labels)
+	m := f.metrics[sig]
+	if m == nil {
+		m = &metric{labels: append([]Label(nil), labels...)}
+		if typ == "histogram" {
+			m.hist = &histData{counts: make([]atomic.Uint64, len(f.buckets))}
+		}
+		f.metrics[sig] = m
+		f.order = append(f.order, sig)
+	}
+	return m
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ m *metric }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.m.bits.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.m.bits.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.m.bits.Load() }
+
+// Counter returns the counter for (name, labels), registering it on first
+// use. Safe for concurrent use; repeated calls return the same series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{r.getOrCreate(name, help, "counter", nil, labels)}
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ m *metric }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.m.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.m.bits.Load()
+		if g.m.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.m.bits.Load()) }
+
+// Gauge returns the gauge for (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{r.getOrCreate(name, help, "gauge", nil, labels)}
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape time.
+// Re-registering the same (name, labels) replaces the function (last wins),
+// so handlers recreated across tests read the live instance.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	m := r.getOrCreate(name, help, "gauge", nil, labels)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram is a fixed-bucket cumulative histogram of float observations.
+type Histogram struct {
+	m       *metric
+	buckets []float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	d := h.m.hist
+	for i, ub := range h.buckets {
+		if v <= ub {
+			d.counts[i].Add(1)
+			break
+		}
+	}
+	d.count.Add(1)
+	for {
+		old := d.sum.Load()
+		if d.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.m.hist.count.Load() }
+
+// Histogram returns the histogram for (name, labels), registering it on
+// first use with the given bucket upper bounds (must be sorted ascending;
+// the +Inf bucket is implicit). Buckets are fixed by the first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not sorted", name))
+	}
+	m := r.getOrCreate(name, help, "histogram", buckets, labels)
+	r.mu.Lock()
+	b := r.fams[name].buckets
+	r.mu.Unlock()
+	return &Histogram{m: m, buckets: b}
+}
+
+// LatencyBuckets are the default latency histogram bounds in seconds,
+// spanning 10µs..10s — wide enough for both LP-bounded query latencies and
+// fsync-bounded WAL appends.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// OnScrape registers fn to run before every exposition pass (used to
+// refresh runtime gauges). Functions run in registration order.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.scrapeFns = append(r.scrapeFns, fn)
+	r.mu.Unlock()
+}
+
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func writeLabels(w io.Writer, labels []Label, extra ...Label) {
+	if len(labels)+len(extra) == 0 {
+		return
+	}
+	io.WriteString(w, "{")
+	first := true
+	for _, set := range [][]Label{labels, extra} {
+		for _, l := range set {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			io.WriteString(w, l.Name)
+			io.WriteString(w, `="`)
+			io.WriteString(w, escapeLabelValue(l.Value))
+			io.WriteString(w, `"`)
+		}
+	}
+	io.WriteString(w, "}")
+}
+
+func formatFloat(v float64) string {
+	if v == math.Inf(1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4), running OnScrape hooks first.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fns := append([]func(){}, r.scrapeFns...)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, sig := range f.order {
+			m := f.metrics[sig]
+			switch f.typ {
+			case "counter":
+				io.WriteString(w, f.name)
+				writeLabels(w, m.labels)
+				fmt.Fprintf(w, " %d\n", m.bits.Load())
+			case "gauge":
+				v := math.Float64frombits(m.bits.Load())
+				if m.fn != nil {
+					v = m.fn()
+				}
+				io.WriteString(w, f.name)
+				writeLabels(w, m.labels)
+				fmt.Fprintf(w, " %s\n", formatFloat(v))
+			case "histogram":
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += m.hist.counts[i].Load()
+					io.WriteString(w, f.name+"_bucket")
+					writeLabels(w, m.labels, Label{"le", formatFloat(ub)})
+					fmt.Fprintf(w, " %d\n", cum)
+				}
+				io.WriteString(w, f.name+"_bucket")
+				writeLabels(w, m.labels, Label{"le", "+Inf"})
+				fmt.Fprintf(w, " %d\n", m.hist.count.Load())
+				io.WriteString(w, f.name+"_sum")
+				writeLabels(w, m.labels)
+				fmt.Fprintf(w, " %s\n", formatFloat(math.Float64frombits(m.hist.sum.Load())))
+				io.WriteString(w, f.name+"_count")
+				writeLabels(w, m.labels)
+				fmt.Fprintf(w, " %d\n", m.hist.count.Load())
+			}
+		}
+	}
+}
+
+// Handler returns an http.Handler exposing the registry in Prometheus text
+// format, suitable for mounting at /v1/metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidMetricName(t *testing.T) {
+	good := []string{"tlx_http_requests_total", "a", "_x", "ns:sub_total", "A9_b"}
+	bad := []string{"", "9abc", "tlx-http", "tlx.http", "tlx http", "héllo"}
+	for _, n := range good {
+		if !ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("tlx_test_total", "help", Label{"k", "v"})
+	b := r.Counter("tlx_test_total", "help", Label{"k", "v"})
+	c := r.Counter("tlx_test_total", "help", Label{"k", "w"})
+	a.Inc()
+	b.Add(2)
+	c.Inc()
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared series value = %d, want 3", got)
+	}
+	if got := c.Value(); got != 1 {
+		t.Fatalf("distinct series value = %d, want 1", got)
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	r.Counter("bad-name", "")
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tlx_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("tlx_x_total", "")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("tlx_g", "")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tlx_lat_seconds", "latency", []float64{0.01, 0.1, 1}, Label{"op", "x"})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	want := []string{
+		"# TYPE tlx_lat_seconds histogram",
+		`tlx_lat_seconds_bucket{op="x",le="0.01"} 1`,
+		`tlx_lat_seconds_bucket{op="x",le="0.1"} 3`,
+		`tlx_lat_seconds_bucket{op="x",le="1"} 4`,
+		`tlx_lat_seconds_bucket{op="x",le="+Inf"} 5`,
+		`tlx_lat_seconds_sum{op="x"} 5.605`,
+		`tlx_lat_seconds_count{op="x"} 5`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("exposition missing %q\n%s", w, out)
+		}
+	}
+}
+
+func TestGaugeFuncAndOnScrape(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.GaugeFunc("tlx_fn", "", func() float64 { return 42 })
+	// Last registration wins so recreated handlers read the live instance.
+	r.GaugeFunc("tlx_fn", "", func() float64 { return 43 })
+	r.OnScrape(func() { n++ })
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if n != 1 {
+		t.Fatalf("OnScrape ran %d times, want 1", n)
+	}
+	if !strings.Contains(buf.String(), "tlx_fn 43") {
+		t.Fatalf("gauge func not replaced:\n%s", buf.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tlx_esc_total", "", Label{"p", "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `tlx_esc_total{p="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("tlx_conc_total", "")
+			h := r.Histogram("tlx_conc_seconds", "", LatencyBuckets())
+			g := r.Gauge("tlx_conc_g", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("tlx_conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("tlx_conc_seconds", "", LatencyBuckets()).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Gauge("tlx_conc_g", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %v, want 8000", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	var got Span
+	tr := TracerFunc(func(s Span) { got = s })
+	sp := StartSpan("query.topk")
+	sp.Set("lpCalls", 7)
+	sp.Set("visitedCells", 3)
+	time.Sleep(time.Millisecond)
+	sp.FinishTo(tr)
+	if got.Name != "query.topk" {
+		t.Fatalf("span name = %q", got.Name)
+	}
+	if got.Duration <= 0 {
+		t.Fatalf("duration = %v, want > 0", got.Duration)
+	}
+	if v, ok := got.Get("lpCalls"); !ok || v != 7 {
+		t.Fatalf("lpCalls attr = %v %v", v, ok)
+	}
+	if len(got.Attrs()) != 2 {
+		t.Fatalf("attrs = %v", got.Attrs())
+	}
+	// Overflow drops silently.
+	for i := 0; i < 2*maxAttrs; i++ {
+		sp.Set("k", 1)
+	}
+	if len(sp.Attrs()) != maxAttrs {
+		t.Fatalf("attr overflow not capped: %d", len(sp.Attrs()))
+	}
+	// Nil tracer is a no-op.
+	sp2 := StartSpan("x")
+	sp2.FinishTo(nil)
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", 1)
+	if !strings.Contains(buf.String(), `"msg":"hello"`) {
+		t.Fatalf("json log output: %s", buf.String())
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("expected error for bad level")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("expected error for bad format")
+	}
+	NopLogger().Info("dropped")
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, w := range []string{"tlx_runtime_heap_bytes", "tlx_runtime_goroutines", "tlx_runtime_gc_cycles_total", "tlx_runtime_gc_pause_seconds_total"} {
+		if !strings.Contains(out, w+" ") {
+			t.Errorf("runtime exposition missing %s:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "tlx_runtime_goroutines 0\n") {
+		t.Errorf("goroutine gauge not refreshed:\n%s", out)
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+)
+
+// RegisterRuntimeMetrics registers process-health gauges (heap, GC, and
+// goroutine counts) on r, refreshed from runtime/metrics on every scrape
+// rather than on a background ticker — an idle server pays nothing.
+func RegisterRuntimeMetrics(r *Registry) {
+	heapBytes := r.Gauge("tlx_runtime_heap_bytes",
+		"Bytes of heap memory occupied by live and not-yet-swept objects.")
+	goroutines := r.Gauge("tlx_runtime_goroutines",
+		"Current number of goroutines.")
+	gcCycles := r.Gauge("tlx_runtime_gc_cycles_total",
+		"Completed GC cycles since process start.")
+	gcPause := r.Gauge("tlx_runtime_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.")
+
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	var mu sync.Mutex
+	r.OnScrape(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		metrics.Read(samples)
+		if v := samples[0].Value; v.Kind() == metrics.KindUint64 {
+			heapBytes.Set(float64(v.Uint64()))
+		}
+		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+			goroutines.Set(float64(v.Uint64()))
+		}
+		if v := samples[2].Value; v.Kind() == metrics.KindUint64 {
+			gcCycles.Set(float64(v.Uint64()))
+		}
+		// PauseTotalNs has no exact runtime/metrics equivalent (only a
+		// pause-distribution histogram), so it comes from MemStats.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	})
+}

@@ -1,0 +1,86 @@
+package obs
+
+import "time"
+
+// maxAttrs bounds the measurements a span can carry. Spans are plain values
+// with a fixed-size attribute array so that emitting one performs no heap
+// allocation; instrumented code only touches a span at all when a tracer is
+// attached, so the disabled path costs a single nil check.
+const maxAttrs = 10
+
+// Attr is one numeric measurement on a span (counts, ratios, sizes).
+type Attr struct {
+	Key   string
+	Value float64
+}
+
+// Span is one completed instrumented operation: a query traversal, a build
+// phase, a level of on-demand extension. The value passed to a Tracer is a
+// copy; implementations may retain it.
+type Span struct {
+	Name     string // e.g. "query.topk", "build.pba+", "build.level"
+	Start    time.Time
+	Duration time.Duration
+	Err      error // non-nil when the operation was abandoned (e.g. ctx canceled)
+
+	attrs [maxAttrs]Attr
+	n     int
+}
+
+// StartSpan begins a span. Callers should only start spans when a tracer is
+// attached; the pattern is
+//
+//	if tr != nil {
+//		sp := obs.StartSpan("query.topk")
+//		defer func() { sp.Set("lpCalls", ...); sp.FinishTo(tr) }()
+//	}
+func StartSpan(name string) Span {
+	return Span{Name: name, Start: time.Now()}
+}
+
+// Set records a measurement. Attributes beyond the fixed capacity are
+// dropped silently: spans are diagnostics, not a durable record.
+func (s *Span) Set(key string, v float64) {
+	if s.n < maxAttrs {
+		s.attrs[s.n] = Attr{key, v}
+		s.n++
+	}
+}
+
+// Get returns the measurement for key, if recorded.
+func (s *Span) Get(key string) (float64, bool) {
+	for i := 0; i < s.n; i++ {
+		if s.attrs[i].Key == key {
+			return s.attrs[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// Attrs returns the recorded measurements in insertion order. The slice
+// aliases the span's internal array; copy it to retain beyond the callback.
+func (s *Span) Attrs() []Attr { return s.attrs[:s.n] }
+
+// FinishTo stamps the duration and delivers the span. A nil tracer is a
+// no-op, so call sites can finish unconditionally.
+func (s *Span) FinishTo(t Tracer) {
+	if t == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	t.Span(*s)
+}
+
+// Tracer receives completed spans. Implementations must be safe for
+// concurrent use and should return quickly: spans are delivered inline from
+// query and build paths. A nil Tracer everywhere means tracing is disabled
+// and instrumented code skips span construction entirely.
+type Tracer interface {
+	Span(s Span)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Span)
+
+// Span implements Tracer.
+func (f TracerFunc) Span(s Span) { f(s) }

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// doEnvelope performs a request and decodes the JSON error envelope from
+// the response body regardless of status, returning the code and message.
+func doEnvelope(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatalf("%s %s: body is not a JSON envelope: %v", method, url, err)
+	}
+	return resp.StatusCode, envelope.Error
+}
+
+// TestErrorEnvelopes pins the failure surface of the serve layer: every
+// error path must answer with the {"error": "..."} JSON envelope and the
+// documented status code — malformed bodies, wrong-dimension inserts, and
+// writes against a drained (closed) store.
+func TestErrorEnvelopes(t *testing.T) {
+	srv, st := newStoreServer(t, t.TempDir())
+
+	// A syntactically broken JSON body is a 400 with a parse message.
+	code, msg := doEnvelope(t, http.MethodPost, srv.URL+"/v1/insert", `{"option": [0.5,`)
+	if code != http.StatusBadRequest || !strings.Contains(msg, "bad insert body") {
+		t.Errorf("broken body: code=%d msg=%q", code, msg)
+	}
+
+	// A well-formed body whose option has the wrong dimensionality is
+	// rejected by the index, still as a 400 envelope.
+	code, msg = doEnvelope(t, http.MethodPost, srv.URL+"/v1/insert", `{"option": [0.5, 0.5, 0.5]}`)
+	if code != http.StatusBadRequest || msg == "" {
+		t.Errorf("wrong-dimension insert: code=%d msg=%q", code, msg)
+	}
+
+	// Wrong method answers the envelope too, with Allow set.
+	code, msg = doEnvelope(t, http.MethodGet, srv.URL+"/v1/insert", "")
+	if code != http.StatusMethodNotAllowed || !strings.Contains(msg, "not allowed") {
+		t.Errorf("GET insert: code=%d msg=%q", code, msg)
+	}
+
+	// Drain the store: the server still answers, but writes are refused
+	// with the envelope explaining the closed store. Reads keep working
+	// against the in-memory index.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, msg = doEnvelope(t, http.MethodPost, srv.URL+"/v1/insert", `{"option": [0.95, 0.95]}`)
+	if code != http.StatusBadRequest || !strings.Contains(msg, "closed") {
+		t.Errorf("insert on drained store: code=%d msg=%q", code, msg)
+	}
+	if code := getJSON(t, srv.URL+"/v1/topk?w=0.5,0.5&k=1", nil); code != http.StatusOK {
+		t.Errorf("query on drained store: code=%d, want 200", code)
+	}
+	code, msg = doEnvelope(t, http.MethodPost, srv.URL+"/v1/admin/snapshot", "")
+	if code != http.StatusBadRequest || !strings.Contains(msg, "closed") {
+		t.Errorf("snapshot on drained store: code=%d msg=%q", code, msg)
+	}
+}

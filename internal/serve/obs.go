@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/geom"
+	"tlevelindex/internal/lp"
+	"tlevelindex/internal/obs"
+)
+
+// registerProcessGauges registers the process-wide instruments that do not
+// depend on any particular handler: runtime gauges, the LP solve counter,
+// and the geometry fast-path counters. Exposed as gauges reading the
+// package atomics so the hot paths stay free of registry lookups.
+var registerProcessGauges = sync.OnceFunc(func() {
+	obs.RegisterRuntimeMetrics(obs.Default())
+	obs.Default().GaugeFunc("tlx_lp_solves_total",
+		"Linear programs solved since process start.", func() float64 {
+			return float64(lp.Solves())
+		})
+	obs.Default().GaugeFunc("tlx_dykstra_calls_total",
+		"Dykstra projection calls since process start.", func() float64 {
+			calls, _ := geom.DykstraStats()
+			return float64(calls)
+		})
+	obs.Default().GaugeFunc("tlx_dykstra_iterations_total",
+		"Dykstra projection cycles since process start.", func() float64 {
+			_, cycles := geom.DykstraStats()
+			return float64(cycles)
+		})
+	obs.Default().GaugeFunc("tlx_witness_fastpath_total",
+		"Feasibility checks settled by a cached witness point instead of an LP solve.",
+		func() float64 {
+			settles, _, _ := geom.WitnessStats()
+			return float64(settles)
+		}, obs.Label{Name: "kind", Value: "settle"})
+	obs.Default().GaugeFunc("tlx_witness_fastpath_total",
+		"Feasibility checks settled by a cached witness point instead of an LP solve.",
+		func() float64 {
+			_, escapes, _ := geom.WitnessStats()
+			return float64(escapes)
+		}, obs.Label{Name: "kind", Value: "escape"})
+	obs.Default().GaugeFunc("tlx_witness_fastpath_total",
+		"Feasibility checks settled by a cached witness point instead of an LP solve.",
+		func() float64 {
+			_, _, classifies := geom.WitnessStats()
+			return float64(classifies)
+		}, obs.Label{Name: "kind", Value: "classify"})
+})
+
+// registerIndexGauges exposes the served index's VerdictCache statistics.
+// They reflect the last build or on-demand extension; GaugeFunc replaces
+// the reader on re-registration, so the newest handler's index wins.
+func (h *Handler) registerIndexGauges() {
+	stats := func() tlx.BuildStats {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		return h.ix.Stats()
+	}
+	obs.Default().GaugeFunc("tlx_build_verdict_cache_hits_total",
+		"VerdictCache hits during index construction and extension.", func() float64 {
+			return float64(stats().VerdictHits)
+		})
+	obs.Default().GaugeFunc("tlx_build_verdict_cache_misses_total",
+		"VerdictCache misses during index construction and extension.", func() float64 {
+			return float64(stats().VerdictMisses)
+		})
+	obs.Default().GaugeFunc("tlx_build_verdict_cache_entries",
+		"Entries held by the VerdictCache.", func() float64 {
+			return float64(stats().VerdictEntries)
+		})
+	obs.Default().GaugeFunc("tlx_build_verdict_cache_hit_ratio",
+		"VerdictCache hit ratio over construction and extension (0 when unused).", func() float64 {
+			s := stats()
+			return s.VerdictHitRate()
+		})
+}
+
+// statusWriter captures the response status for the access log and the
+// request counter. WriteHeader may never be called (implicit 200), so it
+// starts at StatusOK.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// quiet marks endpoints whose traffic is machine-generated and periodic;
+// their access logs drop to Debug so a scraper does not flood the log.
+func quiet(endpoint string) bool {
+	return endpoint == "/metrics" || strings.HasPrefix(endpoint, "/debug/pprof")
+}
+
+// instrument wraps an endpoint with the request counter, the latency
+// histogram, and the access log. The endpoint label is the canonical /v1
+// path, shared by the bare alias.
+func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	hist := obs.Default().Histogram("tlx_http_request_seconds",
+		"HTTP request latency in seconds.", obs.LatencyBuckets(),
+		obs.Label{Name: "endpoint", Value: endpoint})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		fn(sw, r)
+		took := time.Since(start)
+		hist.Observe(took.Seconds())
+		obs.Default().Counter("tlx_http_requests_total", "HTTP requests served.",
+			obs.Label{Name: "endpoint", Value: endpoint},
+			obs.Label{Name: "code", Value: strconv.Itoa(sw.status)}).Inc()
+		level := slog.LevelInfo
+		if quiet(endpoint) {
+			level = slog.LevelDebug
+		}
+		h.log.Log(r.Context(), level, "http request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"durMs", float64(took)/float64(time.Millisecond), "remote", r.RemoteAddr)
+	}
+}
+
+// recordQueryStats feeds one query's traversal statistics into the
+// per-query-type counters. Called for every traversal that ran, including
+// ones abandoned by cancellation (their partial stats still count).
+func recordQueryStats(query string, st tlx.QueryStats) {
+	obs.Default().Counter("tlx_query_visited_cells_total",
+		"Cells visited by query traversals.",
+		obs.Label{Name: "query", Value: query}).Add(uint64(st.VisitedCells))
+	obs.Default().Counter("tlx_query_lp_calls_total",
+		"LP feasibility calls issued by query traversals.",
+		obs.Label{Name: "query", Value: query}).Add(uint64(st.LPCalls))
+}
+
+// mountPprof registers the net/http/pprof handlers on the mux. Opt-in via
+// WithPprof: the profiling endpoints reveal internals and cost CPU, so the
+// default mux stays without them.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

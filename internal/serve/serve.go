@@ -14,6 +14,7 @@
 //	/v1/maxrank?focal=3             best achievable rank of an option
 //	/v1/whynot?focal=3&w=0.2,0.8&k=2  why-not explanation with suggestion
 //	/v1/stats                       index shape and construction statistics
+//	/v1/metrics                     Prometheus text exposition (see # Observability)
 //
 // Updates are POST:
 //
@@ -54,6 +55,15 @@
 // on-demand extension state is refused with 409 (tlevelindex.ErrExtended),
 // mirroring the insert rule.
 //
+// # Observability
+//
+// Every endpoint is instrumented: request counts and latency histograms,
+// per-query-type traversal counters, WAL/snapshot latency, VerdictCache
+// statistics, and runtime gauges are all exposed in Prometheus text format
+// at GET /v1/metrics (metric names are prefixed tlx_; see DESIGN.md §14 for
+// the full list). WithLogger attaches a structured access log; WithPprof
+// mounts the net/http/pprof profiling endpoints under /debug/pprof/.
+//
 // # Concurrency
 //
 // Queries whose depth is already materialized are pure lookups and run
@@ -69,42 +79,75 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 
 	tlx "tlevelindex"
+	"tlevelindex/internal/obs"
 	"tlevelindex/internal/store"
 )
 
 // Handler answers preference queries against one index.
 type Handler struct {
-	mu *sync.RWMutex
-	ix *tlx.Index
-	st *store.Store // nil in memory-only mode
+	mu    *sync.RWMutex
+	ix    *tlx.Index
+	st    *store.Store // nil in memory-only mode
+	log   *slog.Logger
+	pprof bool
 }
+
+// HandlerOption configures a Handler at construction.
+type HandlerOption func(*Handler)
+
+// WithLogger directs the handler's access log to l. Requests log at Info;
+// scraper traffic (/v1/metrics, /debug/pprof) logs at Debug. Without this
+// option the handler is silent.
+func WithLogger(l *slog.Logger) HandlerOption { return func(h *Handler) { h.log = l } }
+
+// WithPprof mounts the net/http/pprof endpoints under /debug/pprof/ on the
+// handler's mux. Off by default: the profiling endpoints reveal process
+// internals and should only face operators.
+func WithPprof() HandlerOption { return func(h *Handler) { h.pprof = true } }
 
 // NewHandler wraps an index in a memory-only handler: inserts are accepted
 // but lost on restart. The handler owns all index synchronization; the
 // caller must not use the index concurrently with the handler.
-func NewHandler(ix *tlx.Index) *Handler {
-	return &Handler{mu: new(sync.RWMutex), ix: ix}
+func NewHandler(ix *tlx.Index, opts ...HandlerOption) *Handler {
+	return newHandler(&Handler{mu: new(sync.RWMutex), ix: ix}, opts)
 }
 
 // NewStoreHandler serves a store-backed index: inserts go through the
 // store's write-ahead log (fsync before the 200), and the admin endpoints
 // are registered. The handler shares the store's lock, so the store's
 // background snapshotter and the query handlers stay mutually consistent.
-func NewStoreHandler(st *store.Store) *Handler {
-	return &Handler{mu: st.Mutex(), ix: st.Index(), st: st}
+func NewStoreHandler(st *store.Store, opts ...HandlerOption) *Handler {
+	return newHandler(&Handler{mu: st.Mutex(), ix: st.Index(), st: st}, opts)
+}
+
+func newHandler(h *Handler, opts []HandlerOption) *Handler {
+	for _, opt := range opts {
+		opt(h)
+	}
+	if h.log == nil {
+		h.log = obs.NopLogger()
+	}
+	registerProcessGauges()
+	h.registerIndexGauges()
+	return h
 }
 
 // Mux returns a ServeMux with every endpoint registered under /v1/ and at
-// its bare alias.
+// its bare alias. Every endpoint is instrumented: requests count into
+// tlx_http_requests_total{endpoint,code}, latency into
+// tlx_http_request_seconds{endpoint}, and each request emits an access log
+// record. The bare alias shares its /v1 path's endpoint label.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	register := func(path string, fn http.HandlerFunc) {
+		fn = h.instrument(path, fn)
 		mux.HandleFunc("/v1"+path, fn)
 		mux.HandleFunc(path, fn)
 	}
@@ -116,9 +159,13 @@ func (h *Handler) Mux() *http.ServeMux {
 	register("/whynot", get(h.handleWhyNot))
 	register("/stats", get(h.handleStats))
 	register("/insert", post(h.handleInsert))
+	register("/metrics", get(obs.Default().Handler().ServeHTTP))
 	if h.st != nil {
 		register("/admin/snapshot", post(h.handleSnapshot))
 		register("/admin/status", get(h.handleStatus))
+	}
+	if h.pprof {
+		mountPprof(mux)
 	}
 	return mux
 }
@@ -237,6 +284,9 @@ func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.TopKResult
 	h.runQuery(k, func() { res, err = h.ix.TopKContext(r.Context(), wv, k) })
+	if res != nil {
+		recordQueryStats("topk", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -260,6 +310,9 @@ func (h *Handler) handleKSPR(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.KSPRResult
 	h.runQuery(k, func() { res, err = h.ix.KSPRContext(r.Context(), k, focal) })
+	if res != nil {
+		recordQueryStats("kspr", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -288,6 +341,9 @@ func (h *Handler) handleUTK(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.UTKResult
 	h.runQuery(k, func() { res, err = h.ix.UTKContext(r.Context(), k, lo, hi) })
+	if res != nil {
+		recordQueryStats("utk", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -321,6 +377,9 @@ func (h *Handler) handleORU(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.ORUResult
 	h.runQuery(k, func() { res, err = h.ix.ORUContext(r.Context(), k, wv, m) })
+	if res != nil {
+		recordQueryStats("oru", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -340,6 +399,9 @@ func (h *Handler) handleMaxRank(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.MaxRankResult
 	h.runQuery(0, func() { res, err = h.ix.MaxRankContext(r.Context(), focal) })
+	if res != nil {
+		recordQueryStats("maxrank", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -368,6 +430,9 @@ func (h *Handler) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *tlx.WhyNotResult
 	h.runQuery(k, func() { res, err = h.ix.WhyNotContext(r.Context(), focal, wv, k) })
+	if res != nil {
+		recordQueryStats("whynot", res.Stats)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -40,6 +40,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"time"
@@ -59,8 +60,13 @@ type Options struct {
 	// WAL holds at least this many records since the last snapshot.
 	// Zero or negative disables the record trigger.
 	SnapshotRecords int
-	// Logf receives recovery and snapshot diagnostics; nil discards them.
+	// Logf receives recovery and snapshot diagnostics formatted as single
+	// lines; nil discards them. Logger takes precedence when both are set.
 	Logf func(format string, args ...interface{})
+	// Logger receives recovery, snapshot, and WAL lifecycle events as
+	// structured records. Nil falls back to Logf (adapted), then to a
+	// discard logger.
+	Logger *slog.Logger
 }
 
 // Store owns a durable index: the in-memory τ-LevelIndex plus its WAL and
@@ -68,7 +74,7 @@ type Options struct {
 // layer shares it via Mutex.
 type Store struct {
 	opts Options
-	logf func(string, ...interface{})
+	log  *slog.Logger
 
 	mu      sync.RWMutex // guards ix, applied, seg, counters, failed, closed
 	ix      *tlx.Index
@@ -106,13 +112,9 @@ func Open(opts Options, build func() (*tlx.Index, error)) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...interface{}) {}
-	}
 	s := &Store{
 		opts:    opts,
-		logf:    logf,
+		log:     storeLogger(opts),
 		trigger: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -137,6 +139,7 @@ func Open(opts Options, build func() (*tlx.Index, error)) (*Store, error) {
 		s.wg.Add(1)
 		go s.autoSnapshotLoop()
 	}
+	registerStoreGauges(s)
 	return s, nil
 }
 
@@ -159,7 +162,8 @@ func (s *Store) initialize(build func() (*tlx.Index, error)) error {
 		return err
 	}
 	s.ix, s.seg, s.snapTime, s.recoveredFrom = ix, seg, time.Now(), "initial build"
-	s.logf("store: initialized %s (snapshot 0, %d bytes)", s.opts.Dir, buf.Len())
+	snapshotBytes.Set(float64(buf.Len()))
+	s.log.Info("store: initialized", "dir", s.opts.Dir, "snapshotLsn", 0, "snapshotBytes", buf.Len())
 	return nil
 }
 
@@ -168,7 +172,7 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 	for i := len(snaps) - 1; i >= 0; i-- {
 		ix, err := loadSnapshot(snaps[i].path)
 		if err != nil {
-			s.logf("store: snapshot %s unusable (%v); falling back", snaps[i].path, err)
+			s.log.Warn("store: snapshot unusable; falling back", "path", snaps[i].path, "err", err)
 			s.fallbacks++
 			continue
 		}
@@ -194,7 +198,7 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 			if last && errors.Is(err, errShortHeader) {
 				// Torn during creation: no record was ever acknowledged
 				// into it. Replace it with a fresh segment below.
-				s.logf("store: removing segment %s torn at creation", sg.path)
+				s.log.Warn("store: removing segment torn at creation", "path", sg.path)
 				os.Remove(sg.path)
 				segs = segs[:i]
 				break
@@ -203,9 +207,9 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 		}
 		if sd.torn {
 			if !last {
-				s.logf("store: sealed segment %s has a corrupt record", sg.path)
+				s.log.Warn("store: sealed segment has a corrupt record", "path", sg.path)
 			} else {
-				s.logf("store: truncating torn WAL tail of %s at %d bytes", sg.path, sd.validSize)
+				s.log.Warn("store: truncating torn WAL tail", "path", sg.path, "validBytes", sd.validSize)
 			}
 		}
 		// A segment's base is the snapshot LSN it was rotated at, so every
@@ -252,8 +256,8 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 		}
 		s.seg = seg
 	}
-	s.logf("store: recovered %s from %s, replayed %d records (state at LSN %d)",
-		s.opts.Dir, s.recoveredFrom, s.replayed, s.applied)
+	s.log.Info("store: recovered", "dir", s.opts.Dir, "from", s.recoveredFrom,
+		"replayed", s.replayed, "appliedLsn", s.applied, "fallbacks", s.fallbacks)
 	return nil
 }
 
@@ -278,6 +282,7 @@ func (s *Store) Mutex() *sync.RWMutex { return &s.mu }
 // durable before acknowledging: the WAL record is fsync'd before Insert
 // returns. Filtered options (id -1) change nothing and are not logged.
 func (s *Store) Insert(option []float64) (int, error) {
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -299,11 +304,13 @@ func (s *Store) Insert(option []float64) (int, error) {
 		// acknowledged ones. Fail the store for writes.
 		s.failed = werr
 		s.mu.Unlock()
+		s.log.Error("store: WAL append failed, store is now read-only", "err", werr)
 		return -1, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr)
 	}
 	s.applied++
 	s.recsSinceSnap++
 	s.bytesSinceSnap += int64(n)
+	walAckSeconds.Observe(time.Since(start).Seconds())
 	trip := (s.opts.SnapshotRecords > 0 && s.recsSinceSnap >= s.opts.SnapshotRecords) ||
 		(s.opts.SnapshotBytes > 0 && s.bytesSinceSnap >= s.opts.SnapshotBytes)
 	s.mu.Unlock()
@@ -341,6 +348,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	}
 	if s.ix.MaxMaterializedLevel() > s.ix.Tau() {
 		s.mu.Unlock()
+		snapshotFailuresTotal.Inc()
 		return SnapshotInfo{}, fmt.Errorf("store: %w: on-demand levels are not persisted; snapshot refused", tlx.ErrExtended)
 	}
 	lsn := s.applied
@@ -351,6 +359,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	var buf bytes.Buffer
 	if _, err := s.ix.WriteTo(&buf); err != nil {
 		s.mu.Unlock()
+		snapshotFailuresTotal.Inc()
 		return SnapshotInfo{}, err
 	}
 	// Rotate under the write lock: the new segment's base equals the
@@ -359,6 +368,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	newSeg, err := createSegment(s.opts.Dir, lsn)
 	if err != nil {
 		s.mu.Unlock()
+		snapshotFailuresTotal.Inc()
 		return SnapshotInfo{}, err
 	}
 	old := s.seg
@@ -373,6 +383,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	if err != nil {
 		// The rotation already happened; recovery simply replays through
 		// the rotated segments from the previous snapshot.
+		snapshotFailuresTotal.Inc()
 		return SnapshotInfo{}, err
 	}
 	s.mu.Lock()
@@ -380,11 +391,17 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	s.snapTime = time.Now()
 	s.mu.Unlock()
 	s.prune()
+	took := time.Since(start)
+	snapshotsTotal.Inc()
+	snapshotSeconds.Observe(took.Seconds())
+	snapshotBytes.Set(float64(buf.Len()))
+	s.log.Info("store: snapshot taken", "lsn", lsn, "bytes", buf.Len(),
+		"file", path, "tookMs", float64(took)/float64(time.Millisecond))
 	return SnapshotInfo{
 		LSN:    lsn,
 		Bytes:  int64(buf.Len()),
 		File:   path,
-		TookMs: float64(time.Since(start)) / float64(time.Millisecond),
+		TookMs: float64(took) / float64(time.Millisecond),
 	}, nil
 }
 
@@ -394,7 +411,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 func (s *Store) prune() {
 	snaps, segs, err := scanDir(s.opts.Dir)
 	if err != nil {
-		s.logf("store: prune scan: %v", err)
+		s.log.Warn("store: prune scan failed", "err", err)
 		return
 	}
 	if len(snaps) <= 2 {
@@ -403,7 +420,7 @@ func (s *Store) prune() {
 	keepFrom := snaps[len(snaps)-2].lsn
 	for _, sn := range snaps[:len(snaps)-2] {
 		if err := os.Remove(sn.path); err != nil {
-			s.logf("store: prune %s: %v", sn.path, err)
+			s.log.Warn("store: prune failed", "path", sn.path, "err", err)
 		}
 	}
 	// A segment with base b holds records b+1..b' only; once b' ≤ keepFrom
@@ -411,7 +428,7 @@ func (s *Store) prune() {
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i+1].lsn <= keepFrom {
 			if err := os.Remove(segs[i].path); err != nil {
-				s.logf("store: prune %s: %v", segs[i].path, err)
+				s.log.Warn("store: prune failed", "path", segs[i].path, "err", err)
 			}
 		}
 	}
@@ -425,7 +442,7 @@ func (s *Store) autoSnapshotLoop() {
 			return
 		case <-s.trigger:
 			if _, err := s.Snapshot(); err != nil {
-				s.logf("store: auto snapshot: %v", err)
+				s.log.Error("store: auto snapshot failed", "err", err)
 			}
 		}
 	}

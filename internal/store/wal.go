@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 )
 
 // The write-ahead log is a sequence of segment files, wal-<base>.log, where
@@ -146,15 +147,23 @@ func openSegmentForAppend(path string, base uint64, validSize int64) (*segment, 
 }
 
 // append writes one record and fsyncs before returning: when append returns
-// nil the record is durable and the insert may be acknowledged.
+// nil the record is durable and the insert may be acknowledged. The write
+// and the fsync are timed separately into the WAL latency histograms.
 func (s *segment) append(rec record) (int, error) {
 	buf := encodeRecord(rec)
+	writeStart := time.Now()
 	if _, err := s.f.Write(buf); err != nil {
 		return 0, err
 	}
+	syncStart := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return 0, err
 	}
+	done := time.Now()
+	walAppendSeconds.Observe(syncStart.Sub(writeStart).Seconds())
+	walFsyncSeconds.Observe(done.Sub(syncStart).Seconds())
+	walAppendsTotal.Inc()
+	walAppendBytesTotal.Add(uint64(len(buf)))
 	s.size += int64(len(buf))
 	return len(buf), nil
 }

@@ -1,0 +1,53 @@
+package tlevelindex
+
+import (
+	"context"
+	"testing"
+)
+
+// TestNoopTracerZeroAlloc is the acceptance guard for the disabled tracing
+// path: with no tracer attached, the per-query span machinery must not
+// allocate — queries in the serving hot loop pay one atomic load and two
+// nil checks, nothing more.
+func TestNoopTracerZeroAlloc(t *testing.T) {
+	ix, err := Build([][]float64{
+		{0.62, 0.76}, {0.90, 0.48}, {0.73, 0.33}, {0.26, 0.64}, {0.30, 0.24},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := QueryStats{VisitedCells: 7, LPCalls: 2}
+	allocs := testing.AllocsPerRun(1000, func() {
+		q := ix.startQuerySpan("query.topk")
+		q.finish(st, nil)
+	})
+	if allocs != 0 {
+		t.Errorf("no-op tracer span path allocates %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestTracerDetachRestoresBaseline: attaching and then detaching a tracer
+// leaves the query path with exactly its original allocation count — the
+// instrumentation cannot leak overhead into an uninstrumented process.
+func TestTracerDetachRestoresBaseline(t *testing.T) {
+	ix, err := Build([][]float64{
+		{0.62, 0.76}, {0.90, 0.48}, {0.73, 0.33}, {0.26, 0.64}, {0.30, 0.24},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w := []float64{0.5, 0.5}
+	query := func() {
+		if _, err := ix.TopKContext(ctx, w, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := testing.AllocsPerRun(200, query)
+	ix.SetTracer(TracerFunc(func(Span) {}))
+	query()
+	ix.SetTracer(nil)
+	if after := testing.AllocsPerRun(200, query); after != baseline {
+		t.Errorf("allocs per query after tracer detach = %.1f, baseline %.1f", after, baseline)
+	}
+}

@@ -37,7 +37,30 @@ import (
 	"sync/atomic"
 
 	"tlevelindex/internal/index"
+	"tlevelindex/internal/obs"
 )
+
+// Tracer receives completed spans from instrumented operations: one span
+// per context-aware query (names "query.topk", "query.kspr", ...) carrying
+// VisitedCells/LPCalls/witness fast-path measurements, and — when attached
+// at build time via WithTracer — per-phase and per-level build spans.
+// Implementations must be safe for concurrent use and return quickly. A nil
+// Tracer disables tracing entirely; the disabled path performs no span work
+// beyond a single atomic load and nil check.
+type Tracer = obs.Tracer
+
+// Span is one completed instrumented operation; see Tracer.
+type Span = obs.Span
+
+// Attr is one numeric measurement on a Span.
+type Attr = obs.Attr
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc = obs.TracerFunc
+
+// BuildProgress is one progress report from a partition-based build or an
+// on-demand extension; see WithProgress.
+type BuildProgress = index.BuildProgress
 
 // Algorithm selects a construction algorithm (§5–6 of the paper).
 type Algorithm int
@@ -83,6 +106,8 @@ type buildConfig struct {
 	dropFullData bool
 	onion        index.OnionMode
 	workers      int
+	trace        Tracer
+	progress     func(BuildProgress)
 }
 
 // WithAlgorithm selects the construction algorithm (default PBAPlus).
@@ -112,6 +137,20 @@ func WithOnionFilter() Option { return func(c *buildConfig) { c.onion = index.On
 // the τ-skyband filter (the ablation knob).
 func WithoutOnionFilter() Option { return func(c *buildConfig) { c.onion = index.OnionOff } }
 
+// WithTracer attaches t to the build (phase spans "build.filter",
+// "build.<algorithm>", "build.compact", and per-level "build.level" /
+// "extend.level" spans) and to the built index for query spans, as if
+// SetTracer(t) had been called on the result. nil is the default: tracing
+// off.
+func WithTracer(t Tracer) Option { return func(c *buildConfig) { c.trace = t } }
+
+// WithProgress registers a callback invoked after every completed level of
+// a partition-based build — and of any later on-demand extension — with the
+// level's cell count and cells/sec throughput, so long PBA builds can be
+// watched. The callback runs on the building goroutine and must not call
+// back into the index.
+func WithProgress(fn func(BuildProgress)) Option { return func(c *buildConfig) { c.progress = fn } }
+
 // BuildStats reports construction effort and index shape; see the paper's
 // Table 4 and Figures 9–10.
 type BuildStats = index.BuildStats
@@ -135,6 +174,36 @@ type Index struct {
 	// nextExternal is the dataset id the next externally inserted option
 	// receives; cached so Insert need not rescan OrigIDs.
 	nextExternal int
+	// tracer receives per-query spans from the *Context variants. Stored
+	// behind an atomic pointer so SetTracer is safe against in-flight
+	// concurrent queries; nil (the default) disables query tracing.
+	tracer atomic.Pointer[tracerBox]
+}
+
+// tracerBox wraps the Tracer interface value so it can live behind an
+// atomic.Pointer.
+type tracerBox struct{ t Tracer }
+
+// SetTracer attaches t to the index: every subsequent *Context query emits
+// one completed span ("query.topk", "query.kspr", "query.utk", "query.oru",
+// "query.maxrank", "query.whynot") with duration, VisitedCells, LPCalls,
+// and witness fast-path counts. Passing nil detaches the tracer. Safe to
+// call concurrently with queries.
+func (ix *Index) SetTracer(t Tracer) {
+	if t == nil {
+		ix.tracer.Store(nil)
+		return
+	}
+	ix.tracer.Store(&tracerBox{t: t})
+}
+
+// loadTracer returns the attached tracer or nil; one atomic load on the
+// query path.
+func (ix *Index) loadTracer() Tracer {
+	if b := ix.tracer.Load(); b != nil {
+		return b.t
+	}
+	return nil
 }
 
 // idMapping is one immutable published version of the id memo, keyed by the
@@ -171,11 +240,17 @@ func Build(data [][]float64, tau int, opts ...Option) (*Index, error) {
 		DropFullData: cfg.dropFullData,
 		Onion:        cfg.onion,
 		Workers:      cfg.workers,
+		Trace:        cfg.trace,
+		Progress:     cfg.progress,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(inner), nil
+	ix := newIndex(inner)
+	if cfg.trace != nil {
+		ix.SetTracer(cfg.trace)
+	}
+	return ix, nil
 }
 
 // Tau returns the number of precomputed levels.
