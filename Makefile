@@ -5,7 +5,10 @@ GO ?= go
 
 .PHONY: ci vet fmt-check build test race bench bench-smoke lvbench fuzz-smoke obs-smoke
 
-ci: vet fmt-check build race fuzz-smoke bench-smoke obs-smoke
+# The plain (non-race) test pass is part of the gate because the
+# allocation pins skip themselves under -race, where sync.Pool drops puts
+# at random.
+ci: vet fmt-check build test race fuzz-smoke bench-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,10 +33,17 @@ bench:
 # One-iteration pass over the predicate-layer microbenchmarks (LP kernel,
 # region predicates, projection): catches compile breakage and allocation
 # regressions in seconds, and archives the numbers as BENCH_lp.json.
+# The query-side benchmarks then run against the committed BENCH_query.json
+# baseline: a >2x ns/op regression on any of them fails the build (set
+# BENCH_NO_GATE=1 to downgrade the gate to a warning on slow machines).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -run xxx \
 		./internal/lp ./internal/geom | $(GO) run ./cmd/benchjson > BENCH_lp.json
 	@echo "wrote BENCH_lp.json"
+	$(GO) test -bench '^(BenchmarkKSPR|BenchmarkUTK|BenchmarkORU|BenchmarkTopK)$$' \
+		-benchtime 100x -benchmem -run xxx ./internal/index \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_query.json -out BENCH_query.json
+	@echo "wrote BENCH_query.json"
 
 # Observability smoke: scrape /v1/metrics through httptest, assert the
 # exposition parses and every promised metric family is present, and lint

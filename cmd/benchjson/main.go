@@ -5,6 +5,15 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run xxx ./internal/lp | benchjson > BENCH_lp.json
+//	go test -bench . -benchmem -run xxx ./internal/index | \
+//	    benchjson -baseline BENCH_query.json -out BENCH_query.json
+//
+// With -baseline FILE the fresh results are compared against the committed
+// numbers: any benchmark whose ns/op grew beyond the gate factor (2x) fails
+// the run with exit status 1, and the baseline file is left untouched so the
+// next run still compares against the good numbers. Setting BENCH_NO_GATE=1
+// downgrades gate failures to warnings (for machines with known-different
+// performance). With -out FILE the JSON goes to that file instead of stdout.
 //
 // Only benchmark result lines are consumed; everything else (pass/fail
 // summaries, pkg headers) is ignored. allocs/op and B/op are present only
@@ -14,11 +23,19 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// gateFactor is how much slower (ns/op) a benchmark may get relative to its
+// baseline before the gate fails. Generous on purpose: one-shot smoke runs
+// are noisy, and the gate is after order-of-magnitude regressions, not
+// percent-level drift.
+const gateFactor = 2.0
 
 // result is one benchmark line in structured form.
 type result struct {
@@ -30,8 +47,50 @@ type result struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "committed JSON to gate ns/op regressions against")
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	gateFailed := false
+	if *baseline != "" {
+		old, err := loadBaseline(*baseline)
+		switch {
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "benchjson: no baseline %s yet; gate skipped\n", *baseline)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		default:
+			gateFailed = gate(os.Stderr, old, fresh)
+		}
+	}
+	if gateFailed && os.Getenv("BENCH_NO_GATE") == "1" {
+		fmt.Fprintln(os.Stderr, "benchjson: BENCH_NO_GATE=1, regression downgraded to a warning")
+		gateFailed = false
+	}
+
+	// On gate failure the baseline keeps its good numbers: overwriting it
+	// with the regressed run would make the next comparison vacuous.
+	if !gateFailed {
+		if err := writeJSON(*out, fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	if gateFailed {
+		os.Exit(1)
+	}
+}
+
+func parseBench(r io.Reader) ([]result, error) {
 	var out []result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -64,16 +123,59 @@ func main() {
 		}
 		out = append(out, r)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return out, sc.Err()
+}
+
+func loadBaseline(path string) ([]result, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	var rs []result
+	if err := json.Unmarshal(blob, &rs); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// gate compares the intersection of benchmark names and reports whether any
+// fresh ns/op exceeds gateFactor times its baseline. Benchmarks present on
+// only one side are ignored: the gate never blocks adding or retiring
+// benchmarks.
+func gate(w io.Writer, old, fresh []result) bool {
+	base := make(map[string]float64, len(old))
+	for _, r := range old {
+		base[r.Name] = r.NsPerOp
+	}
+	failed := false
+	for _, r := range fresh {
+		was, ok := base[r.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / was
+		if ratio > gateFactor {
+			failed = true
+			fmt.Fprintf(w, "benchjson: REGRESSION %s: %.0f ns/op vs baseline %.0f (%.2fx > %.1fx gate)\n",
+				r.Name, r.NsPerOp, was, ratio, gateFactor)
+		}
+	}
+	return failed
+}
+
+func writeJSON(path string, rs []result) error {
+	dst := os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(rs)
 }
 
 // trimProcSuffix strips the trailing -<GOMAXPROCS> go test appends to

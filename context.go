@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"tlevelindex/internal/geom"
 	"tlevelindex/internal/obs"
@@ -233,6 +234,185 @@ func (ix *Index) MaxRankContext(ctx context.Context, opt int) (*MaxRankResult, e
 	rank, st, err := ix.inner.MaxRankCtx(ctx, fid)
 	q.finish(exportStats(st), err)
 	return &MaxRankResult{Rank: rank, Stats: exportStats(st)}, err
+}
+
+// MonoRTopKResult carries a monochromatic reverse top-k answer together
+// with its traversal statistics.
+type MonoRTopKResult struct {
+	// Intervals are the maximal segments of the first weight in which the
+	// focal option ranks top-k (merged, ascending).
+	Intervals []Interval
+	Stats     QueryStats
+}
+
+// MonoRTopKContext is MonoRTopK with cancellation and strict-depth behavior;
+// it also exports QueryStats, which the plain MonoRTopK does not. On
+// cancellation it returns ctx's error together with a non-nil result whose
+// Stats carry the traversal work done before the abandonment (Intervals is
+// left empty).
+func (ix *Index) MonoRTopKContext(ctx context.Context, k, focal int) (*MonoRTopKResult, error) {
+	if ix.Dim() != 2 {
+		return nil, errors.New("tlevelindex: MonoRTopK requires 2-attribute options")
+	}
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 && k > ix.inner.MaxMaterializedLevel() {
+		ix.inner.EnsureLevels(k)
+		ix.idMap.Store(nil)
+		fid = ix.filteredID(focal)
+	}
+	if fid < 0 {
+		return &MonoRTopKResult{}, nil
+	}
+	q := ix.startQuerySpan("query.monortopk")
+	segs, st, err := ix.inner.MonoRTopKCtx(ctx, k, fid)
+	q.finish(exportStats(st), err)
+	out := &MonoRTopKResult{Stats: exportStats(st)}
+	if err != nil {
+		return out, err
+	}
+	for _, s := range segs {
+		out.Intervals = append(out.Intervals, Interval{Lo: s.Lo, Hi: s.Hi})
+	}
+	return out, nil
+}
+
+// MarketShareResult carries a preference-space market-share estimate
+// together with the statistics of its underlying kSPR traversal.
+type MarketShareResult struct {
+	// Share is the fraction of preference space (by volume) in which the
+	// focal option ranks top-k, in [0, 1].
+	Share float64
+	Stats QueryStats
+}
+
+// MarketShareContext is MarketShare with cancellation and strict-depth
+// behavior; it also exports QueryStats, which the plain MarketShare does
+// not. Cancellation is polled during the kSPR traversal and between the
+// per-cell volume integrations; on abandonment it returns ctx's error
+// together with a non-nil result whose Stats carry the work done so far
+// (Share is meaningless then).
+func (ix *Index) MarketShareContext(ctx context.Context, focal, k int) (*MarketShareResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 && k > ix.inner.MaxMaterializedLevel() {
+		ix.inner.EnsureLevels(k)
+		ix.idMap.Store(nil)
+		fid = ix.filteredID(focal)
+	}
+	if fid < 0 {
+		return &MarketShareResult{}, nil
+	}
+	q := ix.startQuerySpan("query.marketshare")
+	res, err := ix.inner.KSPRCtx(ctx, k, fid)
+	out := &MarketShareResult{Stats: exportStats(res.Stats)}
+	if err != nil {
+		q.finish(out.Stats, err)
+		return out, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	total := 0.0
+	for _, id := range res.Cells {
+		if err := ctx.Err(); err != nil {
+			q.finish(out.Stats, err)
+			return out, err
+		}
+		total += ix.inner.Region(id).Volume(20000, rng.Float64)
+	}
+	share := total / geom.SimplexVolume(ix.inner.RDim())
+	if share > 1 {
+		share = 1 // Monte-Carlo noise can overshoot marginally
+	}
+	out.Share = share
+	q.finish(out.Stats, nil)
+	return out, nil
+}
+
+// ReverseTopKResult carries a bichromatic reverse top-k answer together with
+// the statistics of its underlying kSPR traversal.
+type ReverseTopKResult struct {
+	// Users are the indices of the users whose top-k contains the focal
+	// option, in input order.
+	Users []int
+	Stats QueryStats
+}
+
+// ReverseTopKContext is ReverseTopK with cancellation and strict-depth
+// behavior; it also exports QueryStats, which the plain ReverseTopK does
+// not. Cancellation is polled during the kSPR traversal and between user
+// membership tests; on abandonment it returns ctx's error together with a
+// non-nil result whose Stats carry the work done so far and whose Users
+// hold the matches found up to that point (incomplete).
+func (ix *Index) ReverseTopKContext(ctx context.Context, k, focal int, users [][]float64) (*ReverseTopKResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if focal < 0 {
+		return nil, fmt.Errorf("tlevelindex: invalid focal option %d", focal)
+	}
+	if err := ix.needsData(k); err != nil {
+		return nil, err
+	}
+	// Validate the whole population up front: a malformed user is an input
+	// error (like the plain variant's), never a partial result.
+	xs := make([][]float64, len(users))
+	for ui, w := range users {
+		x, err := ix.reduce(w)
+		if err != nil {
+			return nil, fmt.Errorf("tlevelindex: user %d: %w", ui, err)
+		}
+		xs[ui] = x
+	}
+	fid := ix.filteredID(focal)
+	if fid < 0 && k > ix.inner.MaxMaterializedLevel() {
+		ix.inner.EnsureLevels(k)
+		ix.idMap.Store(nil)
+		fid = ix.filteredID(focal)
+	}
+	if fid < 0 {
+		return &ReverseTopKResult{}, nil
+	}
+	q := ix.startQuerySpan("query.reversetopk")
+	res, err := ix.inner.KSPRCtx(ctx, k, fid)
+	out := &ReverseTopKResult{Stats: exportStats(res.Stats)}
+	if err != nil {
+		q.finish(out.Stats, err)
+		return out, err
+	}
+	regions := make([]*geom.Region, len(res.Cells))
+	for i, id := range res.Cells {
+		regions[i] = ix.inner.Region(id)
+	}
+	for ui, x := range xs {
+		if err := ctx.Err(); err != nil {
+			q.finish(out.Stats, err)
+			return out, err
+		}
+		for _, r := range regions {
+			if r.ContainsPoint(x, 1e-9) {
+				out.Users = append(out.Users, ui)
+				break
+			}
+		}
+	}
+	q.finish(out.Stats, nil)
+	return out, nil
 }
 
 // WhyNotContext is WhyNot with cancellation and strict-depth behavior. On

@@ -1,0 +1,193 @@
+package tlevelindex
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"tlevelindex/datagen"
+)
+
+// TestMarketShareContextParity: the context-aware variant must return the
+// exact MarketShare value (same deterministic Monte-Carlo seed) plus the
+// traversal stats the plain call hides.
+func TestMarketShareContextParity(t *testing.T) {
+	data := datagen.Generate(datagen.IND, 40, 3, 11)
+	ix, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for focal := 0; focal < 6; focal++ {
+		want, err := ix.MarketShare(focal, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.MarketShareContext(context.Background(), focal, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Share != want {
+			t.Errorf("focal %d: ctx share %v != plain share %v", focal, got.Share, want)
+		}
+		if want > 0 && got.Stats.VisitedCells == 0 {
+			t.Errorf("focal %d: stats missing from context variant", focal)
+		}
+		if math.IsNaN(got.Share) || got.Share < 0 || got.Share > 1 {
+			t.Errorf("focal %d: share %v out of [0,1]", focal, got.Share)
+		}
+	}
+}
+
+func TestReverseTopKContextParity(t *testing.T) {
+	data := datagen.Generate(datagen.IND, 40, 3, 12)
+	ix, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := [][]float64{
+		{0.2, 0.3, 0.5},
+		{0.6, 0.2, 0.2},
+		{0.1, 0.1, 0.8},
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	}
+	for focal := 0; focal < 6; focal++ {
+		want, err := ix.ReverseTopK(2, focal, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.ReverseTopKContext(context.Background(), 2, focal, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Users, want) {
+			t.Errorf("focal %d: ctx users %v != plain users %v", focal, got.Users, want)
+		}
+	}
+	// Bad user weights stay a validation error, not a partial result.
+	if _, err := ix.ReverseTopKContext(context.Background(), 2, 0, [][]float64{{0.5, 0.5}}); !errors.Is(err, ErrInvalidWeights) {
+		t.Errorf("short user weights: %v", err)
+	}
+}
+
+func TestMonoRTopKContextParity(t *testing.T) {
+	data := datagen.Generate(datagen.IND, 30, 2, 13)
+	ix, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for focal := 0; focal < 6; focal++ {
+		want, err := ix.MonoRTopK(2, focal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.MonoRTopKContext(context.Background(), 2, focal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Intervals) != len(want) {
+			t.Fatalf("focal %d: ctx intervals %v != plain %v", focal, got.Intervals, want)
+		}
+		for i := range want {
+			if got.Intervals[i] != want[i] {
+				t.Errorf("focal %d interval %d: %v != %v", focal, i, got.Intervals[i], want[i])
+			}
+		}
+	}
+	// Dimension guard matches the plain variant.
+	d3 := datagen.Generate(datagen.IND, 20, 3, 14)
+	ix3, err := Build(d3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix3.MonoRTopKContext(context.Background(), 2, 0); err == nil {
+		t.Error("MonoRTopKContext accepted a 3-attribute index")
+	}
+}
+
+// TestNewContextVariantsCancellation: pre-canceled contexts abort the three
+// new variants with context.Canceled and a non-nil partial result carrying
+// whatever stats accrued.
+func TestNewContextVariantsCancellation(t *testing.T) {
+	data := datagen.Generate(datagen.IND, 40, 3, 15)
+	ix, err := Build(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick focals that are actually indexed so the traversal runs (a focal
+	// outside the skyband returns an empty result before any ctx poll).
+	focal := -1
+	for f := 0; f < len(data); f++ {
+		if r, err := ix.KSPR(3, f); err == nil && len(r.Regions) > 0 {
+			focal = f
+			break
+		}
+	}
+	if focal < 0 {
+		t.Fatal("no indexed focal found")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ms, err := ix.MarketShareContext(ctx, focal, 3)
+	if err != context.Canceled {
+		t.Errorf("MarketShareContext: %v", err)
+	}
+	if ms == nil {
+		t.Error("MarketShareContext: nil partial result on cancellation")
+	}
+	rt, err := ix.ReverseTopKContext(ctx, 3, focal, [][]float64{{0.2, 0.3, 0.5}})
+	if err != context.Canceled {
+		t.Errorf("ReverseTopKContext: %v", err)
+	}
+	if rt == nil {
+		t.Error("ReverseTopKContext: nil partial result on cancellation")
+	}
+	d2 := datagen.Generate(datagen.IND, 30, 2, 16)
+	ix2, err := Build(d2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	focal2 := -1
+	for f := 0; f < len(d2); f++ {
+		if r, err := ix2.KSPR(2, f); err == nil && len(r.Regions) > 0 {
+			focal2 = f
+			break
+		}
+	}
+	if focal2 < 0 {
+		t.Fatal("no indexed 2-d focal found")
+	}
+	mr, err := ix2.MonoRTopKContext(ctx, 2, focal2)
+	if err != context.Canceled {
+		t.Errorf("MonoRTopKContext: %v", err)
+	}
+	if mr == nil {
+		t.Error("MonoRTopKContext: nil partial result on cancellation")
+	}
+}
+
+// TestNewContextVariantsSentinels pins validation and strict-depth errors.
+func TestNewContextVariantsSentinels(t *testing.T) {
+	data := datagen.Generate(datagen.IND, 30, 3, 17)
+	nf, err := Build(data, 2, WithoutFullData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := nf.MarketShareContext(ctx, 0, 5); !errors.Is(err, ErrNeedsFullData) {
+		t.Errorf("deep MarketShareContext without data: %v", err)
+	}
+	if _, err := nf.ReverseTopKContext(ctx, 5, 0, nil); !errors.Is(err, ErrNeedsFullData) {
+		t.Errorf("deep ReverseTopKContext without data: %v", err)
+	}
+	if _, err := nf.MarketShareContext(ctx, 0, 0); err == nil {
+		t.Error("MarketShareContext accepted k = 0")
+	}
+	if _, err := nf.MarketShareContext(ctx, -1, 2); err == nil {
+		t.Error("MarketShareContext accepted a negative focal")
+	}
+	if _, err := nf.ReverseTopKContext(ctx, 2, -1, nil); err == nil {
+		t.Error("ReverseTopKContext accepted a negative focal")
+	}
+}

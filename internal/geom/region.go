@@ -2,6 +2,7 @@ package geom
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"tlevelindex/internal/lp"
@@ -63,6 +64,13 @@ type Region struct {
 	// empty records a proven-infeasible constraint system. Add only ever
 	// shrinks the region, so the flag is sticky until Reset.
 	empty bool
+
+	// arena backs the coefficient vectors of halfspaces built in place by
+	// AddPref (and rebased by CopyFrom), so reconstructing a region does not
+	// allocate per halfspace. When a chunk fills up, arenaAlloc abandons it
+	// for a larger one instead of copying — halfspaces already pointing into
+	// the old chunk stay valid. Reset truncates the current chunk.
+	arena []float64
 }
 
 // NewRegion returns the full reduced preference simplex of dimension dim.
@@ -86,7 +94,8 @@ func (r *Region) Reset(dim int) {
 	r.empty = false
 	r.witness = r.witness[:0]
 	r.witnessSlack = 0
-	r.Add(SimplexBounds(dim)...)
+	r.arena = r.arena[:0]
+	r.Add(simplexBoundsCached(dim)...)
 	// Centroid of the reduced simplex: x_k = 1/(dim+1) keeps equal slack to
 	// every bound — a constant interior witness.
 	for k := 0; k < dim; k++ {
@@ -100,6 +109,36 @@ func (r *Region) Reset(dim int) {
 // building block for callers that assemble constraint sets manually.
 func EmptyRegionLike(dim int) *Region {
 	return &Region{Dim: dim}
+}
+
+// simplexBounds caches the (immutable) simplex bound halfspaces per
+// dimension, so Reset does not allocate them anew for every recycled scratch
+// region. The map is copy-on-write behind an atomic.Value: readers never
+// lock, and the set of distinct dimensions in a process is tiny.
+var (
+	simplexBoundsMu    sync.Mutex
+	simplexBoundsCache atomic.Value // map[int][]Halfspace
+)
+
+func simplexBoundsCached(dim int) []Halfspace {
+	m, _ := simplexBoundsCache.Load().(map[int][]Halfspace)
+	if hs, ok := m[dim]; ok {
+		return hs
+	}
+	simplexBoundsMu.Lock()
+	defer simplexBoundsMu.Unlock()
+	m, _ = simplexBoundsCache.Load().(map[int][]Halfspace)
+	if hs, ok := m[dim]; ok {
+		return hs
+	}
+	next := make(map[int][]Halfspace, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	hs := SimplexBounds(dim)
+	next[dim] = hs
+	simplexBoundsCache.Store(next)
+	return hs
 }
 
 // regions recycles scratch Regions for callers that rebuild constraint sets
@@ -131,6 +170,67 @@ func (r *Region) Add(hs ...Halfspace) *Region {
 			if s := -h.Eval(r.witness); s < r.witnessSlack {
 				r.witnessSlack = s
 			}
+		}
+	}
+	return r
+}
+
+// arenaAlloc returns n fresh float64 slots from the region's arena. When the
+// current chunk is full a larger one is started and the old chunk abandoned
+// (not copied), so coefficient slices handed out earlier remain valid.
+func (r *Region) arenaAlloc(n int) []float64 {
+	if len(r.arena)+n > cap(r.arena) {
+		newCap := 2 * cap(r.arena)
+		if newCap < 64 {
+			newCap = 64
+		}
+		if newCap < n {
+			newCap = n
+		}
+		r.arena = make([]float64, 0, newCap)
+	}
+	s := r.arena[len(r.arena) : len(r.arena)+n : len(r.arena)+n]
+	r.arena = r.arena[:len(r.arena)+n]
+	return s
+}
+
+// AddPref adds H⁺(ri, rj) — the halfspace where option ri scores at least
+// rj — computing its coefficients into the region's arena instead of a fresh
+// allocation. It is bit-for-bit equivalent to Add(PrefHalfspace(ri, rj)):
+// identical normalization order, so hashes, dedup keys, and LP rows match
+// the allocating path exactly. Deduplicated halfspaces roll their arena
+// reservation back.
+func (r *Region) AddPref(ri, rj []float64) *Region {
+	d := len(ri)
+	dim := d - 1
+	last := ri[d-1] - rj[d-1]
+	a := r.arenaAlloc(dim)
+	n := 0.0
+	for k := 0; k < dim; k++ {
+		v := -((ri[k] - rj[k]) - last)
+		a[k] = v
+		n += v * v
+	}
+	n = math.Sqrt(n)
+	b := last
+	if n != 0 {
+		for k := range a {
+			a[k] /= n
+		}
+		b = last / n
+	}
+	h := Halfspace{A: a, B: b}
+	k := h.key()
+	if r.hasKey(k, h) {
+		r.arena = r.arena[:len(r.arena)-dim]
+		return r
+	}
+	r.HS = append(r.HS, h)
+	r.keys = append(r.keys, k)
+	r.hash += mix64(k)
+	if len(r.witness) == r.Dim && r.Dim > 0 {
+		if s := -h.Eval(r.witness); s < r.witnessSlack {
+			r.witnessSlack = s
 		}
 	}
 	return r
@@ -176,10 +276,19 @@ func (r *Region) Clone() *Region {
 	return c
 }
 
-// CopyFrom overwrites r with a copy of src, reusing r's backing arrays.
+// CopyFrom overwrites r with a copy of src, reusing r's backing arrays. The
+// halfspace coefficient vectors are rebased into r's own arena: src may be a
+// recycled scratch region whose arena is overwritten after it is returned to
+// the pool, so r must not alias it.
 func (r *Region) CopyFrom(src *Region) *Region {
 	r.Dim = src.Dim
-	r.HS = append(r.HS[:0], src.HS...)
+	r.HS = r.HS[:0]
+	r.arena = r.arena[:0]
+	for _, h := range src.HS {
+		a := r.arenaAlloc(len(h.A))
+		copy(a, h.A)
+		r.HS = append(r.HS, Halfspace{A: a, B: h.B})
+	}
 	r.keys = append(r.keys[:0], src.keys...)
 	r.hash = src.hash
 	r.witness = append(r.witness[:0], src.witness...)

@@ -78,8 +78,8 @@ func TestHotelExampleArrangements(t *testing.T) {
 			// The merged C9 cell ({r1,r2,r3} with opt r3) has two parents.
 			for _, id := range ix.Levels[3] {
 				if cellSignature(ix, id) == "[0 1 2]|2" {
-					if len(ix.Cells[id].Parents) != 2 {
-						t.Errorf("merged cell has %d parents, want 2", len(ix.Cells[id].Parents))
+					if len(ix.parentsOf(id)) != 2 {
+						t.Errorf("merged cell has %d parents, want 2", len(ix.parentsOf(id)))
 					}
 				}
 			}
@@ -198,7 +198,7 @@ func edgeSignatures(ix *Index) []string {
 			continue
 		}
 		cs := cellSignature(ix, c.ID)
-		for _, p := range c.Parents {
+		for _, p := range ix.parentsOf(c.ID) {
 			if ix.Cells[p].Opt == NoOption {
 				out = append(out, "root->"+cs)
 			} else {

@@ -1,0 +1,134 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tlevelindex/internal/geom"
+)
+
+// trippingCtx reports context.Canceled starting from the limit-th Err poll.
+// It lets a test cancel a traversal mid-flight deterministically, without
+// goroutines or timing.
+type trippingCtx struct {
+	context.Context
+	polls, limit int
+}
+
+func (c *trippingCtx) Err() error {
+	c.polls++
+	if c.polls >= c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func cancelFixture(t *testing.T) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	return buildOrFail(t, randData(rng, 120, 3), Config{Algorithm: PBAPlus, Tau: 4})
+}
+
+// TestKSPRCtxPartialResult: a mid-traversal cancellation must surface the
+// context error together with a non-nil partial result whose Stats reflect
+// the work done before the abandonment.
+func TestKSPRCtxPartialResult(t *testing.T) {
+	ix := cancelFixture(t)
+	// First poll (visit 1) passes, second poll (visit ctxCheckInterval)
+	// trips: the walk stops having visited exactly ctxCheckInterval cells.
+	ctx := &trippingCtx{Context: context.Background(), limit: 2}
+	res, err := ix.KSPRCtx(ctx, 4, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled KSPRCtx returned nil result")
+	}
+	if res.Stats.VisitedCells != ctxCheckInterval {
+		t.Errorf("partial VisitedCells = %d, want %d", res.Stats.VisitedCells, ctxCheckInterval)
+	}
+}
+
+func TestUTKCtxPartialResult(t *testing.T) {
+	ix := cancelFixture(t)
+	ctx := &trippingCtx{Context: context.Background(), limit: 2}
+	res, err := ix.UTKCtx(ctx, 3, geom.NewBox([]float64{0.1, 0.1}, []float64{0.6, 0.6}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled UTKCtx returned nil result")
+	}
+	if res.Stats.VisitedCells == 0 {
+		t.Error("partial UTK stats are zero; want work recorded before cancellation")
+	}
+}
+
+func TestORUCtxPartialResult(t *testing.T) {
+	ix := cancelFixture(t)
+	ctx := &trippingCtx{Context: context.Background(), limit: 2}
+	res, err := ix.ORUCtx(ctx, 4, []float64{0.3, 0.3}, 30)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled ORUCtx returned nil result")
+	}
+	if res.Stats.VisitedCells == 0 {
+		t.Error("partial ORU stats are zero; want work recorded before cancellation")
+	}
+}
+
+// TestSteadyStateAllocs pins the allocation behavior of the hot query paths
+// at k ≤ MaxMaterializedLevel: after pool warmup each query may allocate
+// only its answer (O(result) — a handful of slices), never per-visited-cell
+// scratch.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector drops sync.Pool puts at random; the pin runs in the non-race test pass")
+	}
+	rng := rand.New(rand.NewSource(92))
+	ix := buildOrFail(t, randData(rng, 80, 3), Config{Algorithm: PBAPlus, Tau: 4})
+	ctx := context.Background()
+	focal := int32(0)
+	box := geom.NewBox([]float64{0.25, 0.25}, []float64{0.4, 0.4})
+	x := []float64{0.3, 0.3}
+
+	cases := []struct {
+		name string
+		max  float64
+		run  func()
+	}{
+		{"KSPRCtx", 6, func() {
+			if _, err := ix.KSPRCtx(ctx, 4, focal); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"TopKCtx", 2, func() {
+			if _, _, err := ix.TopKCtx(ctx, x, 4); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"UTKCtx", 12, func() {
+			if _, err := ix.UTKCtx(ctx, 3, box); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"ORUCtx", 8, func() {
+			if _, err := ix.ORUCtx(ctx, 3, x, 6); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm the scratch pool
+			if got := testing.AllocsPerRun(50, tc.run); got > tc.max {
+				t.Errorf("%s allocates %.1f per run, want <= %.0f (O(result) only)",
+					tc.name, got, tc.max)
+			}
+		})
+	}
+}

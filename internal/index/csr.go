@@ -1,0 +1,130 @@
+package index
+
+// Flat CSR cell storage. A built index keeps its DAG adjacency in three
+// shared int32 arenas (children, parents, bound sets) with one per-cell
+// (offset, length) header each, instead of three small heap slices per cell.
+// Queries then walk contiguous memory, snapshots serialize as a few large
+// arrays (format X3), and the per-cell slice form survives only as the
+// build-time staging structure.
+//
+// Lifecycle: builders and the insertion/extension machinery mutate the
+// staging slices (Cell.Parents/Children/Bound). compact() finishes by
+// calling freeze(), which moves the adjacency into a flatDAG and nils the
+// staging slices. Mutation paths (InsertOption, ensureLevels) call thaw()
+// first to materialize staging slices back from the flat form, do their
+// slice surgery, and re-freeze. All readers go through the childrenOf /
+// parentsOf / boundOf accessors, which work in either mode.
+
+// flatDAG is the frozen CSR adjacency of an index.
+type flatDAG struct {
+	spans    []cellSpans
+	children []int32
+	parents  []int32
+	bounds   []int32
+}
+
+// cellSpans locates one cell's adjacency lists inside the arenas.
+// boundLen == -1 encodes a nil bound set (the Definition-2 "every inserted
+// option outside R" semantics), distinct from an empty one.
+type cellSpans struct {
+	parentOff, parentLen int32
+	childOff, childLen   int32
+	boundOff, boundLen   int32
+}
+
+// freeze moves the staging adjacency slices into a flatDAG and clears them.
+// List order is preserved exactly, so thaw(freeze(ix)) reproduces the
+// staging form and traversal order is unchanged.
+func (ix *Index) freeze() {
+	var np, nc, nb int
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		np += len(c.Parents)
+		nc += len(c.Children)
+		nb += len(c.Bound)
+	}
+	f := &flatDAG{
+		spans:    make([]cellSpans, len(ix.Cells)),
+		parents:  make([]int32, 0, np),
+		children: make([]int32, 0, nc),
+		bounds:   make([]int32, 0, nb),
+	}
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		s := &f.spans[i]
+		s.parentOff = int32(len(f.parents))
+		s.parentLen = int32(len(c.Parents))
+		f.parents = append(f.parents, c.Parents...)
+		s.childOff = int32(len(f.children))
+		s.childLen = int32(len(c.Children))
+		f.children = append(f.children, c.Children...)
+		s.boundOff = int32(len(f.bounds))
+		if c.Bound == nil {
+			s.boundLen = -1
+		} else {
+			s.boundLen = int32(len(c.Bound))
+			f.bounds = append(f.bounds, c.Bound...)
+		}
+		c.Parents, c.Children, c.Bound = nil, nil, nil
+	}
+	ix.flat = f
+}
+
+// thaw materializes the staging slices back from the flat form so the
+// mutation machinery can operate on them. No-op when already staged.
+func (ix *Index) thaw() {
+	f := ix.flat
+	if f == nil {
+		return
+	}
+	ix.flat = nil
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		s := &f.spans[i]
+		if s.parentLen > 0 {
+			c.Parents = append([]int32(nil), f.parents[s.parentOff:s.parentOff+s.parentLen]...)
+		}
+		if s.childLen > 0 {
+			c.Children = append([]int32(nil), f.children[s.childOff:s.childOff+s.childLen]...)
+		}
+		if s.boundLen >= 0 {
+			c.Bound = make([]int32, s.boundLen)
+			copy(c.Bound, f.bounds[s.boundOff:s.boundOff+s.boundLen])
+		}
+	}
+}
+
+// parentsOf returns the cell's parent ids in either storage mode. The
+// returned slice is index-owned and must not be mutated or appended to.
+func (ix *Index) parentsOf(id int32) []int32 {
+	if f := ix.flat; f != nil {
+		s := &f.spans[id]
+		return f.parents[s.parentOff : s.parentOff+s.parentLen : s.parentOff+s.parentLen]
+	}
+	return ix.Cells[id].Parents
+}
+
+// childrenOf returns the cell's child ids in either storage mode. The
+// returned slice is index-owned and must not be mutated or appended to.
+func (ix *Index) childrenOf(id int32) []int32 {
+	if f := ix.flat; f != nil {
+		s := &f.spans[id]
+		return f.children[s.childOff : s.childOff+s.childLen : s.childOff+s.childLen]
+	}
+	return ix.Cells[id].Children
+}
+
+// boundOf returns the cell's bounding option set and whether it is the nil
+// (Definition-2) bound. The returned slice is index-owned and must not be
+// mutated or appended to.
+func (ix *Index) boundOf(id int32) (bound []int32, isNil bool) {
+	if f := ix.flat; f != nil {
+		s := &f.spans[id]
+		if s.boundLen < 0 {
+			return nil, true
+		}
+		return f.bounds[s.boundOff : s.boundOff+s.boundLen : s.boundOff+s.boundLen], false
+	}
+	b := ix.Cells[id].Bound
+	return b, b == nil
+}

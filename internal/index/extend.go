@@ -40,6 +40,13 @@ func (ix *Index) ensureLevels(k int) {
 		}
 	}
 	ext := ix.ext
+	if ext.maxLevel >= k {
+		return // already materialized: keep the hot query path read-only
+	}
+	// Extension creates cells and edges through the staging slices; thaw the
+	// flat form, extend, and re-freeze below.
+	ix.thaw()
+	defer ix.freeze()
 	ix.ensurePool(k)
 	instrumented := ix.trace != nil || ix.progress != nil
 	var extendStart, levelStart time.Time

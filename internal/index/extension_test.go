@@ -213,12 +213,12 @@ func TestMergedCellMultiParentRegions(t *testing.T) {
 	ix := buildOrFail(t, hotels, Config{Algorithm: PBAPlus, Tau: 3})
 	for l := 1; l <= 3; l++ {
 		for _, id := range ix.Levels[l] {
-			c := &ix.Cells[id]
-			if len(c.Parents) < 2 {
+			parents := ix.parentsOf(id)
+			if len(parents) < 2 {
 				continue
 			}
 			reg := ix.Region(id)
-			for _, p := range c.Parents {
+			for _, p := range parents {
 				inter := reg.Clone()
 				inter.Add(ix.Region(p).HS...)
 				if !inter.Feasible() {

@@ -2,6 +2,9 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 )
@@ -19,9 +22,11 @@ func FuzzReadIndex(f *testing.F) {
 	if _, err := ix.WriteTo(&buf); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()) // WriteTo emits the flat X3 form
 	f.Add(writeLegacyX1(ix))
+	f.Add(writeLegacyX2(ix))
 	f.Add([]byte("TLVLIDX1 not really"))
+	f.Add([]byte("TLVLIDX3 not really"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		got, err := Read(bytes.NewReader(blob))
@@ -32,4 +37,38 @@ func FuzzReadIndex(f *testing.F) {
 			t.Fatalf("Read accepted an invalid index: %v", verr)
 		}
 	})
+}
+
+// TestReadX3BogusWords poisons every aligned 32-bit word of a valid X3
+// stream and recomputes the CRC footer, so the corruption reaches the
+// structural checks instead of being caught by the checksum. Bogus CSR
+// lengths, offsets, and arena values must surface as ErrBadFormat — never a
+// panic or an out-of-range slice — and anything still accepted must
+// validate.
+func TestReadX3BogusWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ix := buildOrFail(t, randData(rng, 12, 3), Config{Algorithm: PBAPlus, Tau: 2})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	body := blob[: len(blob)-4 : len(blob)-4] // strip the CRC footer
+	for _, poison := range []uint32{0x7fffffff, 0xffffffff, 1 << 20} {
+		for off := len(magicX3); off+4 <= len(body); off += 4 {
+			mut := append([]byte(nil), body...)
+			binary.LittleEndian.PutUint32(mut[off:], poison)
+			mut = binary.LittleEndian.AppendUint32(mut, crc32.ChecksumIEEE(mut))
+			got, err := Read(bytes.NewReader(mut))
+			if err != nil {
+				if !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("poison %#x at %d: error %v does not wrap ErrBadFormat", poison, off, err)
+				}
+				continue
+			}
+			if verr := got.Validate(false); verr != nil {
+				t.Fatalf("poison %#x at %d: accepted an invalid index: %v", poison, off, verr)
+			}
+		}
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"tlevelindex/internal/dg"
 	"tlevelindex/internal/geom"
 	"tlevelindex/internal/obs"
+	"tlevelindex/internal/pool"
 )
 
 // NoOption marks the entry cell's option slot.
@@ -84,6 +85,10 @@ type Index struct {
 	// Levels[ℓ] lists the ids of the rank-ℓ cells, ℓ ∈ [0, Tau].
 	Levels [][]int32
 	Stats  BuildStats
+
+	// flat holds the frozen CSR adjacency (see csr.go). Non-nil once
+	// compact()/freeze() has run; nil while the staging slices are live.
+	flat *flatDAG
 
 	// fullPts optionally retains the unfiltered dataset to support
 	// extension beyond level τ (Figure 14's k > τ regime).
@@ -156,17 +161,34 @@ func (ix *Index) NumCells() int {
 // ResultSet returns the top-ℓ result set R of the cell in rank order
 // (R[0] is the top-1st option, R[ℓ-1] == cell.Opt). The root yields nil.
 func (ix *Index) ResultSet(id int32) []int32 {
-	c := &ix.Cells[id]
-	if c.Level <= 0 {
+	if ix.Cells[id].Level <= 0 {
 		return nil
 	}
-	out := make([]int32, c.Level)
-	cur := c
-	for cur.Opt != NoOption {
-		out[cur.Level-1] = cur.Opt
-		cur = &ix.Cells[cur.Parents[0]]
+	return ix.resultSetInto(id, nil)
+}
+
+// resultSetInto is ResultSet writing into a caller-provided (typically
+// pooled) buffer, grown as needed. The root yields an empty slice.
+func (ix *Index) resultSetInto(id int32, buf []int32) []int32 {
+	n := int(ix.Cells[id].Level)
+	if n <= 0 {
+		return buf[:0]
 	}
-	return out
+	if cap(buf) < n {
+		buf = make([]int32, n)
+	} else {
+		buf = buf[:n]
+	}
+	cur := id
+	for {
+		c := &ix.Cells[cur]
+		if c.Opt == NoOption {
+			break
+		}
+		buf[c.Level-1] = c.Opt
+		cur = ix.parentsOf(cur)[0]
+	}
+	return buf
 }
 
 // rKey returns a canonical merge key for (R as a set, opt).
@@ -194,32 +216,58 @@ func (ix *Index) Region(id int32) *geom.Region {
 // pooled) region, which is reset first. Query traversals use it to avoid an
 // allocation per visited cell.
 func (ix *Index) RegionInto(id int32, reg *geom.Region) *geom.Region {
+	buf := rsetScratch.Get()
+	defer rsetScratch.Put(buf)
+	return ix.regionIntoBuf(id, reg, buf)
+}
+
+// rsetScratch recycles result-set buffers for RegionInto callers that do not
+// thread their own.
+var rsetScratch = pool.NewScratch(func() *[]int32 {
+	s := make([]int32, 0, 64)
+	return &s
+})
+
+// regionIntoBuf is RegionInto with an explicit result-set scratch buffer
+// (stored back through buf so growth is retained). The halfspaces are built
+// in the region's arena via AddPref — no allocation per halfspace — in the
+// exact order of the allocating path, so region hashes and LP behavior are
+// unchanged.
+func (ix *Index) regionIntoBuf(id int32, reg *geom.Region, buf *[]int32) *geom.Region {
 	c := &ix.Cells[id]
 	reg.Reset(ix.RDim())
 	if c.Opt == NoOption {
 		return reg
 	}
-	r := ix.ResultSet(id)
+	r := ix.resultSetInto(id, *buf)
+	*buf = r
 	opt := ix.Pts[c.Opt]
 	for _, j := range r[:len(r)-1] {
-		reg.Add(geom.PrefHalfspace(ix.Pts[j], opt)) // S_j >= S_opt
+		reg.AddPref(ix.Pts[j], opt) // S_j >= S_opt
 	}
-	if c.Bound != nil {
-		for _, b := range c.Bound {
-			reg.Add(geom.PrefHalfspace(opt, ix.Pts[b])) // S_opt >= S_b
+	if bound, isNil := ix.boundOf(id); !isNil {
+		for _, b := range bound {
+			reg.AddPref(opt, ix.Pts[b]) // S_opt >= S_b
 		}
 		return reg
 	}
-	inR := make(map[int32]bool, len(r))
-	for _, j := range r {
-		inR[j] = true
-	}
+	// Definition-2 bound: every option outside R. R has at most
+	// MaxMaterializedLevel entries, so a linear scan beats a lookup set.
 	for j := int32(0); int(j) < len(ix.Pts); j++ {
-		if !inR[j] {
-			reg.Add(geom.PrefHalfspace(opt, ix.Pts[j]))
+		if !containsID(r, j) {
+			reg.AddPref(opt, ix.Pts[j])
 		}
 	}
 	return reg
+}
+
+func containsID(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // HyperplaneCount returns the number of halfspaces in the cell's
@@ -230,8 +278,8 @@ func (ix *Index) HyperplaneCount(id int32) int {
 		return 0
 	}
 	prefix := int(c.Level) - 1
-	if c.Bound != nil {
-		return prefix + len(c.Bound)
+	if bound, isNil := ix.boundOf(id); !isNil {
+		return prefix + len(bound)
 	}
 	return prefix + (len(ix.Pts) - int(c.Level))
 }
@@ -275,8 +323,11 @@ func (ix *Index) rebuildLevels() {
 	}
 }
 
-// compact removes tombstoned cells and renumbers ids densely.
+// compact removes tombstoned cells, renumbers ids densely, and freezes the
+// adjacency into the flat CSR form (csr.go) — the final step of every build
+// and update.
 func (ix *Index) compact() {
+	ix.thaw()
 	remap := make([]int32, len(ix.Cells))
 	for i := range remap {
 		remap[i] = -1
@@ -296,6 +347,7 @@ func (ix *Index) compact() {
 	}
 	ix.Cells = live
 	ix.rebuildLevels()
+	ix.freeze()
 }
 
 func remapIDs(ids []int32, remap []int32) []int32 {
@@ -403,25 +455,26 @@ func (ix *Index) Validate(checkRegions bool) error {
 		if c.ID != int32(i) {
 			return fmt.Errorf("index: cell %d has ID %d", i, c.ID)
 		}
-		if c.Level > 0 && len(c.Parents) == 0 {
+		parents := ix.parentsOf(c.ID)
+		if c.Level > 0 && len(parents) == 0 {
 			return fmt.Errorf("index: cell %d at level %d has no parents", i, c.Level)
 		}
-		for _, p := range c.Parents {
+		for _, p := range parents {
 			if ix.Cells[p].Level != c.Level-1 {
 				return fmt.Errorf("index: cell %d level %d has parent %d at level %d",
 					i, c.Level, p, ix.Cells[p].Level)
 			}
 		}
-		for _, ch := range c.Children {
+		for _, ch := range ix.childrenOf(c.ID) {
 			if ix.Cells[ch].Level != c.Level+1 {
 				return fmt.Errorf("index: cell %d level %d has child %d at level %d",
 					i, c.Level, ch, ix.Cells[ch].Level)
 			}
 		}
 		// Path independence: the R sets via every parent must agree.
-		if len(c.Parents) > 1 {
-			want := setKey(ix.ResultSet(c.Parents[0]))
-			for _, p := range c.Parents[1:] {
+		if len(parents) > 1 {
+			want := setKey(ix.ResultSet(parents[0]))
+			for _, p := range parents[1:] {
 				if setKey(ix.ResultSet(p)) != want {
 					return fmt.Errorf("index: cell %d has parents with different result sets", i)
 				}

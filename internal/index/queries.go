@@ -1,9 +1,9 @@
 package index
 
 import (
-	"container/heap"
 	"context"
 	"math"
+	"slices"
 	"sort"
 
 	"tlevelindex/internal/geom"
@@ -53,39 +53,43 @@ func (ix *Index) KSPR(k int, focal int32) *KSPRResult {
 // traversal is abandoned it returns the context's error together with the
 // partial result: Stats reflects the work done up to the abandonment and
 // Cells holds whatever was collected (incomplete).
+//
+// The walk is an iterative depth-first descent over a pooled stack and a
+// visited bitset: children are pushed in reverse so cells pop in exactly the
+// order the historical recursive walk visited them.
 func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, error) {
 	res := &KSPRResult{}
 	if k > ix.Tau {
 		ix.ensureLevels(k)
 	}
-	seen := make(map[int32]bool)
-	var walkErr error
-	var walk func(id int32)
-	walk = func(id int32) {
-		if walkErr != nil || seen[id] {
-			return
+	qs := getScratch(ix.RDim())
+	defer putScratch(qs)
+	qs.visited.reset(len(ix.Cells))
+	stack := append(qs.stack[:0], ix.Root())
+	defer func() { qs.stack = stack[:0] }()
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if qs.visited.get(id) {
+			continue
 		}
-		seen[id] = true
+		qs.visited.set(id)
 		res.Stats.VisitedCells++
 		if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
-			walkErr = err
-			return
+			return res, err
 		}
 		c := &ix.Cells[id]
 		if c.Opt == focal {
 			res.Cells = append(res.Cells, id)
-			return
+			continue
 		}
 		if int(c.Level) >= k {
-			return
+			continue
 		}
-		for _, ch := range c.Children {
-			walk(ch)
+		children := ix.childrenOf(id)
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
 		}
-	}
-	walk(ix.Root())
-	if walkErr != nil {
-		return res, walkErr
 	}
 	return res, nil
 }
@@ -124,28 +128,33 @@ func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, e
 	if k > ix.Tau {
 		ix.ensureLevels(k)
 	}
-	boxHS := box.Halfspaces()
+	qs := getScratch(ix.RDim())
+	defer putScratch(qs)
+	boxHS := qs.boxHalfspaces(box)
 	// Cheap certificates: a sample point of the box that satisfies a cell's
 	// halfspaces proves intersection without an LP. The sampler is a small
 	// deterministic lattice plus the box center.
-	samples := boxSamples(box)
-	scratch := geom.GetRegion()
-	defer geom.PutRegion(scratch)
-	frontier := []int32{ix.Root()}
+	samples := qs.boxSamples(box)
+	// A single visited bitset replaces the historical per-level maps: every
+	// child of a level-l frontier cell sits at level l+1, so ids can never
+	// repeat across levels and the visit counts are identical.
+	qs.visited.reset(len(ix.Cells))
+	frontier := append(qs.frontA[:0], ix.Root())
+	next := qs.frontB[:0]
+	defer func() { qs.frontA, qs.frontB = frontier[:0], next[:0] }()
 	for l := 1; l <= k; l++ {
-		var next []int32
-		seen := make(map[int32]bool)
+		next = next[:0]
 		for _, id := range frontier {
-			for _, ch := range ix.Cells[id].Children {
-				if seen[ch] {
+			for _, ch := range ix.childrenOf(id) {
+				if qs.visited.get(ch) {
 					continue
 				}
-				seen[ch] = true
+				qs.visited.set(ch)
 				res.Stats.VisitedCells++
 				if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
 					return res, err
 				}
-				reg := ix.RegionInto(ch, scratch)
+				reg := ix.regionIntoBuf(ch, qs.reg, &qs.rset)
 				hit := false
 				for _, s := range samples {
 					if reg.ContainsPoint(s, -1e-9) {
@@ -163,20 +172,30 @@ func (ix *Index) UTKCtx(ctx context.Context, k int, box geom.Box) (*UTKResult, e
 				}
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 		if len(frontier) == 0 {
 			break
 		}
 	}
-	optSet := make(map[int32]bool)
+	// Assemble the answer: partitions are O(result) by definition; option
+	// ids are collected through a bitset into one reused slice and sorted
+	// once at the end (not per level).
+	qs.optSeen.reset(len(ix.Pts))
+	opts := qs.opts[:0]
+	defer func() { qs.opts = opts[:0] }()
 	for _, id := range frontier {
 		r := ix.ResultSet(id)
 		for _, v := range r {
-			optSet[v] = true
+			if !qs.optSeen.get(v) {
+				qs.optSeen.set(v)
+				opts = append(opts, v)
+			}
 		}
 		res.Partitions = append(res.Partitions, UTKPartition{Cell: id, TopK: r})
 	}
-	res.Options = sortedKeys(optSet)
+	slices.Sort(opts)
+	res.Options = make([]int32, len(opts))
+	copy(res.Options, opts)
 	return res, nil
 }
 
@@ -198,31 +217,6 @@ func separatedFromBox(reg *geom.Region, box geom.Box) bool {
 		}
 	}
 	return false
-}
-
-// boxSamples returns interior probe points of the box: its center plus a
-// deterministic low-discrepancy scatter. Samples that fall outside the
-// simplex simply never certify a cell, which is harmless.
-func boxSamples(box geom.Box) [][]float64 {
-	dim := len(box.Lo)
-	const n = 24
-	out := make([][]float64, 0, n+1)
-	out = append(out, box.Center())
-	// Additive quasi-random (Kronecker) sequence, deterministic.
-	alpha := make([]float64, dim)
-	for j := range alpha {
-		alpha[j] = math.Mod(0.7548776662466927*float64(j+1), 1)
-	}
-	x := make([]float64, dim)
-	for i := 0; i < n; i++ {
-		p := make([]float64, dim)
-		for j := 0; j < dim; j++ {
-			x[j] = math.Mod(x[j]+alpha[j], 1)
-			p[j] = box.Lo[j] + (box.Hi[j]-box.Lo[j])*x[j]
-		}
-		out = append(out, p)
-	}
-	return out
 }
 
 func sortedKeys(m map[int32]bool) []int32 {
@@ -256,18 +250,46 @@ type oruEntry struct {
 	exact bool
 }
 
-type oruHeap []oruEntry
+// oruPush / oruPop implement a min-heap on dist over a plain slice,
+// replicating container/heap's sift order exactly (Push appends then sifts
+// up; Pop swaps root and last, sifts down, then shrinks) so tie-breaking —
+// and with it the reported Rho and option order — matches the historical
+// boxed implementation bit for bit, without the interface{} allocation per
+// operation.
+func oruPush(h []oruEntry, e oruEntry) []oruEntry {
+	h = append(h, e)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	return h
+}
 
-func (h oruHeap) Len() int            { return len(h) }
-func (h oruHeap) Less(a, b int) bool  { return h[a].dist < h[b].dist }
-func (h oruHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *oruHeap) Push(x interface{}) { *h = append(*h, x.(oruEntry)) }
-func (h *oruHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func oruPop(h []oruEntry) (oruEntry, []oruEntry) {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].dist < h[j1].dist {
+			j = j2
+		}
+		if !(h[j].dist < h[i].dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return h[n], h[:n]
 }
 
 // ORU answers the ORU query (Problem 4): starting from the entry cell,
@@ -289,17 +311,20 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 	if k > ix.Tau {
 		ix.ensureLevels(k)
 	}
-	h := &oruHeap{{cell: ix.Root(), dist: 0, exact: true}}
-	pushed := map[int32]bool{ix.Root(): true}
-	optSet := make(map[int32]bool)
-	scratch := geom.GetRegion()
-	defer geom.PutRegion(scratch)
-	for h.Len() > 0 && len(res.Options) < m {
-		e := heap.Pop(h).(oruEntry)
+	qs := getScratch(ix.RDim())
+	defer putScratch(qs)
+	h := append(qs.heap[:0], oruEntry{cell: ix.Root(), dist: 0, exact: true})
+	defer func() { qs.heap = h[:0] }()
+	qs.visited.reset(len(ix.Cells)) // cells already pushed onto the heap
+	qs.visited.set(ix.Root())
+	qs.optSeen.reset(len(ix.Pts))
+	var e oruEntry
+	for len(h) > 0 && len(res.Options) < m {
+		e, h = oruPop(h)
 		if !e.exact {
-			d := ix.RegionInto(e.cell, scratch).DistanceTo(x)
+			d := ix.regionIntoBuf(e.cell, qs.reg, &qs.rset).DistanceTo(x)
 			res.Stats.LPCalls++
-			heap.Push(h, oruEntry{cell: e.cell, dist: d, exact: true})
+			h = oruPush(h, oruEntry{cell: e.cell, dist: d, exact: true})
 			continue
 		}
 		res.Stats.VisitedCells++
@@ -307,8 +332,8 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 			return res, err
 		}
 		c := &ix.Cells[e.cell]
-		if c.Opt != NoOption && int(c.Level) <= k && !optSet[c.Opt] {
-			optSet[c.Opt] = true
+		if c.Opt != NoOption && int(c.Level) <= k && !qs.optSeen.get(c.Opt) {
+			qs.optSeen.set(c.Opt)
 			res.Options = append(res.Options, c.Opt)
 			res.Rho = e.dist
 			if len(res.Options) >= m {
@@ -318,13 +343,13 @@ func (ix *Index) ORUCtx(ctx context.Context, k int, x []float64, m int) (*ORURes
 		if int(c.Level)+1 > k {
 			continue
 		}
-		for _, ch := range c.Children {
-			if pushed[ch] {
+		for _, ch := range ix.childrenOf(e.cell) {
+			if qs.visited.get(ch) {
 				continue
 			}
-			pushed[ch] = true
-			lb := maxViolation(ix.RegionInto(ch, scratch), x)
-			heap.Push(h, oruEntry{cell: ch, dist: lb})
+			qs.visited.set(ch)
+			lb := maxViolation(ix.regionIntoBuf(ch, qs.reg, &qs.rset), x)
+			h = oruPush(h, oruEntry{cell: ch, dist: lb})
 		}
 	}
 	return res, nil
@@ -354,15 +379,15 @@ func (ix *Index) TopKCtx(ctx context.Context, x []float64, k int) ([]int32, Quer
 		ix.ensureLevels(k)
 	}
 	cur := ix.Root()
-	var out []int32
+	out := make([]int32, 0, k)
 	for l := 1; l <= k; l++ {
-		c := &ix.Cells[cur]
-		if len(c.Children) == 0 {
+		children := ix.childrenOf(cur)
+		if len(children) == 0 {
 			break
 		}
 		best := int32(-1)
 		bestScore := math.Inf(-1)
-		for _, ch := range c.Children {
+		for _, ch := range children {
 			st.VisitedCells++
 			if err := checkCtx(ctx, st.VisitedCells); err != nil {
 				return out, st, err
@@ -507,16 +532,31 @@ type Interval struct {
 // (Problem 2 generalizes it); overlapping or touching cell intervals are
 // merged. Returns nil for d != 2.
 func (ix *Index) MonoRTopK(k int, focal int32) ([]Interval, QueryStats) {
+	segs, st, _ := ix.MonoRTopKCtx(context.Background(), k, focal)
+	return segs, st
+}
+
+// MonoRTopKCtx is MonoRTopK with cancellation checks between cell visits and
+// between interval projections. When the query is abandoned it returns the
+// context's error together with the partial QueryStats (the intervals are
+// incomplete and only cover the cells projected so far).
+func (ix *Index) MonoRTopKCtx(ctx context.Context, k int, focal int32) ([]Interval, QueryStats, error) {
 	var st QueryStats
 	if ix.RDim() != 1 {
-		return nil, st
+		return nil, st, nil
 	}
-	res := ix.KSPR(k, focal)
+	res, err := ix.KSPRCtx(ctx, k, focal)
 	st = res.Stats
+	if err != nil {
+		return nil, st, err
+	}
 	segs := make([]Interval, 0, len(res.Cells))
 	scratch := geom.GetRegion()
 	defer geom.PutRegion(scratch)
 	for _, id := range res.Cells {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		reg := ix.RegionInto(id, scratch)
 		lo, _ := reg.Project([]float64{-1})
 		hi, _ := reg.Project([]float64{2})
@@ -533,5 +573,5 @@ func (ix *Index) MonoRTopK(k int, focal int32) ([]Interval, QueryStats) {
 		}
 		out = append(out, s)
 	}
-	return out, st
+	return out, st, nil
 }

@@ -1,0 +1,122 @@
+package index
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tlevelindex/internal/geom"
+)
+
+// End-to-end query benchmarks over one canonical built index (IND n=500,
+// d=3, τ=4, PBA⁺, fixed seed). These are the serving-layer hot paths: the
+// numbers land in BENCH_query.json via cmd/benchjson and `make bench-query`
+// gates them against the committed baseline. Probe weights and focal
+// options are precomputed outside the timed loop so the measurements are
+// pure traversal cost.
+
+const (
+	qbN   = 500
+	qbD   = 3
+	qbTau = 4
+)
+
+var (
+	qbOnce sync.Once
+	qbIx   *Index
+)
+
+// queryBenchIndex builds (once) the canonical index shared by all query
+// benchmarks.
+func queryBenchIndex(b *testing.B) *Index {
+	b.Helper()
+	qbOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		ix, err := Build(randData(rng, qbN, qbD), Config{Algorithm: PBAPlus, Tau: qbTau})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qbIx = ix
+	})
+	return qbIx
+}
+
+// qbFocals returns filtered option ids that actually appear within the
+// materialized levels, so every KSPR traversal does real work.
+func qbFocals(b *testing.B, ix *Index) []int32 {
+	b.Helper()
+	var out []int32
+	for l := 1; l <= ix.Tau; l++ {
+		for _, id := range ix.Levels[l] {
+			out = append(out, ix.Cells[id].Opt)
+		}
+		if len(out) >= 32 {
+			break
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no focal options")
+	}
+	return out
+}
+
+func qbPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = randReduced(rng, dim)
+	}
+	return out
+}
+
+func BenchmarkKSPR(b *testing.B) {
+	ix := queryBenchIndex(b)
+	focals := qbFocals(b, ix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ix.KSPR(qbTau, focals[i%len(focals)])
+		if res.Stats.VisitedCells == 0 {
+			b.Fatal("empty traversal")
+		}
+	}
+}
+
+func BenchmarkUTK(b *testing.B) {
+	ix := queryBenchIndex(b)
+	box := geom.NewBox([]float64{0.25, 0.25}, []float64{0.4, 0.4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ix.UTK(qbTau, box)
+		if len(res.Partitions) == 0 {
+			b.Fatal("empty UTK answer")
+		}
+	}
+}
+
+func BenchmarkORU(b *testing.B) {
+	ix := queryBenchIndex(b)
+	pts := qbPoints(64, qbD-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ix.ORU(qbTau, pts[i%len(pts)], 2*qbTau)
+		if len(res.Options) == 0 {
+			b.Fatal("empty ORU answer")
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	ix := queryBenchIndex(b)
+	pts := qbPoints(64, qbD-1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := ix.TopK(pts[i%len(pts)], qbTau)
+		if len(out) != qbTau {
+			b.Fatal("short TopK answer")
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package index
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool intentionally drops puts at random, so pooled-scratch
+// allocation pins are meaningless there.
+const raceEnabled = true

@@ -16,47 +16,50 @@ import (
 // full dataset is not serialized; a loaded index answers queries up to τ.
 // The byte size of this encoding is the "index size" metric of Figure 10.
 //
-// Two on-disk versions exist. The current X2 format adds the input-dataset
-// cardinality (so a loaded index assigns the same external ids to later
-// inserts as the index it was saved from — the durable store replays its
-// WAL against snapshots and needs that determinism) and a trailing CRC32
-// (IEEE) over every preceding byte, magic included, so corruption is
-// detected instead of loading garbage. The legacy X1 format (no cardinality
-// field, no checksum) is still read.
+// Three on-disk versions exist. The current X3 format mirrors the in-memory
+// CSR layout (csr.go): column arrays of per-cell levels, options, and list
+// lengths followed by one flat int32 arena per adjacency kind, so loading is
+// a few large reads into exactly the arrays queries traverse — no per-cell
+// slice allocations. A bound length of -1 encodes the nil (Definition-2)
+// bound. Like X2 it carries the input-dataset cardinality (so a loaded
+// index assigns the same external ids to later inserts as the index it was
+// saved from — the durable store replays its WAL against snapshots and
+// needs that determinism) and a trailing CRC32 (IEEE) over every preceding
+// byte, magic included. The per-cell X2 stream and the legacy X1 stream (no
+// cardinality, no checksum) are still read.
 
 var (
 	magicX1 = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '1'}
 	magicX2 = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '2'}
+	magicX3 = [8]byte{'T', 'L', 'V', 'L', 'I', 'D', 'X', '3'}
 )
 
 // ErrBadFormat reports a corrupt or foreign stream.
 var ErrBadFormat = errors.New("index: bad serialization format")
 
-// WriteTo serializes the index in the X2 format. It returns the number of
-// bytes written, checksum footer included.
+// WriteTo serializes the index in the X3 format. It returns the number of
+// bytes written, checksum footer included. The adjacency is emitted through
+// the storage-mode accessors, so both frozen and staging indexes serialize
+// identically.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw, h: crc32.NewIEEE()}
 	put := func(v int32) error { return binary.Write(cw, binary.LittleEndian, v) }
-	if _, err := cw.Write(magicX2[:]); err != nil {
+	if _, err := cw.Write(magicX3[:]); err != nil {
 		return cw.n, err
 	}
-	if err := put(int32(ix.Dim)); err != nil {
-		return cw.n, err
-	}
-	if err := put(int32(ix.Tau)); err != nil {
-		return cw.n, err
-	}
-	if err := put(int32(ix.Stats.InputOptions)); err != nil {
-		return cw.n, err
-	}
-	if err := put(int32(len(ix.Pts))); err != nil {
-		return cw.n, err
-	}
-	for i, p := range ix.Pts {
-		if err := put(int32(ix.OrigIDs[i])); err != nil {
+	for _, v := range []int32{int32(ix.Dim), int32(ix.Tau),
+		int32(ix.Stats.InputOptions), int32(len(ix.Pts))} {
+		if err := put(v); err != nil {
 			return cw.n, err
 		}
+	}
+	for _, oid := range ix.OrigIDs {
+		if err := put(int32(oid)); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, p := range ix.Pts {
 		for _, v := range p {
 			if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(v)); err != nil {
 				return cw.n, err
@@ -67,30 +70,57 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	for i := range ix.Cells {
-		c := &ix.Cells[i]
-		if err := put(c.Level); err != nil {
+		if err := put(ix.Cells[i].Level); err != nil {
 			return cw.n, err
 		}
-		if err := put(c.Opt); err != nil {
+	}
+	for i := range ix.Cells {
+		if err := put(ix.Cells[i].Opt); err != nil {
 			return cw.n, err
 		}
-		for _, lst := range [][]int32{c.Parents, c.Children, c.Bound} {
-			if err := put(int32(len(lst))); err != nil {
+	}
+	// Column arrays of list lengths, then the three arenas (each prefixed
+	// with its total length). Bound length -1 encodes the nil bound.
+	kinds := [3]func(int32) []int32{
+		ix.parentsOf,
+		ix.childrenOf,
+		func(id int32) []int32 {
+			b, isNil := ix.boundOf(id)
+			if isNil {
+				return nil
+			}
+			if b == nil {
+				b = []int32{}
+			}
+			return b
+		},
+	}
+	for ki, lists := range kinds {
+		for i := range ix.Cells {
+			lst := lists(int32(i))
+			ln := int32(len(lst))
+			if ki == 2 && lst == nil {
+				ln = -1 // nil bound; parent/child lists never use -1
+			}
+			if err := put(ln); err != nil {
 				return cw.n, err
 			}
-			for _, v := range lst {
+		}
+	}
+	for _, lists := range kinds {
+		total := 0
+		for i := range ix.Cells {
+			total += len(lists(int32(i)))
+		}
+		if err := put(int32(total)); err != nil {
+			return cw.n, err
+		}
+		for i := range ix.Cells {
+			for _, v := range lists(int32(i)) {
 				if err := put(v); err != nil {
 					return cw.n, err
 				}
 			}
-		}
-		// Distinguish nil Bound (Definition-2 semantics) from empty.
-		nilFlag := int32(0)
-		if c.Bound == nil {
-			nilFlag = 1
-		}
-		if err := put(nilFlag); err != nil {
-			return cw.n, err
 		}
 	}
 	sum := cw.h.Sum32()
@@ -151,6 +181,8 @@ func readIndex(r io.Reader) (*Index, error) {
 		h = crc32.NewIEEE()
 		h.Write(m[:])
 		src = io.TeeReader(br, h)
+	case magicX3:
+		return readIndexX3(br)
 	default:
 		return nil, ErrBadFormat
 	}
@@ -231,10 +263,18 @@ func readIndex(r io.Reader) (*Index, error) {
 			if ln < 0 || ln > nCells+nOpts {
 				return nil, fmt.Errorf("%w: list %d length %d", ErrBadFormat, li, ln)
 			}
+			// Parent/child entries are cell ids, bound entries option ids.
+			hi := nCells
+			if li == 2 {
+				hi = nOpts
+			}
 			lst := make([]int32, ln)
 			for j := range lst {
 				if lst[j], err = get(); err != nil {
 					return nil, err
+				}
+				if lst[j] < 0 || lst[j] >= hi {
+					return nil, fmt.Errorf("%w: list %d entry %d out of range", ErrBadFormat, li, lst[j])
 				}
 			}
 			*dst = lst
@@ -262,7 +302,184 @@ func readIndex(r io.Reader) (*Index, error) {
 	if err := ix.Validate(false); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
+	// Legacy streams load into the staging slices; freeze to the CSR form so
+	// a loaded index serves queries from flat storage like a built one.
+	ix.freeze()
 	return ix, nil
+}
+
+// readIndexX3 decodes the flat X3 stream (magic already consumed): bulk
+// column arrays straight into the in-memory CSR arenas. Every structural
+// oddity — negative lengths, arena totals that disagree with the per-cell
+// lengths, ids out of range — reports ErrBadFormat before any index is
+// assembled, so corrupt input can never panic a traversal later.
+func readIndexX3(br *bufio.Reader) (*Index, error) {
+	h := crc32.NewIEEE()
+	h.Write(magicX3[:])
+	src := io.TeeReader(br, h)
+	hdr, err := readInt32Array(src, 4)
+	if err != nil {
+		return nil, err
+	}
+	dim, tau, inputOptions, nOpts := hdr[0], hdr[1], hdr[2], hdr[3]
+	if dim < 2 || tau < 1 || dim > 1<<20 || tau > 1<<20 {
+		return nil, ErrBadFormat
+	}
+	if inputOptions < 0 || nOpts < 0 || nOpts > 1<<28 {
+		return nil, ErrBadFormat
+	}
+	ix := &Index{Dim: int(dim), Tau: int(tau)}
+	ix.Stats.InputOptions = int(inputOptions)
+	origIDs, err := readInt32Array(src, int(nOpts))
+	if err != nil {
+		return nil, err
+	}
+	ix.OrigIDs = make([]int, nOpts)
+	for i, v := range origIDs {
+		ix.OrigIDs[i] = int(v)
+	}
+	coords, err := readFloat64Array(src, int(nOpts)*int(dim))
+	if err != nil {
+		return nil, err
+	}
+	ix.Pts = make([][]float64, nOpts)
+	for i := range ix.Pts {
+		ix.Pts[i] = coords[i*int(dim) : (i+1)*int(dim) : (i+1)*int(dim)]
+	}
+	counts, err := readInt32Array(src, 1)
+	if err != nil {
+		return nil, err
+	}
+	nCells := counts[0]
+	if nCells < 1 || nCells > 1<<28 {
+		return nil, ErrBadFormat
+	}
+	levels, err := readInt32Array(src, int(nCells))
+	if err != nil {
+		return nil, err
+	}
+	opts, err := readInt32Array(src, int(nCells))
+	if err != nil {
+		return nil, err
+	}
+	for i := int32(0); i < nCells; i++ {
+		if levels[i] < -1 || levels[i] > 1<<20 {
+			return nil, fmt.Errorf("%w: cell %d level %d", ErrBadFormat, i, levels[i])
+		}
+		if opts[i] < -1 || opts[i] >= nOpts {
+			return nil, fmt.Errorf("%w: cell %d option %d", ErrBadFormat, i, opts[i])
+		}
+	}
+	// List lengths per kind, then the arenas. minLen/maxID: parents and
+	// children hold cell ids, bounds hold option ids and admit -1 (nil).
+	var lens [3][]int32
+	for ki := range lens {
+		if lens[ki], err = readInt32Array(src, int(nCells)); err != nil {
+			return nil, err
+		}
+	}
+	var totals [3]int64
+	for ki, ls := range lens {
+		minLen, maxLen := int32(0), nCells
+		if ki == 2 {
+			minLen, maxLen = -1, nOpts
+		}
+		for i, ln := range ls {
+			if ln < minLen || ln > maxLen {
+				return nil, fmt.Errorf("%w: cell %d list %d length %d", ErrBadFormat, i, ki, ln)
+			}
+			if ln > 0 {
+				totals[ki] += int64(ln)
+			}
+		}
+		if totals[ki] > 1<<30 {
+			return nil, fmt.Errorf("%w: arena %d overflows", ErrBadFormat, ki)
+		}
+	}
+	var arenas [3][]int32
+	for ki := range arenas {
+		sz, err := readInt32Array(src, 1)
+		if err != nil {
+			return nil, err
+		}
+		if int64(sz[0]) != totals[ki] {
+			return nil, fmt.Errorf("%w: arena %d length %d, want %d", ErrBadFormat, ki, sz[0], totals[ki])
+		}
+		if arenas[ki], err = readInt32Array(src, int(totals[ki])); err != nil {
+			return nil, err
+		}
+		hi := nCells
+		if ki == 2 {
+			hi = nOpts
+		}
+		for _, v := range arenas[ki] {
+			if v < 0 || v >= hi {
+				return nil, fmt.Errorf("%w: arena %d entry %d out of range", ErrBadFormat, ki, v)
+			}
+		}
+	}
+	// The CRC footer is read from the raw stream: it must not feed the hash.
+	sum := h.Sum32()
+	var footer [4]byte
+	if _, err := io.ReadFull(br, footer[:]); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(footer[:]); got != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadFormat, got, sum)
+	}
+	ix.Cells = make([]Cell, nCells)
+	f := &flatDAG{
+		spans:    make([]cellSpans, nCells),
+		parents:  arenas[0],
+		children: arenas[1],
+		bounds:   arenas[2],
+	}
+	var offs [3]int32
+	for i := int32(0); i < nCells; i++ {
+		c := &ix.Cells[i]
+		c.ID, c.Level, c.Opt = i, levels[i], opts[i]
+		s := &f.spans[i]
+		s.parentOff, s.parentLen = offs[0], lens[0][i]
+		offs[0] += lens[0][i]
+		s.childOff, s.childLen = offs[1], lens[1][i]
+		offs[1] += lens[1][i]
+		s.boundOff, s.boundLen = offs[2], lens[2][i]
+		if lens[2][i] > 0 {
+			offs[2] += lens[2][i]
+		}
+	}
+	ix.flat = f
+	ix.rebuildLevels()
+	if err := ix.Validate(false); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return ix, nil
+}
+
+// readInt32Array bulk-reads n little-endian int32s.
+func readInt32Array(src io.Reader, n int) ([]int32, error) {
+	b := make([]byte, 4*n)
+	if _, err := io.ReadFull(src, b); err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// readFloat64Array bulk-reads n little-endian float64s.
+func readFloat64Array(src io.Reader, n int) ([]float64, error) {
+	b := make([]byte, 8*n)
+	if _, err := io.ReadFull(src, b); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
 }
 
 // SizeBytes returns the serialized size of the index — the paper's index

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"reflect"
@@ -31,18 +32,57 @@ func writeLegacyX1(ix *Index) []byte {
 		c := &ix.Cells[i]
 		put(c.Level)
 		put(c.Opt)
-		for _, lst := range [][]int32{c.Parents, c.Children, c.Bound} {
+		bound, boundNil := ix.boundOf(c.ID)
+		for _, lst := range [][]int32{ix.parentsOf(c.ID), ix.childrenOf(c.ID), bound} {
 			put(int32(len(lst)))
 			for _, v := range lst {
 				put(v)
 			}
 		}
 		nilFlag := int32(0)
-		if c.Bound == nil {
+		if boundNil {
 			nilFlag = 1
 		}
 		put(nilFlag)
 	}
+	return buf.Bytes()
+}
+
+// writeLegacyX2 produces the per-cell X2 stream (cardinality field + CRC32
+// footer) by hand; like X1 it must stay loadable forever.
+func writeLegacyX2(ix *Index) []byte {
+	var buf bytes.Buffer
+	put := func(v int32) { binary.Write(&buf, binary.LittleEndian, v) }
+	buf.Write(magicX2[:])
+	put(int32(ix.Dim))
+	put(int32(ix.Tau))
+	put(int32(ix.Stats.InputOptions))
+	put(int32(len(ix.Pts)))
+	for i, p := range ix.Pts {
+		put(int32(ix.OrigIDs[i]))
+		for _, v := range p {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(v))
+		}
+	}
+	put(int32(len(ix.Cells)))
+	for i := range ix.Cells {
+		c := &ix.Cells[i]
+		put(c.Level)
+		put(c.Opt)
+		bound, boundNil := ix.boundOf(c.ID)
+		for _, lst := range [][]int32{ix.parentsOf(c.ID), ix.childrenOf(c.ID), bound} {
+			put(int32(len(lst)))
+			for _, v := range lst {
+				put(v)
+			}
+		}
+		nilFlag := int32(0)
+		if boundNil {
+			nilFlag = 1
+		}
+		put(nilFlag)
+	}
+	binary.Write(&buf, binary.LittleEndian, crc32.ChecksumIEEE(buf.Bytes()))
 	return buf.Bytes()
 }
 
@@ -81,9 +121,39 @@ func TestInputOptionsRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReadTruncatedX2 demands the sentinel, not just any error: every
+func TestReadLegacyX2Stream(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	ix := buildOrFail(t, randData(rng, 18, 3), Config{Algorithm: PBAPlus, Tau: 3})
+	got, err := Read(bytes.NewReader(writeLegacyX2(ix)))
+	if err != nil {
+		t.Fatalf("X2 stream rejected: %v", err)
+	}
+	if got.Dim != ix.Dim || got.Tau != ix.Tau || len(got.Cells) != len(ix.Cells) {
+		t.Errorf("X2 roundtrip shape: d=%d τ=%d cells=%d", got.Dim, got.Tau, len(got.Cells))
+	}
+	if !reflect.DeepEqual(got.Pts, ix.Pts) || !reflect.DeepEqual(got.OrigIDs, ix.OrigIDs) {
+		t.Error("X2 roundtrip changed the option pool")
+	}
+	if got.Stats.InputOptions != ix.Stats.InputOptions {
+		t.Errorf("X2 InputOptions = %d, want %d", got.Stats.InputOptions, ix.Stats.InputOptions)
+	}
+	// A reserialized legacy index must produce the same X3 bytes as the
+	// original: the flat form captures the full structure.
+	var a, b bytes.Buffer
+	if _, err := ix.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("X2-loaded index reserializes differently")
+	}
+}
+
+// TestReadTruncatedX3 demands the sentinel, not just any error: every
 // truncation point must surface as ErrBadFormat.
-func TestReadTruncatedX2(t *testing.T) {
+func TestReadTruncatedX3(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	ix := buildOrFail(t, randData(rng, 15, 3), Config{Algorithm: PBAPlus, Tau: 2})
 	var buf bytes.Buffer
@@ -102,9 +172,9 @@ func TestReadTruncatedX2(t *testing.T) {
 	}
 }
 
-// TestReadBitFlippedX2: the CRC32 footer must catch any single-bit
+// TestReadBitFlippedX3: the CRC32 footer must catch any single-bit
 // corruption that the structural checks let through.
-func TestReadBitFlippedX2(t *testing.T) {
+func TestReadBitFlippedX3(t *testing.T) {
 	rng := rand.New(rand.NewSource(74))
 	ix := buildOrFail(t, randData(rng, 15, 3), Config{Algorithm: PBAPlus, Tau: 2})
 	var buf bytes.Buffer

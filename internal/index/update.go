@@ -42,6 +42,10 @@ func (ix *Index) InsertOption(r []float64) (int32, error) {
 			return int32(i), nil // exact duplicate: already represented
 		}
 	}
+	// The insertion machinery does slice surgery on the staging adjacency;
+	// materialize it from the flat form first. compact() re-freezes at the
+	// end.
+	ix.thaw()
 	rj := int32(len(ix.Pts))
 	ix.Pts = append(ix.Pts, append([]float64(nil), r...))
 	ix.OrigIDs = append(ix.OrigIDs, -1) // externally inserted
