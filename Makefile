@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-smoke lvbench fuzz-smoke obs-smoke
+.PHONY: ci vet fmt-check build test race bench bench-smoke serve-bench lvbench fuzz-smoke obs-smoke
 
 # The plain (non-race) test pass is part of the gate because the
 # allocation pins skip themselves under -race, where sync.Pool drops puts
@@ -36,7 +36,7 @@ bench:
 # The query-side benchmarks then run against the committed BENCH_query.json
 # baseline: a >2x ns/op regression on any of them fails the build (set
 # BENCH_NO_GATE=1 to downgrade the gate to a warning on slow machines).
-bench-smoke:
+bench-smoke: serve-bench
 	$(GO) test -bench . -benchtime 1x -benchmem -run xxx \
 		./internal/lp ./internal/geom | $(GO) run ./cmd/benchjson > BENCH_lp.json
 	@echo "wrote BENCH_lp.json"
@@ -44,6 +44,17 @@ bench-smoke:
 		-benchtime 100x -benchmem -run xxx ./internal/index \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_query.json -out BENCH_query.json
 	@echo "wrote BENCH_query.json"
+
+# Serve-layer throughput against the committed BENCH_serve.json baseline:
+# the cached/uncached pairs quantify the answer cache (the UTK hit path
+# runs several times the uncached qps), the parallel pair quantifies the
+# replica tier, and the cache-package hit benchmark pins the zero-alloc
+# lookup. Same 2x ns/op gate and BENCH_NO_GATE escape as the query gate.
+serve-bench:
+	$(GO) test -bench '^(BenchmarkServe|BenchmarkGetHit)' -benchtime 100x \
+		-benchmem -run xxx ./internal/serve ./internal/cache \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_serve.json -out BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 # Observability smoke: scrape /v1/metrics through httptest, assert the
 # exposition parses and every promised metric family is present, and lint

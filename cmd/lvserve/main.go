@@ -7,7 +7,13 @@
 //	lvserve -in hotels.txt -tau 10 -addr :8080
 //	curl 'localhost:8080/topk?w=0.18,0.82&k=2'
 //	curl 'localhost:8080/kspr?focal=0&k=2'
+//	curl -X POST -d '{"family":"topk","w":[0.18,0.82],"k":2}' localhost:8080/v1/query
 //	curl 'localhost:8080/stats'
+//
+// Queries are answered through a cell-keyed, LSN-stamped result cache
+// (size it with -cache-entries, disable with a negative value) and, with
+// -replicas N, round-robin across N lock-free read-only index replicas
+// that are republished before every insert acknowledgement.
 //
 // With -data-dir the index is durable: accepted inserts are written to a
 // CRC-checked write-ahead log and fsync'd before the HTTP 200, snapshots
@@ -62,6 +68,8 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	progress := flag.Bool("progress", false, "log per-level build progress (cells/sec)")
+	replicas := flag.Int("replicas", 0, "read-only index replicas for lock-free query serving (0: writer only)")
+	cacheEntries := flag.Int("cache-entries", 0, "answer-cache capacity (0: default size, negative: cache off)")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -101,9 +109,11 @@ func main() {
 		return ix, nil
 	}
 
-	handlerOpts := []serve.HandlerOption{serve.WithLogger(log)}
-	if *pprofOn {
-		handlerOpts = append(handlerOpts, serve.WithPprof())
+	cfg := serve.Config{
+		Logger:       log,
+		Pprof:        *pprofOn,
+		CacheEntries: *cacheEntries,
+		Replicas:     *replicas,
 	}
 	var handler *serve.Handler
 	var st *store.Store
@@ -120,13 +130,13 @@ func main() {
 		status := st.Status()
 		log.Info("store ready", "recoveredFrom", status.RecoveredFrom,
 			"appliedLsn", status.AppliedLSN, "replayed", status.RecordsReplayed)
-		handler = serve.NewStoreHandler(st, handlerOpts...)
+		handler = serve.NewStoreHandler(st, cfg)
 	} else {
 		ix, err := build()
 		if err != nil {
 			fatal(err)
 		}
-		handler = serve.NewHandler(ix, handlerOpts...)
+		handler = serve.NewHandler(ix, cfg)
 	}
 
 	srv := &http.Server{

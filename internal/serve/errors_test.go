@@ -55,6 +55,20 @@ func TestErrorEnvelopes(t *testing.T) {
 	if code != http.StatusMethodNotAllowed || !strings.Contains(msg, "not allowed") {
 		t.Errorf("GET insert: code=%d msg=%q", code, msg)
 	}
+	resp, err := http.Get(srv.URL + "/v1/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Errorf("405 Allow header = %q, want %q", got, http.MethodPost)
+	}
+
+	// Unknown paths answer the JSON envelope, not ServeMux's text page.
+	code, msg = doEnvelope(t, http.MethodGet, srv.URL+"/v1/nope", "")
+	if code != http.StatusNotFound || !strings.Contains(msg, "no such endpoint") {
+		t.Errorf("unknown path: code=%d msg=%q", code, msg)
+	}
 
 	// Drain the store: the server still answers, but writes are refused
 	// with the envelope explaining the closed store. Reads keep working

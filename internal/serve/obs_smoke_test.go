@@ -139,7 +139,7 @@ func TestPprofOptIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(ix, WithPprof()).Mux())
+	srv := httptest.NewServer(NewHandlerOpts(ix, WithPprof()).Mux())
 	defer srv.Close()
 	resp, err = http.Get(srv.URL + "/debug/pprof/")
 	if err != nil {
@@ -159,7 +159,7 @@ func TestCanceledQueryIs499(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := NewHandler(ix).Mux()
+	mux := NewHandler(ix, Config{}).Mux()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"log/slog"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/store"
+)
+
+// The variadic HandlerOption surface predates Config; the wrappers below
+// keep old call sites compiling for one release. New code passes Config
+// directly: NewHandler(ix, serve.Config{...}).
+
+// HandlerOption configures a Handler at construction.
+//
+// Deprecated: set the corresponding Config field instead.
+type HandlerOption func(*Config)
+
+// WithLogger directs the handler's access log to l.
+//
+// Deprecated: set Config.Logger instead.
+func WithLogger(l *slog.Logger) HandlerOption { return func(c *Config) { c.Logger = l } }
+
+// WithPprof mounts the net/http/pprof endpoints under /debug/pprof/.
+//
+// Deprecated: set Config.Pprof instead.
+func WithPprof() HandlerOption { return func(c *Config) { c.Pprof = true } }
+
+// NewHandlerOpts is NewHandler taking the legacy variadic options.
+//
+// Deprecated: use NewHandler(ix, Config{...}).
+func NewHandlerOpts(ix *tlx.Index, opts ...HandlerOption) *Handler {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewHandler(ix, cfg)
+}
+
+// NewStoreHandlerOpts is NewStoreHandler taking the legacy variadic
+// options.
+//
+// Deprecated: use NewStoreHandler(st, Config{...}).
+func NewStoreHandlerOpts(st *store.Store, opts ...HandlerOption) *Handler {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewStoreHandler(st, cfg)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	tlx "tlevelindex"
+)
+
+// envelope mirrors the /v1/query response with the result and stats kept
+// raw so tests can compare exact bytes.
+type envelope struct {
+	Result json.RawMessage `json:"result"`
+	Stats  json.RawMessage `json:"stats"`
+	Cached bool            `json:"cached"`
+	LSN    uint64          `json:"lsn"`
+}
+
+func postQuery(t *testing.T, url, body string) (int, envelope) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("decode envelope for %s: %v", body, err)
+		}
+	}
+	return resp.StatusCode, env
+}
+
+// TestQueryEnvelope drives every family through POST /v1/query and checks
+// the envelope carries the same answers the pinned GET tests expect, plus
+// the cached flag flipping to true on an identical repeat.
+func TestQueryEnvelope(t *testing.T) {
+	srv := newServer(t)
+	cases := []struct {
+		body   string
+		result string // substring of the result object
+	}{
+		{`{"family":"topk","w":[0.18,0.82],"k":2}`, `"options":[0,3]`},
+		{`{"family":"kspr","focal":0,"k":2}`, `"regions":[`},
+		{`{"family":"utk","lo":[0.35],"hi":[0.45],"k":3}`, `"options":[0,1,2,3]`},
+		{`{"family":"oru","w":[0.3,0.7],"k":2,"m":3}`, `"rho":`},
+		{`{"family":"maxrank","focal":4}`, `"rank":-1`},
+		{`{"family":"whynot","focal":0,"w":[0.9,0.1],"k":2}`, `"Rank":3`},
+	}
+	for _, c := range cases {
+		code, env := postQuery(t, srv.URL, c.body)
+		if code != http.StatusOK {
+			t.Errorf("%s: status %d", c.body, code)
+			continue
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, env.Result); err != nil {
+			t.Fatalf("%s: result not JSON: %v", c.body, err)
+		}
+		if !strings.Contains(compact.String(), c.result) {
+			t.Errorf("%s: result %s, want substring %s", c.body, compact.String(), c.result)
+		}
+		if env.Cached {
+			t.Errorf("%s: first request already cached", c.body)
+		}
+		if env.LSN != 0 {
+			t.Errorf("%s: lsn = %d before any insert", c.body, env.LSN)
+		}
+		var stats queryStatsBody
+		if err := json.Unmarshal(env.Stats, &stats); err != nil {
+			t.Errorf("%s: stats not decodable: %v", c.body, err)
+		}
+		// Repeat: every family is cacheable on this index, and the cached
+		// answer must be byte-identical to the fresh one.
+		code2, env2 := postQuery(t, srv.URL, c.body)
+		if code2 != http.StatusOK || !env2.Cached {
+			t.Errorf("%s: repeat code=%d cached=%v, want 200/true", c.body, code2, env2.Cached)
+		}
+		if !bytes.Equal(env.Result, env2.Result) || !bytes.Equal(env.Stats, env2.Stats) {
+			t.Errorf("%s: cached repeat differs: %s / %s vs %s / %s",
+				c.body, env.Result, env.Stats, env2.Result, env2.Stats)
+		}
+	}
+}
+
+// TestQueryEnvelopeTopKSharesCellChain pins the tentpole property: two
+// different weight vectors inside the same cell chain share one top-k cache
+// entry, so the second distinct vector is already a hit.
+func TestQueryEnvelopeTopKSharesCellChain(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := []float64{0.18, 0.82}, []float64{0.19, 0.81}
+	k1, _, err := ix.LocateDepth(w1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _, err := ix.LocateDepth(w2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Skip("fixture drift: the two probe vectors no longer share a cell chain")
+	}
+	srv := httptest.NewServer(NewHandler(ix, Config{}).Mux())
+	t.Cleanup(srv.Close)
+	if code, env := postQuery(t, srv.URL, `{"family":"topk","w":[0.18,0.82],"k":2}`); code != 200 || env.Cached {
+		t.Fatalf("first vector: code=%d cached=%v", code, env.Cached)
+	}
+	if _, env := postQuery(t, srv.URL, `{"family":"topk","w":[0.19,0.81],"k":2}`); !env.Cached {
+		t.Errorf("second vector in the same cell chain missed the cache")
+	}
+}
+
+// TestQueryEnvelopeErrors pins the failure surface of POST /v1/query.
+func TestQueryEnvelopeErrors(t *testing.T) {
+	srv := newServer(t)
+	cases := []struct {
+		body string
+		code int
+		msg  string
+	}{
+		{`{"family":"sky","w":[0.5,0.5]}`, http.StatusBadRequest, "unknown query family"},
+		{`{"family":"kspr","k":2}`, http.StatusBadRequest, `missing parameter "focal"`},
+		{`{"family":"topk","w":[0.9,0.3],"k":2}`, http.StatusBadRequest, "weights"},
+		{`{"family":`, http.StatusBadRequest, "bad query body"},
+	}
+	for _, c := range cases {
+		code, msg := doEnvelope(t, http.MethodPost, srv.URL+"/v1/query", c.body)
+		if code != c.code || !strings.Contains(msg, c.msg) {
+			t.Errorf("%s: code=%d msg=%q, want %d containing %q", c.body, code, msg, c.code, c.msg)
+		}
+	}
+	// GET on the POST-only endpoint: 405 with Allow.
+	resp, err := http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET /v1/query: code=%d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestQueryEnvelopeLSN checks the envelope's lsn advances with acked
+// inserts and that a post-insert repeat is a fresh (uncached) answer.
+func TestQueryEnvelopeLSN(t *testing.T) {
+	srv := newServer(t)
+	const q = `{"family":"kspr","focal":0,"k":2}`
+	if _, env := postQuery(t, srv.URL, q); env.LSN != 0 {
+		t.Fatalf("pre-insert lsn = %d", env.LSN)
+	}
+	postQuery(t, srv.URL, q) // warm the cache
+	var ins struct {
+		ID  int    `json:"id"`
+		LSN uint64 `json:"lsn"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.ID != 5 || ins.LSN != 1 {
+		t.Fatalf("insert ack = %+v, want id 5 lsn 1", ins)
+	}
+	code, env := postQuery(t, srv.URL, q)
+	if code != http.StatusOK || env.Cached || env.LSN != 1 {
+		t.Errorf("post-insert query: code=%d cached=%v lsn=%d, want fresh at lsn 1",
+			code, env.Cached, env.LSN)
+	}
+	// A filtered insert does not advance the LSN, so the freshly cached
+	// answer above is still valid.
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.01,0.01]}`, &ins); code != http.StatusOK || ins.ID != -1 || ins.LSN != 1 {
+		t.Fatalf("filtered insert: code=%d ack=%+v", code, ins)
+	}
+	if _, env := postQuery(t, srv.URL, q); !env.Cached || env.LSN != 1 {
+		t.Errorf("after filtered insert: cached=%v lsn=%d, want hit at lsn 1", env.Cached, env.LSN)
+	}
+}
+
+// fetchRaw returns the status and the exact response bytes.
+func fetchRaw(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestCacheEquivalence is the acceptance check for cache transparency: a
+// randomized workload over every family must produce byte-identical bodies
+// from a cached handler and a cache-disabled one — on the legacy GET routes
+// outright, and for the result and stats objects of /v1/query (the cached
+// flag is the one intentional difference). Each request runs twice against
+// the cached server so the second hit is exercised, and an insert partway
+// through exercises wholesale invalidation.
+func TestCacheEquivalence(t *testing.T) {
+	build := func() *tlx.Index {
+		rng := rand.New(rand.NewSource(11))
+		data := make([][]float64, 60)
+		for i := range data {
+			data[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		ix, err := tlx.Build(data, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	cached := httptest.NewServer(NewHandler(build(), Config{}).Mux())
+	t.Cleanup(cached.Close)
+	plain := httptest.NewServer(NewHandler(build(), Config{CacheEntries: -1}).Mux())
+	t.Cleanup(plain.Close)
+
+	rng := rand.New(rand.NewSource(7))
+	randW := func() (float64, float64, float64) {
+		a, b := rng.Float64(), rng.Float64()
+		if a+b > 1 {
+			a, b = (1-a)/2, (1-b)/2
+		}
+		return a, b, 1 - a - b
+	}
+	var urls []string
+	var bodies []string
+	genPhase := func(maxK int) {
+		for i := 0; i < 12; i++ {
+			k := 1 + rng.Intn(maxK)
+			f := rng.Intn(60)
+			a, b, c := randW()
+			lo0, lo1 := rng.Float64()/2, rng.Float64()/2
+			hi0, hi1 := lo0+0.05, lo1+0.05
+			urls = append(urls,
+				fmt.Sprintf("/topk?w=%g,%g,%g&k=%d", a, b, c, k),
+				fmt.Sprintf("/kspr?focal=%d&k=%d", f, k),
+				fmt.Sprintf("/utk?lo=%g,%g&hi=%g,%g&k=%d", lo0, lo1, hi0, hi1, k),
+				fmt.Sprintf("/oru?w=%g,%g,%g&k=%d&m=3", a, b, c, k),
+				fmt.Sprintf("/maxrank?focal=%d", f),
+				fmt.Sprintf("/whynot?focal=%d&w=%g,%g,%g&k=%d", f, a, b, c, k),
+			)
+			bodies = append(bodies,
+				fmt.Sprintf(`{"family":"topk","w":[%g,%g,%g],"k":%d}`, a, b, c, k),
+				fmt.Sprintf(`{"family":"kspr","focal":%d,"k":%d}`, f, k),
+				fmt.Sprintf(`{"family":"utk","lo":[%g,%g],"hi":[%g,%g],"k":%d}`, lo0, lo1, hi0, hi1, k),
+			)
+		}
+	}
+	run := func() {
+		t.Helper()
+		for _, u := range urls {
+			codeP, rawP := fetchRaw(t, http.MethodGet, plain.URL+u, "")
+			for pass := 0; pass < 2; pass++ { // second pass hits the cache
+				codeC, rawC := fetchRaw(t, http.MethodGet, cached.URL+u, "")
+				if codeC != codeP || !bytes.Equal(rawC, rawP) {
+					t.Fatalf("GET %s pass %d: cached (%d) %s vs plain (%d) %s",
+						u, pass, codeC, rawC, codeP, rawP)
+				}
+			}
+		}
+		for _, b := range bodies {
+			codeP, envP := postQuery(t, plain.URL, b)
+			for pass := 0; pass < 2; pass++ {
+				codeC, envC := postQuery(t, cached.URL, b)
+				if codeC != codeP || !bytes.Equal(envC.Result, envP.Result) ||
+					!bytes.Equal(envC.Stats, envP.Stats) || envC.LSN != envP.LSN {
+					t.Fatalf("POST %s pass %d: cached (%d) %+v vs plain (%d) %+v",
+						b, pass, codeC, envC, codeP, envP)
+				}
+			}
+		}
+		urls, bodies = nil, nil
+	}
+
+	genPhase(3) // k <= tau: no extension, inserts stay legal
+	run()
+	// Insert the same option into both servers: the LSN advances in
+	// lockstep and every cached answer goes stale at once.
+	for _, s := range []*httptest.Server{cached, plain} {
+		if code := postJSON(t, s.URL+"/v1/insert", `{"option":[0.97,0.96,0.95]}`, nil); code != http.StatusOK {
+			t.Fatalf("insert into %s: status %d", s.URL, code)
+		}
+	}
+	genPhase(3)
+	run()
+	genPhase(4) // k = tau+1 reaches the on-demand extension path
+	run()
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/obs"
+)
+
+// Replicated read tier. The writer index stays behind the handler lock;
+// N read-only replicas — deserialized copies of the writer — sit behind
+// atomic pointers and serve materialized-depth queries with no locking at
+// all. The writer republishes after every accepted insert, synchronously,
+// before the insert is acknowledged: swap-then-ack is what gives clients
+// read-your-writes, and the LSN stamped on each replica state is what
+// keeps the answer cache honest on a lagging slot.
+
+// replicaState is one immutable published version of a replica: the index
+// copy, the LSN it reflects, and its materialized depth (replicas come
+// from ReadIndex and carry no full dataset, so deeper queries must go to
+// the writer).
+type replicaState struct {
+	ix       *tlx.Index
+	lsn      uint64
+	maxLevel int
+}
+
+// replicaSet is the fixed-size slot array of published replica states.
+type replicaSet struct {
+	slots []atomic.Pointer[replicaState]
+	// next drives round-robin routing; one atomic add per replica-served
+	// request.
+	next atomic.Uint64
+	// broken flips when a publish fails (the index did not serialize or
+	// round-trip); every query then falls back to the writer until a
+	// later publish succeeds.
+	broken atomic.Bool
+	// counters[i] counts requests served by slot i; see also the
+	// handler-level writer counter.
+	counters []*obs.Counter
+	swapHist *obs.Histogram
+}
+
+func newReplicaSet(n int) *replicaSet {
+	rs := &replicaSet{
+		slots:    make([]atomic.Pointer[replicaState], n),
+		counters: make([]*obs.Counter, n),
+		swapHist: obs.Default().Histogram("tlx_replica_swap_seconds",
+			"Latency of publishing a new index version to all replicas.",
+			obs.LatencyBuckets()),
+	}
+	for i := range rs.counters {
+		rs.counters[i] = obs.Default().Counter("tlx_replica_requests_total",
+			"Requests served per replica (label \"writer\" is the primary).",
+			obs.Label{Name: "replica", Value: strconv.Itoa(i)})
+	}
+	return rs
+}
+
+// pick returns a replica able to answer a query of the given depth,
+// advancing the round-robin cursor. Slots that are empty (publish never
+// succeeded) or too shallow are skipped; all-miss falls back to the
+// writer.
+func (rs *replicaSet) pick(depth int) (*replicaState, int, bool) {
+	if rs == nil || rs.broken.Load() {
+		return nil, 0, false
+	}
+	n := len(rs.slots)
+	start := int(rs.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if st := rs.slots[idx].Load(); st != nil && depth <= st.maxLevel {
+			return st, idx, true
+		}
+	}
+	return nil, 0, false
+}
+
+// publishReplicas serializes the writer index once and installs a fresh
+// deserialized copy in every slot. Swaps are monotone in LSN: a slot
+// already showing a newer version (a concurrent insert's publish overtook
+// this one) is left alone. On any failure the set is marked broken and
+// routing falls back to the writer — never a half-published state.
+func (h *Handler) publishReplicas() {
+	if h.reps == nil {
+		return
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	h.mu.RLock()
+	lsn := h.lsnNow()
+	_, err := h.ix.WriteTo(&buf)
+	h.mu.RUnlock()
+	if err != nil {
+		h.reps.broken.Store(true)
+		h.log.Error("serve: replica publish failed to serialize index", "err", err)
+		return
+	}
+	for i := range h.reps.slots {
+		rep, rerr := tlx.ReadIndex(bytes.NewReader(buf.Bytes()))
+		if rerr != nil {
+			h.reps.broken.Store(true)
+			h.log.Error("serve: replica publish failed to load copy", "replica", i, "err", rerr)
+			return
+		}
+		next := &replicaState{ix: rep, lsn: lsn, maxLevel: rep.MaxMaterializedLevel()}
+		slot := &h.reps.slots[i]
+		for {
+			old := slot.Load()
+			if old != nil && old.lsn >= lsn {
+				break
+			}
+			if slot.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+	h.reps.broken.Store(false)
+	h.reps.swapHist.Observe(time.Since(start).Seconds())
+}
+
+// registerReplicaGauges exposes each slot's published LSN. GaugeFunc
+// replaces the reader on re-registration, so the newest handler wins.
+func (h *Handler) registerReplicaGauges() {
+	if h.reps == nil {
+		return
+	}
+	for i := range h.reps.slots {
+		slot := &h.reps.slots[i]
+		obs.Default().GaugeFunc("tlx_replica_lsn",
+			"LSN of the index version each replica currently serves.", func() float64 {
+				if st := slot.Load(); st != nil {
+					return float64(st.lsn)
+				}
+				return -1
+			}, obs.Label{Name: "replica", Value: strconv.Itoa(i)})
+	}
+}

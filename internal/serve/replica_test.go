@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	tlx "tlevelindex"
+)
+
+func newReplicatedServer(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewReplicatedHandler(ix, n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestReplicatedHandlerServes checks a replicated handler answers exactly
+// like a writer-only one: shallow queries (served lock-free off replicas),
+// deep queries (routed to the writer for extension), and read-your-writes
+// across an insert.
+func TestReplicatedHandlerServes(t *testing.T) {
+	srv := newReplicatedServer(t, 2)
+	var top struct {
+		Options []int `json:"options"`
+	}
+	// Issue enough shallow queries to cycle through both replicas.
+	for i := 0; i < 6; i++ {
+		if code := getJSON(t, srv.URL+"/topk?w=0.18,0.82&k=2", &top); code != http.StatusOK {
+			t.Fatalf("topk status %d", code)
+		}
+		if len(top.Options) != 2 || top.Options[0] != 0 || top.Options[1] != 3 {
+			t.Fatalf("replica topk = %v, want [0 3]", top.Options)
+		}
+	}
+	// An accepted insert republishes before the ack: the very next query
+	// must see it, whichever replica serves it.
+	var ins struct {
+		ID  int    `json:"id"`
+		LSN uint64 `json:"lsn"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, &ins); code != http.StatusOK {
+		t.Fatalf("insert status %d", code)
+	}
+	if ins.ID != 5 || ins.LSN != 1 {
+		t.Fatalf("insert ack = %+v", ins)
+	}
+	for i := 0; i < 4; i++ {
+		if code := getJSON(t, srv.URL+"/topk?w=0.5,0.5&k=1", &top); code != http.StatusOK {
+			t.Fatalf("post-insert topk status %d", code)
+		}
+		if len(top.Options) != 1 || top.Options[0] != 5 {
+			t.Fatalf("replica missed the acked insert: top-1 = %v", top.Options)
+		}
+	}
+	// k beyond the replicas' depth falls back to the writer and extends it.
+	if code := getJSON(t, srv.URL+"/topk?w=0.5,0.5&k=5", &top); code != http.StatusOK {
+		t.Fatalf("deep topk status %d", code)
+	}
+	if len(top.Options) != 5 {
+		t.Fatalf("deep topk = %v", top.Options)
+	}
+	// The replica metrics are exposed.
+	_, raw := fetchRaw(t, http.MethodGet, srv.URL+"/v1/metrics", "")
+	for _, want := range []string{
+		`tlx_replica_requests_total{replica="0"}`,
+		`tlx_replica_requests_total{replica="writer"}`,
+		`tlx_replica_lsn{replica="1"}`,
+		"tlx_replica_swap_seconds",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestNewReplicatedHandlerRejectsBadCount(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplicatedHandler(ix, 0, Config{}); err == nil {
+		t.Error("replica count 0 accepted")
+	}
+}
+
+// TestReplicatedLSNHappensBefore is the -race consistency check from the
+// issue: no query may observe an answer — cached or fresh — with an LSN
+// older than the last acked insert that happened-before it. Inserters
+// record the LSN of each accepted insert after its 200; queriers snapshot
+// that watermark before issuing and require the response LSN to be at
+// least the snapshot.
+func TestReplicatedLSNHappensBefore(t *testing.T) {
+	srv := newReplicatedServer(t, 3)
+	var lastAcked atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				// Strictly improving options are never filtered, so every
+				// insert advances the LSN.
+				v := 1.0 + float64(g*8+i)/100
+				body := fmt.Sprintf(`{"option":[%g,%g]}`, v, v)
+				resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var ins struct {
+					ID  int    `json:"id"`
+					LSN uint64 `json:"lsn"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&ins); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("insert status %d", resp.StatusCode)
+					return
+				}
+				if ins.ID < 0 {
+					continue
+				}
+				// CAS-max: the watermark only moves forward.
+				for {
+					cur := lastAcked.Load()
+					if ins.LSN <= cur || lastAcked.CompareAndSwap(cur, ins.LSN) {
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	queries := []string{
+		`{"family":"topk","w":[0.18,0.82],"k":2}`,
+		`{"family":"kspr","focal":0,"k":2}`,
+		`{"family":"maxrank","focal":1}`,
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				watermark := lastAcked.Load() // happens-before the query
+				resp, err := http.Post(srv.URL+"/v1/query", "application/json",
+					strings.NewReader(queries[(g+i)%len(queries)]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var env struct {
+					Cached bool   `json:"cached"`
+					LSN    uint64 `json:"lsn"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+				if env.LSN < watermark {
+					t.Errorf("stale answer: lsn %d < acked watermark %d (cached=%v)",
+						env.LSN, watermark, env.Cached)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,11 +1,20 @@
 // Package serve exposes a τ-LevelIndex over HTTP with JSON responses — the
 // deployment shape a product team would actually run: build the index once,
-// then answer preference queries from many clients with cheap lookups.
+// then answer preference queries from many clients with cheap lookups,
+// optionally fanned out over read replicas behind a cell-keyed answer
+// cache.
 //
 // # Endpoints
 //
 // The API is versioned under /v1/; the bare paths remain as aliases for
-// existing clients. Query endpoints are GET:
+// existing clients. The unified query endpoint is POST:
+//
+//	/v1/query                       JSON body {"family": "topk", "w": [...], "k": 5, ...}
+//
+// and answers the uniform envelope {"result": ..., "stats": {...},
+// "cached": bool, "lsn": n}. The per-family GET routes remain as thin
+// adapters over the same decode/dispatch path, with their historical
+// response shapes:
 //
 //	/v1/topk?w=0.2,0.8&k=5          ranked retrieval at a weight vector
 //	/v1/kspr?focal=3&k=2            regions where an option ranks top-k
@@ -24,21 +33,51 @@
 //
 // Success responses are 200 with an endpoint-specific JSON object; query
 // responses carry the traversal statistics as "visitedCells" and "lpCalls"
-// fields where applicable. Failures are a JSON object {"error": "..."}
-// with the status encoding the cause:
+// fields where applicable. Failures — including unknown paths and wrong
+// methods — are a JSON object {"error": "..."} with the status encoding
+// the cause:
 //
 //	400  malformed parameters, including invalid weight vectors
 //	     (tlevelindex.ErrInvalidWeights)
 //	404  unknown path
-//	405  wrong method for the endpoint
+//	405  wrong method for the endpoint (the Allow header names the
+//	     accepted method)
 //	409  insert after on-demand extension (tlevelindex.ErrExtended)
 //	422  k beyond the materialized levels on an index without its full
 //	     dataset (tlevelindex.ErrNeedsFullData)
 //	499  client disconnected mid-query (context canceled)
 //
-// /v1/insert takes {"option": [attr, ...]} and answers {"id": n} where n is
-// the option's dataset id for use as a focal parameter, or -1 when the
-// option was filtered (it can never rank top-τ).
+// /v1/insert takes {"option": [attr, ...]} and answers {"id": n, "lsn": m}
+// where n is the option's dataset id for use as a focal parameter, or -1
+// when the option was filtered (it can never rank top-τ), and m is the
+// log sequence number after the insert — the version stamp the query
+// envelope echoes back.
+//
+// # Result cache
+//
+// Query answers are cached under (family, cell key, k, parameters) and
+// stamped with the LSN they were computed at; a cached answer is served
+// only when its stamp equals the current LSN, so an insert invalidates
+// every cached answer at once and a cached response is byte-identical to
+// a freshly computed one (DESIGN.md §16 gives the soundness argument).
+// Top-k answers are keyed by the cell chain located for the query weights
+// — the index's core insight that a whole cell of preference space shares
+// one answer — so any number of distinct weight vectors inside one cell
+// chain share a single cache entry. The cache is on by default; size it
+// with Config.CacheEntries or disable it with a negative value.
+//
+// # Replication
+//
+// A handler with Config.Replicas > 0 (or built by NewReplicatedHandler)
+// keeps N read-only replicas of the index, each behind an atomic pointer.
+// Queries within the replicas' materialized depth are routed round-robin
+// and run without any locking; deeper queries and everything else fall
+// back to the writer index under its lock. The writer republishes the
+// replicas synchronously after every accepted insert, before the insert
+// is acknowledged, so a client that observes an insert's 200 can never
+// read a pre-insert answer afterwards (read-your-writes). Replicas are
+// deserialized copies without the full dataset: queries needing k beyond
+// their depth go to the writer.
 //
 // # Durability
 //
@@ -58,20 +97,23 @@
 // # Observability
 //
 // Every endpoint is instrumented: request counts and latency histograms,
-// per-query-type traversal counters, WAL/snapshot latency, VerdictCache
-// statistics, and runtime gauges are all exposed in Prometheus text format
-// at GET /v1/metrics (metric names are prefixed tlx_; see DESIGN.md §14 for
-// the full list). WithLogger attaches a structured access log; WithPprof
-// mounts the net/http/pprof profiling endpoints under /debug/pprof/.
+// per-query-type traversal counters, cache hit/miss/stale/eviction
+// counters, per-replica request counters and swap-latency histograms,
+// WAL/snapshot latency, VerdictCache statistics, and runtime gauges are
+// all exposed in Prometheus text format at GET /v1/metrics (metric names
+// are prefixed tlx_; see DESIGN.md §14 for the full list). Config.Logger
+// attaches a structured access log; Config.Pprof mounts the
+// net/http/pprof profiling endpoints under /debug/pprof/.
 //
 // # Concurrency
 //
 // Queries whose depth is already materialized are pure lookups and run
-// concurrently under a read lock. A query with larger k mutates the index
-// (on-demand extension), so it briefly takes the write lock, as do
-// /v1/insert and any request that arrives before the depth check can prove
-// read-only access is safe. Handlers honor the request context: a client
-// disconnect cancels the index traversal between cell visits.
+// concurrently — lock-free on a replica, under a read lock on the writer.
+// A query with larger k mutates the index (on-demand extension), so it
+// briefly takes the write lock, as do /v1/insert and any request that
+// arrives before the depth check can prove read-only access is safe.
+// Handlers honor the request context: a client disconnect cancels the
+// index traversal between cell visits.
 package serve
 
 import (
@@ -81,69 +123,135 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	tlx "tlevelindex"
+	"tlevelindex/internal/cache"
 	"tlevelindex/internal/obs"
 	"tlevelindex/internal/store"
 )
 
-// Handler answers preference queries against one index.
+// defaultCacheEntries bounds the answer cache when Config.CacheEntries is
+// zero. Answers are small (a handful of ints or regions); the universe of
+// distinct cacheable answers is the cell count times the query families,
+// so a few thousand entries cover realistic indexes outright.
+const defaultCacheEntries = 4096
+
+// Config configures a Handler. The zero value is a production-reasonable
+// default: silent, no pprof, answer cache on at its default size, no
+// replicas.
+type Config struct {
+	// Logger receives the access log. Requests log at Info; scraper
+	// traffic (/v1/metrics, /debug/pprof) logs at Debug. Nil is silent.
+	Logger *slog.Logger
+	// Pprof mounts the net/http/pprof endpoints under /debug/pprof/ on
+	// the handler's mux. Off by default: the profiling endpoints reveal
+	// process internals and should only face operators.
+	Pprof bool
+	// CacheEntries bounds the answer cache: 0 selects the default size,
+	// a negative value disables caching entirely.
+	CacheEntries int
+	// Replicas is the number of read-only index replicas to keep; 0 (the
+	// default) serves every query from the writer index under its lock.
+	Replicas int
+}
+
+// Handler answers preference queries against one index, optionally through
+// a replica set and an LSN-stamped answer cache.
 type Handler struct {
 	mu    *sync.RWMutex
 	ix    *tlx.Index
 	st    *store.Store // nil in memory-only mode
 	log   *slog.Logger
 	pprof bool
+	cache *cache.Cache // nil when disabled
+	reps  *replicaSet  // nil without replicas
+	// writerReqs counts queries that fell through to the writer index in
+	// replicated mode (label replica="writer").
+	writerReqs *obs.Counter
+	// memLSN is the memory-only insert counter standing in for the
+	// store's applied LSN; bumped under the write lock for every
+	// accepted insert.
+	memLSN atomic.Uint64
 }
-
-// HandlerOption configures a Handler at construction.
-type HandlerOption func(*Handler)
-
-// WithLogger directs the handler's access log to l. Requests log at Info;
-// scraper traffic (/v1/metrics, /debug/pprof) logs at Debug. Without this
-// option the handler is silent.
-func WithLogger(l *slog.Logger) HandlerOption { return func(h *Handler) { h.log = l } }
-
-// WithPprof mounts the net/http/pprof endpoints under /debug/pprof/ on the
-// handler's mux. Off by default: the profiling endpoints reveal process
-// internals and should only face operators.
-func WithPprof() HandlerOption { return func(h *Handler) { h.pprof = true } }
 
 // NewHandler wraps an index in a memory-only handler: inserts are accepted
 // but lost on restart. The handler owns all index synchronization; the
-// caller must not use the index concurrently with the handler.
-func NewHandler(ix *tlx.Index, opts ...HandlerOption) *Handler {
-	return newHandler(&Handler{mu: new(sync.RWMutex), ix: ix}, opts)
+// caller must not use the index concurrently with the handler. A replica
+// set requested via cfg.Replicas that cannot be built (the index fails to
+// serialize) is logged and disabled — the handler still serves everything
+// from the writer. Use NewReplicatedHandler to treat that as an error.
+func NewHandler(ix *tlx.Index, cfg Config) *Handler {
+	return newHandler(&Handler{mu: new(sync.RWMutex), ix: ix}, cfg)
 }
 
 // NewStoreHandler serves a store-backed index: inserts go through the
 // store's write-ahead log (fsync before the 200), and the admin endpoints
 // are registered. The handler shares the store's lock, so the store's
 // background snapshotter and the query handlers stay mutually consistent.
-func NewStoreHandler(st *store.Store, opts ...HandlerOption) *Handler {
-	return newHandler(&Handler{mu: st.Mutex(), ix: st.Index(), st: st}, opts)
+func NewStoreHandler(st *store.Store, cfg Config) *Handler {
+	return newHandler(&Handler{mu: st.Mutex(), ix: st.Index(), st: st}, cfg)
 }
 
-func newHandler(h *Handler, opts []HandlerOption) *Handler {
-	for _, opt := range opts {
-		opt(h)
+// NewReplicatedHandler is NewHandler with replicas required: it builds n
+// read-only replicas of ix up front and fails if the replica set cannot be
+// constructed instead of silently degrading to writer-only service.
+func NewReplicatedHandler(ix *tlx.Index, n int, cfg Config) (*Handler, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: replica count %d, want >= 1", n)
 	}
+	cfg.Replicas = n
+	h := NewHandler(ix, cfg)
+	if h.reps == nil || h.reps.broken.Load() {
+		return nil, errors.New("serve: replica set construction failed (index did not round-trip)")
+	}
+	return h, nil
+}
+
+func newHandler(h *Handler, cfg Config) *Handler {
+	h.log = cfg.Logger
 	if h.log == nil {
 		h.log = obs.NopLogger()
 	}
+	h.pprof = cfg.Pprof
+	if cfg.CacheEntries >= 0 {
+		n := cfg.CacheEntries
+		if n == 0 {
+			n = defaultCacheEntries
+		}
+		h.cache = cache.New(n)
+	}
+	if cfg.Replicas > 0 {
+		h.reps = newReplicaSet(cfg.Replicas)
+		h.writerReqs = obs.Default().Counter("tlx_replica_requests_total",
+			"Requests served per replica (label \"writer\" is the primary).",
+			obs.Label{Name: "replica", Value: "writer"})
+		h.publishReplicas()
+	}
 	registerProcessGauges()
 	h.registerIndexGauges()
+	h.registerCacheGauges()
+	h.registerReplicaGauges()
 	return h
+}
+
+// lsnNow returns the current log sequence number: the store's applied LSN
+// in durable mode, the in-memory insert counter otherwise. One atomic
+// load — safe with or without the handler lock held.
+func (h *Handler) lsnNow() uint64 {
+	if h.st != nil {
+		return h.st.AppliedLSN()
+	}
+	return h.memLSN.Load()
 }
 
 // Mux returns a ServeMux with every endpoint registered under /v1/ and at
 // its bare alias. Every endpoint is instrumented: requests count into
 // tlx_http_requests_total{endpoint,code}, latency into
 // tlx_http_request_seconds{endpoint}, and each request emits an access log
-// record. The bare alias shares its /v1 path's endpoint label.
+// record. The bare alias shares its /v1 path's endpoint label. Unknown
+// paths answer the JSON 404 envelope.
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	register := func(path string, fn http.HandlerFunc) {
@@ -151,12 +259,13 @@ func (h *Handler) Mux() *http.ServeMux {
 		mux.HandleFunc("/v1"+path, fn)
 		mux.HandleFunc(path, fn)
 	}
-	register("/topk", get(h.handleTopK))
-	register("/kspr", get(h.handleKSPR))
-	register("/utk", get(h.handleUTK))
-	register("/oru", get(h.handleORU))
-	register("/maxrank", get(h.handleMaxRank))
-	register("/whynot", get(h.handleWhyNot))
+	register("/query", post(h.handleQuery))
+	for name := range families {
+		spec := families[name]
+		register("/"+name, get(func(w http.ResponseWriter, r *http.Request) {
+			h.handleLegacy(w, r, spec)
+		}))
+	}
 	register("/stats", get(h.handleStats))
 	register("/insert", post(h.handleInsert))
 	register("/metrics", get(obs.Default().Handler().ServeHTTP))
@@ -167,12 +276,21 @@ func (h *Handler) Mux() *http.ServeMux {
 	if h.pprof {
 		mountPprof(mux)
 	}
+	// Everything unrouted funnels into the JSON 404 envelope instead of
+	// ServeMux's text/plain page, keeping the error contract uniform.
+	mux.HandleFunc("/", h.instrument("/404", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: fmt.Sprintf("no such endpoint %s", r.URL.Path)})
+	}))
 	return mux
 }
 
 func get(fn http.HandlerFunc) http.HandlerFunc  { return methodOnly(http.MethodGet, fn) }
 func post(fn http.HandlerFunc) http.HandlerFunc { return methodOnly(http.MethodPost, fn) }
 
+// methodOnly gates an endpoint to one method; everything else gets a 405
+// through the JSON envelope with the Allow header naming the accepted
+// method, per RFC 9110 §15.5.6.
 func methodOnly(method string, fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
@@ -240,206 +358,6 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func parseVec(s string) ([]float64, error) {
-	if s == "" {
-		return nil, fmt.Errorf("missing vector parameter")
-	}
-	parts := strings.Split(s, ",")
-	out := make([]float64, len(parts))
-	for i, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad vector component %q", p)
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-func parseIntParam(r *http.Request, name string, def int) (int, error) {
-	s := r.URL.Query().Get(name)
-	if s == "" {
-		if def >= 0 {
-			return def, nil
-		}
-		return 0, fmt.Errorf("missing parameter %q", name)
-	}
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, fmt.Errorf("bad integer parameter %q", name)
-	}
-	return v, nil
-}
-
-func (h *Handler) handleTopK(w http.ResponseWriter, r *http.Request) {
-	wv, err := parseVec(r.URL.Query().Get("w"))
-	if err != nil {
-		badRequest(w, "w: %v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.TopKResult
-	h.runQuery(k, func() { res, err = h.ix.TopKContext(r.Context(), wv, k) })
-	if res != nil {
-		recordQueryStats("topk", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Options      []int `json:"options"`
-		VisitedCells int   `json:"visitedCells"`
-	}{res.Options, res.Stats.VisitedCells})
-}
-
-func (h *Handler) handleKSPR(w http.ResponseWriter, r *http.Request) {
-	focal, err := parseIntParam(r, "focal", -1)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.KSPRResult
-	h.runQuery(k, func() { res, err = h.ix.KSPRContext(r.Context(), k, focal) })
-	if res != nil {
-		recordQueryStats("kspr", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Regions      []tlx.Region `json:"regions"`
-		VisitedCells int          `json:"visitedCells"`
-	}{res.Regions, res.Stats.VisitedCells})
-}
-
-func (h *Handler) handleUTK(w http.ResponseWriter, r *http.Request) {
-	lo, err := parseVec(r.URL.Query().Get("lo"))
-	if err != nil {
-		badRequest(w, "lo: %v", err)
-		return
-	}
-	hi, err := parseVec(r.URL.Query().Get("hi"))
-	if err != nil {
-		badRequest(w, "hi: %v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.UTKResult
-	h.runQuery(k, func() { res, err = h.ix.UTKContext(r.Context(), k, lo, hi) })
-	if res != nil {
-		recordQueryStats("utk", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	parts := make([][]int, len(res.Partitions))
-	for i, p := range res.Partitions {
-		parts[i] = p.TopK
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Options      []int   `json:"options"`
-		Partitions   [][]int `json:"partitionTopKSets"`
-		VisitedCells int     `json:"visitedCells"`
-	}{res.Options, parts, res.Stats.VisitedCells})
-}
-
-func (h *Handler) handleORU(w http.ResponseWriter, r *http.Request) {
-	wv, err := parseVec(r.URL.Query().Get("w"))
-	if err != nil {
-		badRequest(w, "w: %v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	m, err := parseIntParam(r, "m", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.ORUResult
-	h.runQuery(k, func() { res, err = h.ix.ORUContext(r.Context(), k, wv, m) })
-	if res != nil {
-		recordQueryStats("oru", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Options      []int   `json:"options"`
-		Rho          float64 `json:"rho"`
-		VisitedCells int     `json:"visitedCells"`
-	}{res.Options, res.Rho, res.Stats.VisitedCells})
-}
-
-func (h *Handler) handleMaxRank(w http.ResponseWriter, r *http.Request) {
-	focal, err := parseIntParam(r, "focal", -1)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.MaxRankResult
-	h.runQuery(0, func() { res, err = h.ix.MaxRankContext(r.Context(), focal) })
-	if res != nil {
-		recordQueryStats("maxrank", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Rank         int `json:"rank"`
-		VisitedCells int `json:"visitedCells"`
-	}{res.Rank, res.Stats.VisitedCells})
-}
-
-func (h *Handler) handleWhyNot(w http.ResponseWriter, r *http.Request) {
-	focal, err := parseIntParam(r, "focal", -1)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	wv, err := parseVec(r.URL.Query().Get("w"))
-	if err != nil {
-		badRequest(w, "w: %v", err)
-		return
-	}
-	k, err := parseIntParam(r, "k", 10)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-	var res *tlx.WhyNotResult
-	h.runQuery(k, func() { res, err = h.ix.WhyNotContext(r.Context(), focal, wv, k) })
-	if res != nil {
-		recordQueryStats("whynot", res.Stats)
-	}
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, res)
-}
-
 func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Option []float64 `json:"option"`
@@ -454,24 +372,41 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	var (
 		id  int
+		lsn uint64
 		err error
 	)
 	if h.st != nil {
 		// The store locks internally and fsyncs the WAL record before
 		// returning: the 200 below is the durability acknowledgement.
-		id, err = h.st.Insert(body.Option)
+		id, lsn, err = h.st.InsertLSN(body.Option)
 	} else {
 		h.mu.Lock()
 		id, err = h.ix.Insert(body.Option)
+		if err == nil && id >= 0 {
+			lsn = h.memLSN.Add(1)
+		} else {
+			lsn = h.memLSN.Load()
+		}
 		h.mu.Unlock()
 	}
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	// Republish the replicas before acknowledging so a client that sees
+	// this 200 can never read a pre-insert answer afterwards
+	// (read-your-writes). Filtered options change nothing; skip the swap.
+	if id >= 0 {
+		h.publishReplicas()
+	}
+	// The acknowledged LSN is this insert's own version stamp (captured
+	// under the write lock), not the LSN at response time: a concurrent
+	// not-yet-published insert must not leak into the ack, or a client
+	// could demand a version the replicas do not have yet.
 	writeJSON(w, http.StatusOK, struct {
-		ID int `json:"id"`
-	}{id})
+		ID  int    `json:"id"`
+		LSN uint64 `json:"lsn"`
+	}{id, lsn})
 }
 
 func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	tlx "tlevelindex"
+)
+
+// The serve benchmarks use the same canonical workload as the query-layer
+// benchmarks in internal/index: n=500, d=3, tau=4, seed 42 — so the serving
+// overhead can be read against the raw traversal numbers in
+// BENCH_query.json.
+const (
+	sbN   = 500
+	sbD   = 3
+	sbTau = 4
+)
+
+var (
+	sbOnce  sync.Once
+	sbIndex *tlx.Index
+)
+
+// serveBenchIndex builds the canonical benchmark index once. The
+// benchmarks never insert or query beyond tau, so sharing the index across
+// handlers is safe: every request is a pure lookup.
+func serveBenchIndex(b *testing.B) *tlx.Index {
+	b.Helper()
+	sbOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		data := make([][]float64, sbN)
+		for i := range data {
+			row := make([]float64, sbD)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			data[i] = row
+		}
+		ix, err := tlx.Build(data, sbTau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sbIndex = ix
+	})
+	return sbIndex
+}
+
+// serveBench drives one URL through the full handler stack — mux routing,
+// instrumentation, dispatch, JSON encoding — with an in-process recorder,
+// so ns/op is the server-side cost per request without socket noise.
+func serveBench(b *testing.B, h *Handler, url string) {
+	b.Helper()
+	mux := h.Mux()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+const (
+	sbTopKURL = "/topk?w=0.31,0.27,0.42&k=4"
+	sbUTKURL  = "/utk?lo=0.3,0.3&hi=0.35,0.35&k=4"
+)
+
+func BenchmarkServeTopKUncached(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{CacheEntries: -1}), sbTopKURL)
+}
+
+func BenchmarkServeTopKCached(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{}), sbTopKURL)
+}
+
+// The UTK pair is the headline cache number: region reachability is the
+// most expensive family, so the hit/miss qps ratio is largest here.
+func BenchmarkServeUTKUncached(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{CacheEntries: -1}), sbUTKURL)
+}
+
+func BenchmarkServeUTKCached(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{}), sbUTKURL)
+}
+
+// BenchmarkServeQueryTopKCached measures the POST /v1/query envelope path
+// on a cache hit: the unified decode plus the envelope encode.
+func BenchmarkServeQueryTopKCached(b *testing.B) {
+	mux := NewHandler(serveBenchIndex(b), Config{}).Mux()
+	const body = `{"family":"topk","w":[0.31,0.27,0.42],"k":4}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		mux.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
+
+// BenchmarkServeReplicatedTopKParallel is the concurrent-throughput number:
+// GOMAXPROCS goroutines hammering a 4-replica handler with the cache off,
+// so every request runs a real traversal lock-free on a replica.
+func BenchmarkServeReplicatedTopKParallel(b *testing.B) {
+	h, err := NewReplicatedHandler(serveBenchIndex(b), 4, Config{CacheEntries: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := h.Mux()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest(http.MethodGet, sbTopKURL, nil)
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			mux.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeWriterTopKParallel is the same parallel workload without
+// replicas: every request contends on the writer's read lock. The gap to
+// BenchmarkServeReplicatedTopKParallel is what the replica tier buys.
+func BenchmarkServeWriterTopKParallel(b *testing.B) {
+	mux := NewHandler(serveBenchIndex(b), Config{CacheEntries: -1}).Mux()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := httptest.NewRequest(http.MethodGet, sbTopKURL, nil)
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			mux.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}

@@ -19,7 +19,7 @@ func newStoreServer(t *testing.T, dir string) (*httptest.Server, *store.Store) {
 		t.Fatalf("store.Open(%s): %v", dir, err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv := httptest.NewServer(NewStoreHandler(st).Mux())
+	srv := httptest.NewServer(NewStoreHandler(st, Config{}).Mux())
 	t.Cleanup(srv.Close)
 	return srv, st
 }
@@ -51,7 +51,7 @@ func TestInsertSurvivesRestart(t *testing.T) {
 		t.Fatalf("recovery: %v", err)
 	}
 	defer st2.Close()
-	srv2 := httptest.NewServer(NewStoreHandler(st2).Mux())
+	srv2 := httptest.NewServer(NewStoreHandler(st2, Config{}).Mux())
 	defer srv2.Close()
 
 	var top struct {

@@ -22,7 +22,7 @@ func newServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(ix).Mux())
+	srv := httptest.NewServer(NewHandler(ix, Config{}).Mux())
 	t.Cleanup(srv.Close)
 	return srv
 }

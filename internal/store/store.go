@@ -43,6 +43,7 @@ import (
 	"log/slog"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	tlx "tlevelindex"
@@ -79,9 +80,14 @@ type Store struct {
 	mu      sync.RWMutex // guards ix, applied, seg, counters, failed, closed
 	ix      *tlx.Index
 	applied uint64 // LSN of the last record applied to ix
-	seg     *segment
-	failed  error // a WAL write failed: memory and disk diverged, refuse writes
-	closed  bool
+	// appliedA mirrors applied for lock-free readers. The serve layer reads
+	// it on the query path while already holding mu (sync.RWMutex forbids
+	// recursive RLock) and from cache lookups that must not contend with
+	// writers at all. Written only while mu is held for writing.
+	appliedA atomic.Uint64
+	seg      *segment
+	failed   error // a WAL write failed: memory and disk diverged, refuse writes
+	closed   bool
 
 	snapLSN        uint64
 	snapTime       time.Time
@@ -178,6 +184,7 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 		}
 		s.ix = ix
 		s.applied = snaps[i].lsn
+		s.appliedA.Store(snaps[i].lsn)
 		s.snapLSN = snaps[i].lsn
 		s.recoveredFrom = snaps[i].path
 		if st, serr := os.Stat(snaps[i].path); serr == nil {
@@ -237,6 +244,7 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 					ErrCorrupt, rec.lsn, id, rec.id)
 			}
 			s.applied++
+			s.appliedA.Store(s.applied)
 			s.replayed++
 		}
 		if last {
@@ -278,24 +286,41 @@ func (s *Store) Index() *tlx.Index { return s.ix }
 // store serialize index access against each other.
 func (s *Store) Mutex() *sync.RWMutex { return &s.mu }
 
+// AppliedLSN returns the LSN of the last acknowledged insert without
+// taking the store lock: one atomic load, safe to call while the caller
+// already holds Mutex in either mode. It is the version stamp the serve
+// layer pairs with cached answers and replica snapshots.
+func (s *Store) AppliedLSN() uint64 { return s.appliedA.Load() }
+
 // Insert applies an option to the index and, if it was accepted, makes it
 // durable before acknowledging: the WAL record is fsync'd before Insert
 // returns. Filtered options (id -1) change nothing and are not logged.
 func (s *Store) Insert(option []float64) (int, error) {
+	id, _, err := s.InsertLSN(option)
+	return id, err
+}
+
+// InsertLSN is Insert also reporting the LSN of the accepted record — the
+// exact version stamp of this insert, not whatever the store has applied
+// by return time. A filtered option reports the unchanged current LSN.
+func (s *Store) InsertLSN(option []float64) (int, uint64, error) {
 	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
+		lsn := s.applied
 		s.mu.Unlock()
-		return -1, errors.New("store: closed")
+		return -1, lsn, errors.New("store: closed")
 	}
 	if s.failed != nil {
+		lsn := s.applied
 		s.mu.Unlock()
-		return -1, fmt.Errorf("store: read-only after WAL failure: %v", s.failed)
+		return -1, lsn, fmt.Errorf("store: read-only after WAL failure: %v", s.failed)
 	}
 	id, err := s.ix.Insert(option)
 	if err != nil || id < 0 {
+		lsn := s.applied
 		s.mu.Unlock()
-		return id, err
+		return id, lsn, err
 	}
 	n, werr := s.seg.append(record{lsn: s.applied + 1, id: int64(id), attrs: option})
 	if werr != nil {
@@ -303,11 +328,14 @@ func (s *Store) Insert(option []float64) (int, error) {
 		// further write would make replay assign ids that contradict the
 		// acknowledged ones. Fail the store for writes.
 		s.failed = werr
+		lsn := s.applied
 		s.mu.Unlock()
 		s.log.Error("store: WAL append failed, store is now read-only", "err", werr)
-		return -1, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr)
+		return -1, lsn, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr)
 	}
 	s.applied++
+	s.appliedA.Store(s.applied)
+	lsn := s.applied
 	s.recsSinceSnap++
 	s.bytesSinceSnap += int64(n)
 	walAckSeconds.Observe(time.Since(start).Seconds())
@@ -320,7 +348,7 @@ func (s *Store) Insert(option []float64) (int, error) {
 		default:
 		}
 	}
-	return id, nil
+	return id, lsn, nil
 }
 
 // SnapshotInfo describes one snapshot attempt.

@@ -1,0 +1,53 @@
+package tlevelindex
+
+import "fmt"
+
+// CellKey identifies the chain of preference-space cells a weight vector
+// descends through: the index's cell identity at a fixed depth. Keys are
+// opaque and comparable; two weight vectors with equal keys obtained at
+// equal depth k followed the same cell chain, and therefore have the same
+// top-k answer in the same rank order. That is the soundness property the
+// serving tier's result cache is built on (DESIGN.md §16).
+//
+// Keys are stable for a given logical index content: they survive
+// serialization round trips (WriteTo/ReadIndex) and on-demand extension to
+// deeper levels. They are NOT stable across inserts — an insert can reshape
+// cells — so a key must always be interpreted relative to an index version
+// (the serving tier pairs keys with the store's applied LSN).
+type CellKey struct {
+	h uint64
+}
+
+// String renders the key for logs and cache introspection.
+func (k CellKey) String() string { return fmt.Sprintf("cell-%016x", k.h) }
+
+// Sum64 returns the key's 64-bit value for use as a cache-key component.
+// The value is an opaque identity — compare it, do not interpret it, and do
+// not persist it across index rebuilds or inserts.
+func (k CellKey) Sum64() uint64 { return k.h }
+
+// Locate returns the identity of the cell chain containing the full weight
+// vector w at the index's full materialized depth, along with that depth.
+// It is a pure lookup — never extends the index — and is safe for
+// concurrent use with other read-only queries. Invalid weights (wrong
+// dimension, negative entries, sum ≠ 1) return an error wrapping
+// ErrInvalidWeights, like every other query entry point.
+//
+// Equal keys at equal depth imply equal ordered top-k answers for every
+// k up to that depth.
+func (ix *Index) Locate(w []float64) (CellKey, int, error) {
+	return ix.LocateDepth(w, ix.inner.MaxMaterializedLevel())
+}
+
+// LocateDepth is Locate at an explicit depth k: the returned key identifies
+// the length-min(k, materialized depth) cell chain containing w, and the
+// returned level is the depth actually reached. k < 1 returns the entry
+// cell's (empty-chain) key at level 0.
+func (ix *Index) LocateDepth(w []float64, k int) (CellKey, int, error) {
+	x, err := ix.reduce(w)
+	if err != nil {
+		return CellKey{}, 0, err
+	}
+	h, _, level := ix.inner.Locate(x, k)
+	return CellKey{h: h}, level, nil
+}
