@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci vet fmt-check build test race bench bench-smoke serve-bench lvbench fuzz-smoke obs-smoke
+.PHONY: ci vet fmt-check build test race bench bench-smoke serve-bench recovery-bench lvbench fuzz-smoke obs-smoke
 
 # The plain (non-race) test pass is part of the gate because the
 # allocation pins skip themselves under -race, where sync.Pool drops puts
@@ -36,7 +36,7 @@ bench:
 # The query-side benchmarks then run against the committed BENCH_query.json
 # baseline: a >2x ns/op regression on any of them fails the build (set
 # BENCH_NO_GATE=1 to downgrade the gate to a warning on slow machines).
-bench-smoke: serve-bench
+bench-smoke: serve-bench recovery-bench
 	$(GO) test -bench . -benchtime 1x -benchmem -run xxx \
 		./internal/lp ./internal/geom | $(GO) run ./cmd/benchjson > BENCH_lp.json
 	@echo "wrote BENCH_lp.json"
@@ -56,6 +56,16 @@ serve-bench:
 		| $(GO) run ./cmd/benchjson -baseline BENCH_serve.json -out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 
+# Snapshot cold-start latency — the dominant term of a restart or a
+# replica bootstrap — heap load vs zero-copy mmap load across index
+# sizes, against the committed BENCH_recovery.json baseline. Same 2x
+# ns/op gate and BENCH_NO_GATE escape as the query gate. (The mmap load
+# path itself runs under -race via the regular `race` target.)
+recovery-bench:
+	$(GO) test -bench '^BenchmarkColdStart$$' -benchtime 50x -benchmem -run xxx \
+		./internal/index | $(GO) run ./cmd/benchjson -baseline BENCH_recovery.json -out BENCH_recovery.json
+	@echo "wrote BENCH_recovery.json"
+
 # Observability smoke: scrape /v1/metrics through httptest, assert the
 # exposition parses and every promised metric family is present, and lint
 # each registered metric name against the Prometheus naming convention.
@@ -64,11 +74,14 @@ obs-smoke:
 	$(GO) test ./internal/serve -run 'TestMetricsEndpoint|TestMetricNamesLint' -count 1
 	$(GO) test . -run 'TestNoopTracerZeroAlloc' -count 1
 
-# Short fuzz runs over the two parsers that face crash-damaged or hostile
-# bytes: the WAL segment reader and the index deserializer.
+# Short fuzz runs over the three parsers that face crash-damaged or
+# hostile bytes: the WAL segment reader, the index deserializer (stream
+# and zero-copy byte readers in lockstep), and the snapshot-shipping
+# stream decoder a follower trusts with network data.
 fuzz-smoke:
 	$(GO) test ./internal/store -run xxx -fuzz FuzzWALReplay -fuzztime 10s
 	$(GO) test ./internal/index -run xxx -fuzz FuzzReadIndex -fuzztime 10s
+	$(GO) test ./internal/store -run xxx -fuzz FuzzShipRead -fuzztime 10s
 
 lvbench:
 	$(GO) run ./cmd/lvbench -exp all -scale small

@@ -25,6 +25,19 @@
 //	curl -X POST -d '{"option":[0.95,0.95]}' localhost:8080/v1/insert
 //	curl localhost:8080/v1/admin/status
 //
+// Snapshots can additionally be triggered on a timer (-snapshot-interval),
+// and -mmap loads the recovered snapshot zero-copy through a read-only
+// memory mapping instead of deserializing it onto the heap.
+//
+// With -follow the process is a replica instead of a primary: it never
+// builds or owns an index, but bootstraps one from the primary's
+// snapshot-shipping stream and keeps it fresh by polling for WAL records
+// beyond its applied LSN. A follower serves the full read API and rejects
+// inserts with 403, pointing clients at the primary:
+//
+//	lvserve -follow http://primary:8080 -data-dir /var/lib/lvserve-replica
+//	curl localhost:8080/v1/admin/status
+//
 // Observability: every request is access-logged through log/slog
 // (-log-level, -log-format) and counted into the Prometheus metrics served
 // at GET /v1/metrics; -pprof additionally mounts net/http/pprof under
@@ -52,6 +65,7 @@ import (
 	tlx "tlevelindex"
 	"tlevelindex/internal/dataio"
 	"tlevelindex/internal/obs"
+	"tlevelindex/internal/replicate"
 	"tlevelindex/internal/serve"
 	"tlevelindex/internal/store"
 )
@@ -63,6 +77,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory (empty: memory-only, inserts lost on exit)")
 	snapBytes := flag.Int64("snapshot-bytes", 4<<20, "auto-snapshot after this many WAL bytes (durable mode; <=0 disables)")
 	snapRecords := flag.Int("snapshot-records", 1024, "auto-snapshot after this many WAL records (durable mode; <=0 disables)")
+	snapInterval := flag.Duration("snapshot-interval", 0, "auto-snapshot on this wall-clock period (durable mode; <=0 disables)")
+	mmapLoad := flag.Bool("mmap", false, "load snapshots zero-copy via mmap instead of onto the heap")
+	follow := flag.String("follow", "", "primary base URL to follow as a read-only replica (e.g. http://host:8080)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
@@ -117,19 +134,39 @@ func main() {
 	}
 	var handler *serve.Handler
 	var st *store.Store
-	if *dataDir != "" {
+	var fol *replicate.Follower
+	if *follow != "" {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-follow requires -data-dir for the downloaded snapshot"))
+		}
+		fol, err = replicate.Start(replicate.Options{
+			PrimaryURL: *follow,
+			Dir:        *dataDir,
+			HeapLoad:   !*mmapLoad,
+			Logger:     log,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		log.Info("follower ready", "primary", fol.PrimaryURL(),
+			"appliedLsn", fol.AppliedLSN(), "state", fol.StateName())
+		handler = serve.NewFollowerHandler(fol, cfg)
+	} else if *dataDir != "" {
 		st, err = store.Open(store.Options{
-			Dir:             *dataDir,
-			SnapshotBytes:   *snapBytes,
-			SnapshotRecords: *snapRecords,
-			Logger:          log,
+			Dir:              *dataDir,
+			SnapshotBytes:    *snapBytes,
+			SnapshotRecords:  *snapRecords,
+			SnapshotInterval: *snapInterval,
+			MmapLoad:         *mmapLoad,
+			Logger:           log,
 		}, build)
 		if err != nil {
 			fatal(err)
 		}
 		status := st.Status()
 		log.Info("store ready", "recoveredFrom", status.RecoveredFrom,
-			"appliedLsn", status.AppliedLSN, "replayed", status.RecordsReplayed)
+			"appliedLsn", status.AppliedLSN, "replayed", status.RecordsReplayed,
+			"backing", status.Backing)
 		handler = serve.NewStoreHandler(st, cfg)
 	} else {
 		ix, err := build()
@@ -166,6 +203,13 @@ func main() {
 			// Close takes a final snapshot, so a clean stop replays nothing
 			// on the next start.
 			if err := st.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if fol != nil {
+			// Close stops the follow loop and releases the snapshot mapping;
+			// the local snapshot stays for the next start to resume from.
+			if err := fol.Close(); err != nil {
 				fatal(err)
 			}
 		}

@@ -26,6 +26,12 @@ var (
 	// extended the index on demand; the lazily materialized levels are not
 	// maintained incrementally. Promote them with ExtendTau or rebuild.
 	ErrExtended = errors.New("tlevelindex: cannot insert after on-demand extension")
+
+	// ErrBadFormat reports a corrupt or foreign serialized index stream:
+	// every ReadIndex / ReadIndexBytes / OpenIndexFile failure caused by
+	// the stream's content (truncation, bit rot, checksum mismatch,
+	// structural nonsense) wraps it.
+	ErrBadFormat = index.ErrBadFormat
 )
 
 // mapErr rewrites internal sentinel errors to their public identities.

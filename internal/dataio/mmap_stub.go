@@ -1,0 +1,26 @@
+//go:build !unix
+
+package dataio
+
+import "errors"
+
+// ErrMmapUnsupported reports that this platform has no mmap support wired
+// in; callers fall back to a heap load.
+var ErrMmapUnsupported = errors.New("dataio: mmap unsupported on this platform")
+
+// Mapping is a read-only memory mapping of a file. On this platform it is
+// never constructed.
+type Mapping struct{}
+
+// MapFile always fails on this platform; callers fall back to reading the
+// file into the heap.
+func MapFile(path string) (*Mapping, error) { return nil, ErrMmapUnsupported }
+
+// Bytes returns the mapped file contents.
+func (m *Mapping) Bytes() []byte { return nil }
+
+// Len returns the mapped size in bytes.
+func (m *Mapping) Len() int64 { return 0 }
+
+// Close unmaps the file.
+func (m *Mapping) Close() error { return nil }

@@ -1,0 +1,57 @@
+//go:build unix
+
+package dataio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMapFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("tlevelindex"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != int64(len(want)) || !bytes.Equal(m.Bytes(), want) {
+		t.Fatal("mapped contents differ from file")
+	}
+	// Pruning unlinks snapshot files while a follower may still serve out
+	// of the mapping; the pages must stay valid.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatal("mapping invalid after unlink")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if m.Bytes() != nil || m.Len() != 0 {
+		t.Fatal("closed mapping still reports data")
+	}
+}
+
+func TestMapFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := MapFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file: no error")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFile(empty); err == nil {
+		t.Fatal("empty file: no error")
+	}
+}

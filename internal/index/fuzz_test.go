@@ -30,11 +30,21 @@ func FuzzReadIndex(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		got, err := Read(bytes.NewReader(blob))
+		// The zero-copy byte reader shares the streaming reader's range
+		// checks; an input must pass or fail on both paths alike (a corrupt
+		// mmap'd snapshot can never sneak past where a heap load refuses).
+		bgot, berr := ReadBytes(append([]byte(nil), blob...), true)
+		if (err == nil) != (berr == nil) {
+			t.Fatalf("Read err=%v but ReadBytes err=%v", err, berr)
+		}
 		if err != nil {
 			return
 		}
 		if verr := got.Validate(false); verr != nil {
 			t.Fatalf("Read accepted an invalid index: %v", verr)
+		}
+		if verr := bgot.Validate(false); verr != nil {
+			t.Fatalf("ReadBytes accepted an invalid index: %v", verr)
 		}
 	})
 }
@@ -60,9 +70,16 @@ func TestReadX3BogusWords(t *testing.T) {
 			binary.LittleEndian.PutUint32(mut[off:], poison)
 			mut = binary.LittleEndian.AppendUint32(mut, crc32.ChecksumIEEE(mut))
 			got, err := Read(bytes.NewReader(mut))
+			_, berr := ReadBytes(mut, true)
+			if (err == nil) != (berr == nil) {
+				t.Fatalf("poison %#x at %d: Read err=%v, ReadBytes err=%v", poison, off, err, berr)
+			}
 			if err != nil {
 				if !errors.Is(err, ErrBadFormat) {
 					t.Fatalf("poison %#x at %d: error %v does not wrap ErrBadFormat", poison, off, err)
+				}
+				if !errors.Is(berr, ErrBadFormat) {
+					t.Fatalf("poison %#x at %d: ReadBytes error %v does not wrap ErrBadFormat", poison, off, berr)
 				}
 				continue
 			}

@@ -14,6 +14,7 @@ package index
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -108,6 +109,36 @@ type Index struct {
 	// serialized.
 	trace    obs.Tracer
 	progress func(BuildProgress)
+
+	// aliasedBytes counts the bytes of index state (coords + CSR arenas)
+	// that alias a caller-owned buffer instead of the heap (ReadBytes with
+	// alias=true); 0 for a fully heap-backed index. backing is that
+	// buffer's releaser — typically an mmap — closed via CloseBacking once
+	// the index is discarded. Mutation is safe while it is set: thaw()
+	// copies the arenas before edits and inserts only append fresh rows.
+	aliasedBytes int64
+	backing      io.Closer
+}
+
+// MmapBytes reports how many bytes of this index alias an external buffer
+// (a memory mapping) rather than the heap. Zero means fully heap-backed.
+func (ix *Index) MmapBytes() int64 { return ix.aliasedBytes }
+
+// SetBacking hands the index the releaser for the buffer its state aliases.
+// The index does not use it; it only carries it so CloseBacking can release
+// the mapping when the index is dropped.
+func (ix *Index) SetBacking(c io.Closer) { ix.backing = c }
+
+// CloseBacking releases the aliased buffer, if any. The index must not be
+// used afterwards when MmapBytes was non-zero — its slices point into the
+// released mapping. Safe to call on heap-backed indexes (no-op) and twice.
+func (ix *Index) CloseBacking() error {
+	c := ix.backing
+	ix.backing = nil
+	if c == nil {
+		return nil
+	}
+	return c.Close()
 }
 
 // refreshVerdictStats copies the verdict-cache counters into Stats; called

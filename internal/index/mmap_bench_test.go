@@ -1,0 +1,73 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkColdStart measures the snapshot-load latency that dominates a
+// restart or a replica bootstrap: the same X3 file loaded heap-wise
+// (stream decode, every arena copied) versus mmap-wise (map once, verify
+// the checksum, alias the arenas in place). ns/op is the cold-start
+// latency; bytes/op via SetBytes gives the effective load bandwidth. The
+// spread across sizes is the point of the benchmark: the mmap loader's
+// per-byte work is one CRC pass where the heap loader also allocates and
+// copies every array.
+func BenchmarkColdStart(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	dir := b.TempDir()
+	for _, n := range []int{64, 256, 1024} {
+		ix, err := Build(randData(rng, n, 3), Config{Algorithm: PBAPlus, Tau: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("snap-%d.idx", n))
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size, err := ix.WriteTo(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("heap/opts=%d", n), func(b *testing.B) {
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				f, err := os.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := Read(f)
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.MmapBytes() != 0 {
+					b.Fatal("heap load reported aliased bytes")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("mmap/opts=%d", n), func(b *testing.B) {
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				got, err := OpenFile(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.MmapBytes() == 0 && nativeLittleEndian {
+					b.Fatal("mmap load aliased nothing")
+				}
+				if err := got.CloseBacking(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -312,7 +312,10 @@ func readIndex(r io.Reader) (*Index, error) {
 // column arrays straight into the in-memory CSR arenas. Every structural
 // oddity — negative lengths, arena totals that disagree with the per-cell
 // lengths, ids out of range — reports ErrBadFormat before any index is
-// assembled, so corrupt input can never panic a traversal later.
+// assembled, so corrupt input can never panic a traversal later. All
+// checks live in the checkX3*/x3ListTotals/buildX3 helpers shared with the
+// zero-copy byte reader (mmap.go), so both load paths reject corruption
+// identically.
 func readIndexX3(br *bufio.Reader) (*Index, error) {
 	h := crc32.NewIEEE()
 	h.Write(magicX3[:])
@@ -322,29 +325,16 @@ func readIndexX3(br *bufio.Reader) (*Index, error) {
 		return nil, err
 	}
 	dim, tau, inputOptions, nOpts := hdr[0], hdr[1], hdr[2], hdr[3]
-	if dim < 2 || tau < 1 || dim > 1<<20 || tau > 1<<20 {
-		return nil, ErrBadFormat
+	if err := checkX3Header(dim, tau, inputOptions, nOpts); err != nil {
+		return nil, err
 	}
-	if inputOptions < 0 || nOpts < 0 || nOpts > 1<<28 {
-		return nil, ErrBadFormat
-	}
-	ix := &Index{Dim: int(dim), Tau: int(tau)}
-	ix.Stats.InputOptions = int(inputOptions)
 	origIDs, err := readInt32Array(src, int(nOpts))
 	if err != nil {
 		return nil, err
 	}
-	ix.OrigIDs = make([]int, nOpts)
-	for i, v := range origIDs {
-		ix.OrigIDs[i] = int(v)
-	}
 	coords, err := readFloat64Array(src, int(nOpts)*int(dim))
 	if err != nil {
 		return nil, err
-	}
-	ix.Pts = make([][]float64, nOpts)
-	for i := range ix.Pts {
-		ix.Pts[i] = coords[i*int(dim) : (i+1)*int(dim) : (i+1)*int(dim)]
 	}
 	counts, err := readInt32Array(src, 1)
 	if err != nil {
@@ -362,39 +352,18 @@ func readIndexX3(br *bufio.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := int32(0); i < nCells; i++ {
-		if levels[i] < -1 || levels[i] > 1<<20 {
-			return nil, fmt.Errorf("%w: cell %d level %d", ErrBadFormat, i, levels[i])
-		}
-		if opts[i] < -1 || opts[i] >= nOpts {
-			return nil, fmt.Errorf("%w: cell %d option %d", ErrBadFormat, i, opts[i])
-		}
+	if err := checkX3CellMeta(levels, opts, nOpts); err != nil {
+		return nil, err
 	}
-	// List lengths per kind, then the arenas. minLen/maxID: parents and
-	// children hold cell ids, bounds hold option ids and admit -1 (nil).
 	var lens [3][]int32
 	for ki := range lens {
 		if lens[ki], err = readInt32Array(src, int(nCells)); err != nil {
 			return nil, err
 		}
 	}
-	var totals [3]int64
-	for ki, ls := range lens {
-		minLen, maxLen := int32(0), nCells
-		if ki == 2 {
-			minLen, maxLen = -1, nOpts
-		}
-		for i, ln := range ls {
-			if ln < minLen || ln > maxLen {
-				return nil, fmt.Errorf("%w: cell %d list %d length %d", ErrBadFormat, i, ki, ln)
-			}
-			if ln > 0 {
-				totals[ki] += int64(ln)
-			}
-		}
-		if totals[ki] > 1<<30 {
-			return nil, fmt.Errorf("%w: arena %d overflows", ErrBadFormat, ki)
-		}
+	totals, err := x3ListTotals(lens, nCells, nOpts)
+	if err != nil {
+		return nil, err
 	}
 	var arenas [3][]int32
 	for ki := range arenas {
@@ -408,14 +377,8 @@ func readIndexX3(br *bufio.Reader) (*Index, error) {
 		if arenas[ki], err = readInt32Array(src, int(totals[ki])); err != nil {
 			return nil, err
 		}
-		hi := nCells
-		if ki == 2 {
-			hi = nOpts
-		}
-		for _, v := range arenas[ki] {
-			if v < 0 || v >= hi {
-				return nil, fmt.Errorf("%w: arena %d entry %d out of range", ErrBadFormat, ki, v)
-			}
+		if err := checkX3Arena(ki, arenas[ki], nCells, nOpts); err != nil {
+			return nil, err
 		}
 	}
 	// The CRC footer is read from the raw stream: it must not feed the hash.
@@ -426,6 +389,91 @@ func readIndexX3(br *bufio.Reader) (*Index, error) {
 	}
 	if got := binary.LittleEndian.Uint32(footer[:]); got != sum {
 		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadFormat, got, sum)
+	}
+	return buildX3(dim, tau, inputOptions, origIDs, coords, levels, opts, lens, arenas)
+}
+
+// checkX3Header validates the four-word X3 header.
+func checkX3Header(dim, tau, inputOptions, nOpts int32) error {
+	if dim < 2 || tau < 1 || dim > 1<<20 || tau > 1<<20 {
+		return ErrBadFormat
+	}
+	if inputOptions < 0 || nOpts < 0 || nOpts > 1<<28 {
+		return ErrBadFormat
+	}
+	return nil
+}
+
+// checkX3CellMeta validates the per-cell level and option columns.
+func checkX3CellMeta(levels, opts []int32, nOpts int32) error {
+	for i := range levels {
+		if levels[i] < -1 || levels[i] > 1<<20 {
+			return fmt.Errorf("%w: cell %d level %d", ErrBadFormat, i, levels[i])
+		}
+		if opts[i] < -1 || opts[i] >= nOpts {
+			return fmt.Errorf("%w: cell %d option %d", ErrBadFormat, i, opts[i])
+		}
+	}
+	return nil
+}
+
+// x3ListTotals validates the per-cell list-length columns and sums them
+// into per-kind arena totals. minLen/maxLen: parent and child lists hold
+// cell ids, bound lists hold option ids and admit -1 (nil bound).
+func x3ListTotals(lens [3][]int32, nCells, nOpts int32) ([3]int64, error) {
+	var totals [3]int64
+	for ki, ls := range lens {
+		minLen, maxLen := int32(0), nCells
+		if ki == 2 {
+			minLen, maxLen = -1, nOpts
+		}
+		for i, ln := range ls {
+			if ln < minLen || ln > maxLen {
+				return totals, fmt.Errorf("%w: cell %d list %d length %d", ErrBadFormat, i, ki, ln)
+			}
+			if ln > 0 {
+				totals[ki] += int64(ln)
+			}
+		}
+		if totals[ki] > 1<<30 {
+			return totals, fmt.Errorf("%w: arena %d overflows", ErrBadFormat, ki)
+		}
+	}
+	return totals, nil
+}
+
+// checkX3Arena validates every entry of one adjacency arena: parent/child
+// entries (kinds 0, 1) are cell ids, bound entries (kind 2) option ids.
+func checkX3Arena(ki int, arena []int32, nCells, nOpts int32) error {
+	hi := nCells
+	if ki == 2 {
+		hi = nOpts
+	}
+	for _, v := range arena {
+		if v < 0 || v >= hi {
+			return fmt.Errorf("%w: arena %d entry %d out of range", ErrBadFormat, ki, v)
+		}
+	}
+	return nil
+}
+
+// buildX3 assembles an index from decoded, already range-checked X3
+// columns and runs the final structural validation. The coords and arena
+// slices are retained as-is — Pts rows sub-slice coords, the flatDAG
+// arenas are the arena slices — so a caller that aliased them into a
+// memory mapping gets a zero-copy index.
+func buildX3(dim, tau, inputOptions int32, origIDs []int32, coords []float64,
+	levels, opts []int32, lens, arenas [3][]int32) (*Index, error) {
+	nOpts, nCells := int32(len(origIDs)), int32(len(levels))
+	ix := &Index{Dim: int(dim), Tau: int(tau)}
+	ix.Stats.InputOptions = int(inputOptions)
+	ix.OrigIDs = make([]int, nOpts)
+	for i, v := range origIDs {
+		ix.OrigIDs[i] = int(v)
+	}
+	ix.Pts = make([][]float64, nOpts)
+	for i := range ix.Pts {
+		ix.Pts[i] = coords[i*int(dim) : (i+1)*int(dim) : (i+1)*int(dim)]
 	}
 	ix.Cells = make([]Cell, nCells)
 	f := &flatDAG{

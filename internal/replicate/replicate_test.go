@@ -1,0 +1,417 @@
+package replicate
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/serve"
+	"tlevelindex/internal/store"
+)
+
+var hotels = [][]float64{
+	{0.62, 0.76}, {0.90, 0.48}, {0.73, 0.33}, {0.26, 0.64}, {0.30, 0.24},
+}
+
+// newPrimary opens a durable store over hotels and serves it. The answer
+// cache is off on both sides of every parity test so response bytes depend
+// only on the index and the LSN.
+func newPrimary(t *testing.T, dir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Logf: t.Logf}, func() (*tlx.Index, error) {
+		return tlx.Build(hotels, 3)
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(serve.NewStoreHandler(st, serve.Config{CacheEntries: -1}).Mux())
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+func startFollower(t *testing.T, opts Options) *Follower {
+	t.Helper()
+	if opts.PollInterval == 0 {
+		opts.PollInterval = 10 * time.Millisecond
+	}
+	f, err := Start(opts)
+	if err != nil {
+		t.Fatalf("replicate.Start: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// waitCaughtUp polls until the follower's applied LSN reaches want.
+func waitCaughtUp(t *testing.T, f *Follower, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.AppliedLSN() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at LSN %d, want %d (state %s)", f.AppliedLSN(), want, f.StateName())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// postQuery returns the raw /v1/query response bytes for one envelope.
+func postQuery(t *testing.T, url, body string) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %s: status %d: %s", body, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// parityQueries spans every family, so a divergent replica cannot hide
+// behind one code path.
+var parityQueries = []string{
+	`{"family":"topk","w":[0.18,0.82],"k":2}`,
+	`{"family":"topk","w":[0.5,0.5],"k":3}`,
+	`{"family":"kspr","focal":0,"k":2}`,
+	`{"family":"utk","lo":[0.35],"hi":[0.45],"k":3}`,
+	`{"family":"oru","w":[0.5,0.5],"k":2,"m":3}`,
+	`{"family":"maxrank","focal":2}`,
+}
+
+// assertByteIdentical demands the follower answer every parity query with
+// exactly the primary's bytes — same result, same stats, same LSN stamp.
+func assertByteIdentical(t *testing.T, primaryURL, followerURL string) {
+	t.Helper()
+	for _, q := range parityQueries {
+		want := postQuery(t, primaryURL, q)
+		got := postQuery(t, followerURL, q)
+		if !bytes.Equal(want, got) {
+			t.Errorf("query %s diverges:\nprimary:  %s\nfollower: %s", q, want, got)
+		}
+	}
+}
+
+// TestFollowerServesByteIdentical is the acceptance contract: a follower
+// bootstrapped purely from the shipped stream — no index build — serves
+// byte-identical query envelopes at the primary's handed-off LSN, both
+// mmap-backed and heap-backed, keeps up with live inserts, and refuses
+// writes with a pointer at the primary.
+func TestFollowerServesByteIdentical(t *testing.T) {
+	for _, heap := range []bool{false, true} {
+		name := "mmap"
+		if heap {
+			name = "heap"
+		}
+		t.Run(name, func(t *testing.T) {
+			srv, st := newPrimary(t, t.TempDir())
+			if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			// One record beyond the snapshot, so the bootstrap replays a tail.
+			if _, err := st.Insert([]float64{0.97, 0.20}); err != nil {
+				t.Fatal(err)
+			}
+
+			f := startFollower(t, Options{PrimaryURL: srv.URL, Dir: t.TempDir(), HeapLoad: heap})
+			if got, want := f.AppliedLSN(), st.Status().AppliedLSN; got != want {
+				t.Fatalf("bootstrap landed at LSN %d, primary at %d", got, want)
+			}
+			fsrv := httptest.NewServer(serve.NewFollowerHandler(f, serve.Config{CacheEntries: -1}).Mux())
+			defer fsrv.Close()
+			assertByteIdentical(t, srv.URL, fsrv.URL)
+
+			// A live insert on the primary reaches the follower via the
+			// follow loop and parity holds at the new LSN.
+			if _, err := st.Insert([]float64{0.99, 0.99}); err != nil {
+				t.Fatal(err)
+			}
+			waitCaughtUp(t, f, st.Status().AppliedLSN)
+			assertByteIdentical(t, srv.URL, fsrv.URL)
+
+			// The follower is read-only; the 403 names the primary.
+			resp, err := http.Post(fsrv.URL+"/v1/insert", "application/json",
+				strings.NewReader(`{"option":[0.98,0.98]}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var deny struct {
+				Error   string `json:"error"`
+				Primary string `json:"primary"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&deny); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusForbidden || deny.Primary != srv.URL {
+				t.Errorf("follower insert: status %d primary %q, want 403 pointing at %s",
+					resp.StatusCode, deny.Primary, srv.URL)
+			}
+
+			// Status reports the follow state and the index backing.
+			var status struct {
+				Role      string `json:"role"`
+				State     string `json:"state"`
+				Backing   string `json:"backing"`
+				MmapBytes int64  `json:"mmapBytes"`
+				LagLSNs   uint64 `json:"lagLsns"`
+			}
+			sresp, err := http.Get(fsrv.URL + "/v1/admin/status")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(sresp.Body).Decode(&status); err != nil {
+				t.Fatal(err)
+			}
+			sresp.Body.Close()
+			if status.Role != "follower" || status.State != "following" || status.LagLSNs != 0 {
+				t.Errorf("follower status: %+v", status)
+			}
+			f.Mutex().RLock()
+			aliased := f.Index().MmapBytes()
+			f.Mutex().RUnlock()
+			wantBacking := "mmap"
+			if heap || aliased == 0 {
+				// Heap mode always; mmap mode only when the platform mapped
+				// and aliased (big-endian or no-mmap builds fall back).
+				wantBacking = "heap"
+			}
+			if status.Backing != wantBacking {
+				t.Errorf("backing %q (mmapBytes %d), want %q", status.Backing, status.MmapBytes, wantBacking)
+			}
+		})
+	}
+}
+
+// TestFollowerResumesFromLocalSnapshot: a cleanly stopped follower
+// restarts from its downloaded snapshot and fetches only the tail — no
+// re-download — landing at the primary's current LSN.
+func TestFollowerResumesFromLocalSnapshot(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f := startFollower(t, Options{PrimaryURL: srv.URL, Dir: dir})
+	first := f.AppliedLSN()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotFiles(t, dir)
+	if len(before) != 1 {
+		t.Fatalf("follower dir holds %v, want one snapshot", before)
+	}
+
+	// History advances while the follower is down.
+	if _, err := st.Insert([]float64{0.97, 0.20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert([]float64{0.99, 0.99}); err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := startFollower(t, Options{PrimaryURL: srv.URL, Dir: dir})
+	if got, want := f2.AppliedLSN(), st.Status().AppliedLSN; got != want || got <= first {
+		t.Fatalf("resumed at LSN %d, want %d (> %d)", got, want, first)
+	}
+	// The same snapshot file served the resume; nothing was re-shipped.
+	if after := snapshotFiles(t, dir); len(after) != 1 || after[0] != before[0] {
+		t.Errorf("resume changed local snapshots: %v -> %v", before, after)
+	}
+}
+
+func snapshotFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestFollowerKilledMidBootstrap is the crash matrix for the bootstrap
+// path: a follower killed mid-download leaves a .tmp file, one killed by
+// bit rot leaves a corrupt snapshot under a valid name. A restart must
+// clean up both and still reach a consistent index.
+func TestFollowerKilledMidBootstrap(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, snapshotName(1)+".tmp")
+	if err := os.WriteFile(tmp, []byte("torn mid-download"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, snapshotName(7))
+	if err := os.WriteFile(corrupt, []byte("TLVLIDX3 but not really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f := startFollower(t, Options{PrimaryURL: srv.URL, Dir: dir})
+	if got, want := f.AppliedLSN(), st.Status().AppliedLSN; got != want {
+		t.Fatalf("recovered follower at LSN %d, want %d", got, want)
+	}
+	for _, leftover := range []string{tmp, corrupt} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Errorf("leftover %s survived the restart", filepath.Base(leftover))
+		}
+	}
+}
+
+// corruptingProxy fronts a primary and flips one byte inside the snapshot
+// body of the first n full-bootstrap streams. Tail polls pass through.
+type corruptingProxy struct {
+	backend http.Handler
+	left    atomic.Int64
+	served  atomic.Int64
+}
+
+func (p *corruptingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	full := strings.HasSuffix(r.URL.Path, "/snapshot/stream") && r.URL.Query().Get("from") == ""
+	if !full || p.left.Add(-1) < 0 {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	rec := httptest.NewRecorder()
+	p.backend.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if len(body) > 100 {
+		body[100] ^= 0x40 // inside the X3 snapshot: its checksum must catch this
+	}
+	p.served.Add(1)
+	w.WriteHeader(rec.Code)
+	w.Write(body)
+}
+
+// TestCorruptStreamRefetched: a bit-flipped shipped stream must be
+// rejected by the checksums and re-fetched; the follower comes up
+// consistent with no manual intervention and no partial state.
+func TestCorruptStreamRefetched(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	proxy := &corruptingProxy{backend: srv.Config.Handler}
+	proxy.left.Store(2)
+	psrv := httptest.NewServer(proxy)
+	defer psrv.Close()
+
+	f := startFollower(t, Options{PrimaryURL: psrv.URL, Dir: t.TempDir(), Retries: 3})
+	if proxy.served.Load() != 2 {
+		t.Fatalf("proxy corrupted %d streams, want 2", proxy.served.Load())
+	}
+	if got, want := f.AppliedLSN(), st.Status().AppliedLSN; got != want {
+		t.Fatalf("follower at LSN %d after re-fetch, want %d", got, want)
+	}
+}
+
+// TestCorruptStreamExhaustsRetries: when every fetch arrives corrupt the
+// bootstrap fails outright — no follower, no partially-registered replica,
+// and the error says why.
+func TestCorruptStreamExhaustsRetries(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	proxy := &corruptingProxy{backend: srv.Config.Handler}
+	proxy.left.Store(1 << 30)
+	psrv := httptest.NewServer(proxy)
+	defer psrv.Close()
+
+	dir := t.TempDir()
+	f, err := Start(Options{PrimaryURL: psrv.URL, Dir: dir, Retries: 2})
+	if err == nil {
+		f.Close()
+		t.Fatal("bootstrap from an always-corrupt stream succeeded")
+	}
+	if !errors.Is(err, tlx.ErrBadFormat) && !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("bootstrap error %v does not identify the corruption", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("bootstrap error %v does not report the retry budget", err)
+	}
+	// The corrupt download was deleted: nothing for a restart to trust.
+	for _, name := range snapshotFiles(t, dir) {
+		if !strings.HasSuffix(name, ".tmp") {
+			t.Errorf("corrupt bootstrap left %s behind", name)
+		}
+	}
+}
+
+// goneProxy answers 410 Gone to tail polls while tripped, simulating a
+// primary that pruned past the follower's position; full bootstraps pass
+// through untouched.
+type goneProxy struct {
+	backend http.Handler
+	tripped atomic.Bool
+}
+
+func (p *goneProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.tripped.Load() && r.URL.Query().Get("from") != "" {
+		w.WriteHeader(http.StatusGone)
+		fmt.Fprint(w, `{"error":"pruned"}`)
+		return
+	}
+	p.backend.ServeHTTP(w, r)
+}
+
+// TestShipGapTriggersRebootstrap: when the primary prunes past the
+// follower's LSN, the follow loop must fall back to a full re-bootstrap
+// and come back to "following" at the primary's head — while the stale
+// index keeps serving throughout.
+func TestShipGapTriggersRebootstrap(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	if _, err := st.Insert([]float64{0.95, 0.95}); err != nil {
+		t.Fatal(err)
+	}
+	proxy := &goneProxy{backend: srv.Config.Handler}
+	psrv := httptest.NewServer(proxy)
+	defer psrv.Close()
+
+	f := startFollower(t, Options{PrimaryURL: psrv.URL, Dir: t.TempDir()})
+	stale := f.AppliedLSN()
+
+	proxy.tripped.Store(true)
+	if _, err := st.Insert([]float64{0.99, 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	// Tail polls now 410; the only road to the new LSN is a re-bootstrap.
+	waitCaughtUp(t, f, st.Status().AppliedLSN)
+	if f.AppliedLSN() <= stale {
+		t.Fatalf("follower did not advance past %d", stale)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.StateName() != "following" {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower state %q after re-bootstrap, want following", f.StateName())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

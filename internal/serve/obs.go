@@ -62,7 +62,7 @@ func (h *Handler) registerIndexGauges() {
 	stats := func() tlx.BuildStats {
 		h.mu.RLock()
 		defer h.mu.RUnlock()
-		return h.ix.Stats()
+		return h.index().Stats()
 	}
 	obs.Default().GaugeFunc("tlx_build_verdict_cache_hits_total",
 		"VerdictCache hits during index construction and extension.", func() float64 {
@@ -80,6 +80,27 @@ func (h *Handler) registerIndexGauges() {
 		"VerdictCache hit ratio over construction and extension (0 when unused).", func() float64 {
 			s := stats()
 			return s.VerdictHitRate()
+		})
+}
+
+// registerFollowerGauges exposes a follower's sync state: how far it
+// trails the primary in LSNs and how much of its index aliases the
+// snapshot mapping. GaugeFunc replaces the reader on re-registration, so
+// the newest follower handler wins.
+func (h *Handler) registerFollowerGauges() {
+	obs.Default().GaugeFunc("tlx_replica_lag",
+		"LSNs the follower trails the primary by (0 when caught up).", func() float64 {
+			applied, primary := h.fol.AppliedLSN(), h.fol.PrimaryLSN()
+			if primary <= applied {
+				return 0
+			}
+			return float64(primary - applied)
+		})
+	obs.Default().GaugeFunc("tlx_mmap_bytes",
+		"Bytes of index state aliasing a snapshot memory mapping (0 = heap-backed).", func() float64 {
+			h.mu.RLock()
+			defer h.mu.RUnlock()
+			return float64(h.index().MmapBytes())
 		})
 }
 

@@ -411,7 +411,7 @@ func (h *Handler) dispatch(ctx context.Context, q *QueryRequest) (*queryOutcome,
 		// The LSN is read inside the lock: inserts take the write lock
 		// (or the store's, which is the same), so it cannot move while
 		// the traversal runs.
-		out, err = h.runOn(ctx, spec, q, h.ix, h.lsnNow())
+		out, err = h.runOn(ctx, spec, q, h.index(), h.lsnNow())
 	})
 	return out, err
 }

@@ -92,7 +92,7 @@ func (h *Handler) publishReplicas() {
 	var buf bytes.Buffer
 	h.mu.RLock()
 	lsn := h.lsnNow()
-	_, err := h.ix.WriteTo(&buf)
+	_, err := h.index().WriteTo(&buf)
 	h.mu.RUnlock()
 	if err != nil {
 		h.reps.broken.Store(true)

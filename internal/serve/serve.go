@@ -39,10 +39,13 @@
 //
 //	400  malformed parameters, including invalid weight vectors
 //	     (tlevelindex.ErrInvalidWeights)
+//	403  insert on a follower (the body names the primary to write to)
 //	404  unknown path
 //	405  wrong method for the endpoint (the Allow header names the
 //	     accepted method)
 //	409  insert after on-demand extension (tlevelindex.ErrExtended)
+//	410  snapshot-stream tail request for records the primary has pruned
+//	     (store.ErrShipGap; the follower must re-bootstrap)
 //	422  k beyond the materialized levels on an index without its full
 //	     dataset (tlevelindex.ErrNeedsFullData)
 //	499  client disconnected mid-query (context canceled)
@@ -83,16 +86,31 @@
 //
 // A handler constructed with NewStoreHandler serves a store-backed index:
 // accepted inserts are appended to a write-ahead log and fsync'd before the
-// 200 is written, and two admin endpoints manage the durable state:
+// 200 is written, and the admin endpoints manage the durable state:
 //
 //	POST /v1/admin/snapshot         capture the index durably now
 //	GET  /v1/admin/status           applied/snapshot LSNs, WAL length,
 //	                                records replayed at recovery
+//	GET  /v1/admin/snapshot/stream  the replication feed: newest snapshot
+//	                                plus the WAL tail beyond it, or with
+//	                                ?from=<lsn> just the records after that
+//	                                LSN (410 Gone once pruned)
 //
 // Admin endpoints exist only in store-backed mode; a memory-only handler
 // answers 404 for them. A snapshot request against an index holding
 // on-demand extension state is refused with 409 (tlevelindex.ErrExtended),
 // mirroring the insert rule.
+//
+// # Followers
+//
+// A handler constructed with NewFollowerHandler serves a replica that
+// tracks a remote primary (internal/replicate): the full query surface is
+// available — under the follower's lock, against its mmap- or heap-backed
+// index — while /v1/insert answers 403 with the primary's URL and
+// GET /v1/admin/status reports {"role": "follower"} with the follow
+// state, the applied and primary LSNs, the lag between them, and the
+// index backing ("mmap"/"heap"). The store admin endpoints and the
+// replica tier do not apply in this mode.
 //
 // # Observability
 //
@@ -123,6 +141,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -157,12 +176,33 @@ type Config struct {
 	Replicas int
 }
 
+// Follower is a replica following a remote primary (internal/replicate
+// implements it). The handler serves queries from its index under its
+// lock, rejects writes toward the primary, and reports its sync state.
+// Index is read under the follower's Mutex: a re-bootstrap may swap the
+// index pointer.
+type Follower interface {
+	// Index returns the currently served index; call with Mutex held.
+	Index() *tlx.Index
+	// Mutex guards the index against the follow loop's applies and swaps.
+	Mutex() *sync.RWMutex
+	// AppliedLSN is the LSN the local index reflects (atomic, lock-free).
+	AppliedLSN() uint64
+	// PrimaryLSN is the primary's last observed applied LSN (atomic).
+	PrimaryLSN() uint64
+	// PrimaryURL is the primary's base URL, for redirecting writes.
+	PrimaryURL() string
+	// StateName is the bootstrap state machine's current state.
+	StateName() string
+}
+
 // Handler answers preference queries against one index, optionally through
 // a replica set and an LSN-stamped answer cache.
 type Handler struct {
 	mu    *sync.RWMutex
 	ix    *tlx.Index
 	st    *store.Store // nil in memory-only mode
+	fol   Follower     // non-nil only in follower mode
 	log   *slog.Logger
 	pprof bool
 	cache *cache.Cache // nil when disabled
@@ -192,6 +232,18 @@ func NewHandler(ix *tlx.Index, cfg Config) *Handler {
 // background snapshotter and the query handlers stay mutually consistent.
 func NewStoreHandler(st *store.Store, cfg Config) *Handler {
 	return newHandler(&Handler{mu: st.Mutex(), ix: st.Index(), st: st}, cfg)
+}
+
+// NewFollowerHandler serves a follower replica: queries run against the
+// follower's index (mmap-backed when the platform allows) under the
+// follower's lock, inserts are refused with a pointer at the primary, and
+// /v1/admin/status reports the follow state. Replicas and the store admin
+// endpoints do not apply in this mode.
+func NewFollowerHandler(f Follower, cfg Config) *Handler {
+	cfg.Replicas = 0
+	h := newHandler(&Handler{mu: f.Mutex(), fol: f}, cfg)
+	h.registerFollowerGauges()
+	return h
 }
 
 // NewReplicatedHandler is NewHandler with replicas required: it builds n
@@ -237,13 +289,27 @@ func newHandler(h *Handler, cfg Config) *Handler {
 }
 
 // lsnNow returns the current log sequence number: the store's applied LSN
-// in durable mode, the in-memory insert counter otherwise. One atomic
-// load — safe with or without the handler lock held.
+// in durable mode, the follower's applied LSN in follower mode, the
+// in-memory insert counter otherwise. One atomic load — safe with or
+// without the handler lock held.
 func (h *Handler) lsnNow() uint64 {
 	if h.st != nil {
 		return h.st.AppliedLSN()
 	}
+	if h.fol != nil {
+		return h.fol.AppliedLSN()
+	}
 	return h.memLSN.Load()
+}
+
+// index returns the serving writer index. In follower mode the pointer
+// lives with the follower (a re-bootstrap swaps it), so it must be read
+// under h.mu — which every caller already holds.
+func (h *Handler) index() *tlx.Index {
+	if h.fol != nil {
+		return h.fol.Index()
+	}
+	return h.ix
 }
 
 // Mux returns a ServeMux with every endpoint registered under /v1/ and at
@@ -271,6 +337,10 @@ func (h *Handler) Mux() *http.ServeMux {
 	register("/metrics", get(obs.Default().Handler().ServeHTTP))
 	if h.st != nil {
 		register("/admin/snapshot", post(h.handleSnapshot))
+		register("/admin/status", get(h.handleStatus))
+		register("/admin/snapshot/stream", get(h.handleSnapshotStream))
+	}
+	if h.fol != nil {
 		register("/admin/status", get(h.handleStatus))
 	}
 	if h.pprof {
@@ -311,7 +381,7 @@ func methodOnly(method string, fn http.HandlerFunc) http.HandlerFunc {
 // have been mid-extension during the first check.
 func (h *Handler) runQuery(k int, fn func()) {
 	h.mu.RLock()
-	if k <= h.ix.MaxMaterializedLevel() {
+	if k <= h.index().MaxMaterializedLevel() {
 		defer h.mu.RUnlock()
 		fn()
 		return
@@ -370,6 +440,15 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing option attributes")
 		return
 	}
+	if h.fol != nil {
+		// A follower's state is a strict copy of the primary's history; a
+		// local insert would fork it. Point the client at the write master.
+		writeJSON(w, http.StatusForbidden, struct {
+			Error   string `json:"error"`
+			Primary string `json:"primary"`
+		}{"follower is read-only; insert on the primary", h.fol.PrimaryURL()})
+		return
+	}
 	var (
 		id  int
 		lsn uint64
@@ -418,12 +497,77 @@ func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleStatus reports the durability and replication state. The Role
+// field distinguishes a primary (store-backed, accepts writes) from a
+// follower (tracks a remote primary); the follower shape adds the sync
+// state, both LSNs, and the lag between them.
 func (h *Handler) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.st.Status())
+	if h.fol != nil {
+		applied, primary := h.fol.AppliedLSN(), h.fol.PrimaryLSN()
+		var lag uint64
+		if primary > applied {
+			lag = primary - applied
+		}
+		h.mu.RLock()
+		ix := h.index()
+		backing, mmapBytes := "heap", ix.MmapBytes()
+		h.mu.RUnlock()
+		if mmapBytes > 0 {
+			backing = "mmap"
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Role       string `json:"role"`
+			State      string `json:"state"`
+			Primary    string `json:"primary"`
+			AppliedLSN uint64 `json:"appliedLsn"`
+			PrimaryLSN uint64 `json:"primaryLsn"`
+			LagLSNs    uint64 `json:"lagLsns"`
+			Backing    string `json:"backing"`
+			MmapBytes  int64  `json:"mmapBytes"`
+		}{"follower", h.fol.StateName(), h.fol.PrimaryURL(), applied, primary, lag, backing, mmapBytes})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Role string `json:"role"`
+		store.Status
+	}{"primary", h.st.Status()})
+}
+
+// handleSnapshotStream is GET /v1/admin/snapshot/stream: the replication
+// feed. Without a from parameter it ships a full bootstrap — the newest
+// durable snapshot plus the WAL tail beyond it; with ?from=<lsn> it ships
+// only the records after that LSN. A follower whose from has been pruned
+// away gets 410 Gone and must re-bootstrap from scratch.
+func (h *Handler) handleSnapshotStream(w http.ResponseWriter, r *http.Request) {
+	from := int64(-1)
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 63)
+		if err != nil {
+			badRequest(w, "bad integer parameter %q", "from")
+			return
+		}
+		from = int64(v)
+	}
+	sess, err := h.st.PrepareShip(from)
+	if err != nil {
+		if errors.Is(err, store.ErrShipGap) {
+			writeJSON(w, http.StatusGone, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := sess.WriteTo(w); err != nil {
+		// Headers are out; the receiver detects the truncation through the
+		// stream checksums. Log for the operator.
+		h.log.Warn("serve: snapshot stream aborted", "err", err)
+	}
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
+	ix := h.index()
 	body := struct {
 		Tau           int            `json:"tau"`
 		Dim           int            `json:"dim"`
@@ -431,7 +575,7 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		CellsPerLevel []int          `json:"cellsPerLevel"`
 		SizeBytes     int64          `json:"sizeBytes"`
 		Build         tlx.BuildStats `json:"build"`
-	}{h.ix.Tau(), h.ix.Dim(), h.ix.NumCells(), h.ix.CellsPerLevel(), h.ix.SizeBytes(), h.ix.Stats()}
+	}{ix.Tau(), ix.Dim(), ix.NumCells(), ix.CellsPerLevel(), ix.SizeBytes(), ix.Stats()}
 	h.mu.RUnlock()
 	writeJSON(w, http.StatusOK, body)
 }

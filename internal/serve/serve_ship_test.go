@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/store"
+)
+
+// fetchShip downloads one shipped stream over HTTP and replays it like a
+// bootstrapping follower: header, snapshot, tail records with the
+// acknowledged-id cross-check. It returns the reassembled index and the
+// stream header.
+func fetchShip(url string) (*tlx.Index, store.ShipHeader, error) {
+	resp, err := http.Get(url + "/v1/admin/snapshot/stream")
+	if err != nil {
+		return nil, store.ShipHeader{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, store.ShipHeader{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	hdr, err := store.ReadShipHeader(resp.Body)
+	if err != nil {
+		return nil, hdr, err
+	}
+	snap := make([]byte, hdr.SnapBytes)
+	if _, err := io.ReadFull(resp.Body, snap); err != nil {
+		return nil, hdr, err
+	}
+	ix, err := tlx.ReadIndexBytes(snap, false)
+	if err != nil {
+		return nil, hdr, err
+	}
+	for lsn := hdr.SnapLSN + 1; lsn <= hdr.TailLSN; lsn++ {
+		rec, err := store.ReadShipRecord(resp.Body)
+		if err != nil {
+			return nil, hdr, err
+		}
+		if rec.LSN != lsn {
+			return nil, hdr, fmt.Errorf("record %d where %d expected", rec.LSN, lsn)
+		}
+		id, err := ix.Insert(rec.Attrs)
+		if err != nil {
+			return nil, hdr, err
+		}
+		if int64(id) != rec.ID {
+			return nil, hdr, fmt.Errorf("replay diverged at %d", lsn)
+		}
+	}
+	return ix, hdr, nil
+}
+
+// TestSnapshotStreamEndpoint: the stream endpoint hands out a consistent
+// bootstrap while inserts land concurrently. Every download must replay to
+// exactly its advertised tail; the final one must match the store.
+func TestSnapshotStreamEndpoint(t *testing.T) {
+	srv, st := newStoreServer(t, t.TempDir())
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, nil); code != 200 {
+		t.Fatal("seed insert failed")
+	}
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", nil); code != 200 {
+		t.Fatal("snapshot failed")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			body := fmt.Sprintf(`{"option":[0.9%d,0.8%d]}`, i, 9-i)
+			if code := postJSON(t, srv.URL+"/v1/insert", body, nil); code != 200 {
+				t.Errorf("concurrent insert %d: status %d", i, code)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		if _, _, err := fetchShip(srv.URL); err != nil {
+			t.Fatalf("concurrent download %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	ix, hdr, err := fetchShip(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := st.Status().AppliedLSN; hdr.TailLSN != want {
+		t.Errorf("final stream tail %d, store applied %d", hdr.TailLSN, want)
+	}
+	var a, b bytes.Buffer
+	if _, err := ix.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Index().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("replayed stream serializes differently from the primary index")
+	}
+}
+
+// TestSnapshotStreamTailAndGap covers the from= query: a caught-up tail
+// request is empty, a pruned position answers 410 Gone, and a position
+// beyond the primary's history is a 500 (diverged, not behind).
+func TestSnapshotStreamTailAndGap(t *testing.T) {
+	srv, st := newStoreServer(t, t.TempDir())
+	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, nil); code != 200 {
+		t.Fatal("insert failed")
+	}
+	if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", nil); code != 200 {
+		t.Fatal("snapshot failed")
+	}
+
+	applied := st.Status().AppliedLSN
+	resp, err := http.Get(fmt.Sprintf("%s/v1/admin/snapshot/stream?from=%d", srv.URL, applied))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, herr := store.ReadShipHeader(resp.Body)
+	resp.Body.Close()
+	if herr != nil || hdr.SnapLSN != applied || hdr.TailLSN != applied || hdr.SnapBytes != 0 {
+		t.Fatalf("caught-up tail stream: %+v err=%v", hdr, herr)
+	}
+
+	// Rotate and prune the WAL far enough that LSN 1 is gone.
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"option":[0.9%d,0.9%d]}`, i, i)
+		if code := postJSON(t, srv.URL+"/v1/insert", body, nil); code != 200 {
+			t.Fatal("insert failed")
+		}
+		if code := postJSON(t, srv.URL+"/v1/admin/snapshot", "", nil); code != 200 {
+			t.Fatal("snapshot failed")
+		}
+	}
+	if _, err := st.PrepareShip(0); !errors.Is(err, store.ErrShipGap) {
+		t.Skipf("prune did not open a gap yet: %v", err)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/snapshot/stream?from=0", nil); code != http.StatusGone {
+		t.Errorf("pruned tail request: status %d, want 410", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/snapshot/stream?from=99999", nil); code != http.StatusInternalServerError {
+		t.Errorf("diverged tail request: status %d, want 500", code)
+	}
+	// Malformed from is a 400.
+	if code := getJSON(t, srv.URL+"/v1/admin/snapshot/stream?from=x", nil); code != http.StatusBadRequest {
+		t.Errorf("malformed from: status %d, want 400", code)
+	}
+	// The stream endpoint is absent in memory-only mode.
+	mem := newServer(t)
+	if code := getJSON(t, mem.URL+"/v1/admin/snapshot/stream", nil); code != http.StatusNotFound {
+		t.Errorf("memory-mode stream: status %d, want 404", code)
+	}
+}

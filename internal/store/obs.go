@@ -59,6 +59,12 @@ func registerStoreGauges(s *Store) {
 			defer s.mu.RUnlock()
 			return float64(s.bytesSinceSnap)
 		})
+	obs.Default().GaugeFunc("tlx_mmap_bytes",
+		"Bytes of index state aliasing a snapshot memory mapping (0 = heap-backed).", func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.ix.MmapBytes())
+		})
 	obs.Default().GaugeFunc("tlx_store_read_only",
 		"1 when the store refuses writes after a WAL failure, else 0.", func() float64 {
 			s.mu.RLock()

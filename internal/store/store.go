@@ -61,6 +61,16 @@ type Options struct {
 	// WAL holds at least this many records since the last snapshot.
 	// Zero or negative disables the record trigger.
 	SnapshotRecords int
+	// SnapshotInterval triggers an automatic background snapshot whenever
+	// the newest snapshot is older than this, even if no insert tripped the
+	// byte or record thresholds — a quiet primary still produces fresh
+	// snapshots for bootstrapping replicas. Zero disables the timer.
+	SnapshotInterval time.Duration
+	// MmapLoad recovers the snapshot by memory-mapping it (zero-copy X3
+	// load) instead of reading it onto the heap, making startup cost
+	// independent of index size. Falls back to the heap load where the
+	// platform or file layout forbids aliasing.
+	MmapLoad bool
 	// Logf receives recovery and snapshot diagnostics formatted as single
 	// lines; nil discards them. Logger takes precedence when both are set.
 	Logf func(format string, args ...interface{})
@@ -141,7 +151,7 @@ func Open(opts Options, build func() (*tlx.Index, error)) (*Store, error) {
 	} else if err := s.recover(snaps, segs); err != nil {
 		return nil, err
 	}
-	if opts.SnapshotBytes > 0 || opts.SnapshotRecords > 0 {
+	if opts.SnapshotBytes > 0 || opts.SnapshotRecords > 0 || opts.SnapshotInterval > 0 {
 		s.wg.Add(1)
 		go s.autoSnapshotLoop()
 	}
@@ -176,7 +186,7 @@ func (s *Store) initialize(build func() (*tlx.Index, error)) error {
 // recover loads the newest valid snapshot and replays the WAL tail.
 func (s *Store) recover(snaps, segs []fileEntry) error {
 	for i := len(snaps) - 1; i >= 0; i-- {
-		ix, err := loadSnapshot(snaps[i].path)
+		ix, err := s.loadSnapshot(snaps[i].path)
 		if err != nil {
 			s.log.Warn("store: snapshot unusable; falling back", "path", snaps[i].path, "err", err)
 			s.fallbacks++
@@ -269,7 +279,12 @@ func (s *Store) recover(snaps, segs []fileEntry) error {
 	return nil
 }
 
-func loadSnapshot(path string) (*tlx.Index, error) {
+func (s *Store) loadSnapshot(path string) (*tlx.Index, error) {
+	if s.opts.MmapLoad {
+		// Zero-copy where the platform allows; OpenIndexFile itself falls
+		// back to a heap read when mmap is unavailable or nothing aliases.
+		return tlx.OpenIndexFile(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -464,14 +479,23 @@ func (s *Store) prune() {
 
 func (s *Store) autoSnapshotLoop() {
 	defer s.wg.Done()
+	// The interval timer fires unconditionally; Snapshot's up-to-date
+	// early return makes ticks on a quiet store cost one lock acquisition.
+	var tick <-chan time.Time
+	if s.opts.SnapshotInterval > 0 {
+		t := time.NewTicker(s.opts.SnapshotInterval)
+		defer t.Stop()
+		tick = t.C
+	}
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-s.trigger:
-			if _, err := s.Snapshot(); err != nil {
-				s.log.Error("store: auto snapshot failed", "err", err)
-			}
+		case <-tick:
+		}
+		if _, err := s.Snapshot(); err != nil {
+			s.log.Error("store: auto snapshot failed", "err", err)
 		}
 	}
 }
@@ -488,13 +512,24 @@ type Status struct {
 	RecoveredFrom     string  `json:"recoveredFrom"`
 	SnapshotFallbacks int     `json:"snapshotFallbacks"`
 	ReadOnly          bool    `json:"readOnly"`
+	// Backing reports how the recovered index is held: "mmap" when its
+	// arrays alias the snapshot mapping, "heap" otherwise. MmapBytes is the
+	// aliased byte count (0 for heap).
+	Backing   string `json:"backing"`
+	MmapBytes int64  `json:"mmapBytes"`
 }
 
 // Status returns a consistent view of the durability state.
 func (s *Store) Status() Status {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	backing, mmapBytes := "heap", s.ix.MmapBytes()
+	if mmapBytes > 0 {
+		backing = "mmap"
+	}
 	return Status{
+		Backing:           backing,
+		MmapBytes:         mmapBytes,
 		Dir:               s.opts.Dir,
 		AppliedLSN:        s.applied,
 		SnapshotLSN:       s.snapLSN,
@@ -529,6 +564,11 @@ func (s *Store) Close() error {
 			err = cerr
 		}
 		s.seg = nil
+	}
+	// Release a snapshot mapping last: nothing touches the index after the
+	// store is closed.
+	if cerr := s.ix.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
 	s.mu.Unlock()
 	return err

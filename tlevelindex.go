@@ -291,6 +291,44 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return newIndex(inner), nil
 }
 
+// ReadIndexBytes loads a serialized index directly from a byte buffer.
+// With alias=true and an X3 stream, the large arrays (option coordinates
+// and CSR adjacency arenas) are materialized as slices aliasing buf where
+// the platform allows, instead of heap copies; the buffer must then outlive
+// the index. MmapBytes reports how much actually aliased (0 means the
+// fallback copied everything and buf may be released immediately).
+func ReadIndexBytes(buf []byte, alias bool) (*Index, error) {
+	inner, err := index.ReadBytes(buf, alias)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(inner), nil
+}
+
+// OpenIndexFile loads a serialized index from a file, memory-mapping it
+// when the platform supports it so startup cost is independent of index
+// size (the CRC pass still touches every page, but no heap copy or
+// per-cell assembly is performed). Falls back to a heap load where mmap is
+// unavailable. When the returned index is mmap-backed (MmapBytes > 0) the
+// caller must Close it when done to release the mapping.
+func OpenIndexFile(path string) (*Index, error) {
+	inner, err := index.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(inner), nil
+}
+
+// MmapBytes reports how many bytes of index state alias a memory mapping
+// rather than the heap; 0 for a fully heap-backed index.
+func (ix *Index) MmapBytes() int64 { return ix.inner.MmapBytes() }
+
+// Close releases the memory mapping backing an index loaded with
+// OpenIndexFile, if any. The index must not be used afterwards when
+// MmapBytes was non-zero. Heap-backed indexes need no Close; calling it
+// anyway is a harmless no-op.
+func (ix *Index) Close() error { return ix.inner.CloseBacking() }
+
 // Workers returns the worker bound used for parallel phases (see
 // WithWorkers); 0 means the runtime default is selected at use time.
 func (ix *Index) Workers() int { return ix.inner.Workers() }
