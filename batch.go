@@ -1,0 +1,221 @@
+package tlevelindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tlevelindex/internal/index"
+)
+
+// Batched query entry points. A batch carries many preference vectors
+// through one shared index traversal (see DESIGN.md §18): vectors that
+// descend through the same cells share the child fetches and scoring kernel
+// calls, so clustered traffic — many users with similar preferences — costs
+// far less than the same queries issued one at a time. Every per-item
+// observable (options, rank order, stats, chain key, reached level) is
+// identical to running the corresponding single-query method per item.
+//
+// Input validation is two-tier: conditions that apply to the whole batch
+// (k < 1, strict depth) fail the call, while a malformed weight vector
+// fails only its own item — its Err field wraps ErrInvalidWeights and the
+// remaining items are answered normally.
+
+// TopKBatchItem is one item's answer within a TopKBatch result.
+type TopKBatchItem struct {
+	// Options are the item's best dataset indices in rank order (Level of
+	// them; fewer than k only when the walk ran out of cells early).
+	Options []int
+	// Key is the cell-chain identity at the reached depth; items with equal
+	// Key and Level have identical ordered answers (see CellKey).
+	Key CellKey
+	// Level is the depth the item actually reached.
+	Level int
+	// Stats is the item's traversal effort, identical to the single-query
+	// path's.
+	Stats QueryStats
+	// Err is non-nil when this item's weight vector was rejected (it wraps
+	// ErrInvalidWeights); the other fields are zero then.
+	Err error
+}
+
+// TopKBatch answers a top-k query for every weight vector in ws through one
+// shared traversal. With k ≤ τ it is a pure lookup; deeper k extends the
+// index on demand (best-effort over the filtered pool when no full dataset
+// is held, like TopK).
+func (ix *Index) TopKBatch(ws [][]float64, k int) ([]TopKBatchItem, error) {
+	return ix.topKBatch(context.Background(), ws, k, false)
+}
+
+// TopKBatchContext is TopKBatch with cancellation and strict-depth behavior
+// (see the context.go conventions). On cancellation it returns ctx's error
+// together with the items, each carrying the ranks resolved before the
+// abandonment and the stats accumulated so far.
+func (ix *Index) TopKBatchContext(ctx context.Context, ws [][]float64, k int) ([]TopKBatchItem, error) {
+	return ix.topKBatch(ctx, ws, k, true)
+}
+
+func (ix *Index) topKBatch(ctx context.Context, ws [][]float64, k int, strict bool) ([]TopKBatchItem, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	if strict {
+		if err := ix.needsData(k); err != nil {
+			return nil, err
+		}
+	}
+	items := make([]TopKBatchItem, len(ws))
+	dim := ix.inner.RDim()
+	// Malformed vectors are dropped from the walk (their items carry the
+	// validation error); the survivors run as one dense batch.
+	flat := make([]float64, 0, len(ws)*dim)
+	live := make([]int, 0, len(ws))
+	for i, w := range ws {
+		x, err := ix.reduce(w)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		flat = append(flat, x...)
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return items, nil
+	}
+	q := ix.startQuerySpan("query.topkbatch")
+	bt, err := ix.inner.TopKBatchFlatCtx(ctx, flat, len(live), k, true)
+	var agg QueryStats
+	for j, i := range live {
+		it := &items[i]
+		it.Key = CellKey{h: bt.Keys[j]}
+		it.Level = bt.Levels[j]
+		it.Stats = exportStats(bt.Stats[j])
+		agg.VisitedCells += it.Stats.VisitedCells
+		agg.LPCalls += it.Stats.LPCalls
+		it.Options = make([]int, len(bt.Outs[j]))
+		for l, o := range bt.Outs[j] {
+			it.Options[l] = ix.origID(o)
+		}
+	}
+	q.finish(agg, err)
+	return items, err
+}
+
+// KSPRBatch answers a k-shortlist preference region query for every focal
+// option through one deduplicated pass: duplicate focals — the popular-
+// option skew of real reverse top-k traffic — are traversed once and share
+// one result pointer, so out[i] == out[j] whenever focals[i] == focals[j].
+// Items whose option was filtered out (it never ranks top-k anywhere) get
+// an empty, unshared result, like KSPR.
+func (ix *Index) KSPRBatch(k int, focals []int) ([]*KSPRResult, error) {
+	return ix.ksprBatch(context.Background(), k, focals, false)
+}
+
+// KSPRBatchContext is KSPRBatch with cancellation and strict-depth
+// behavior. On cancellation it returns ctx's error together with the items:
+// focals traversed before the abandonment hold complete answers, the rest
+// carry partial stats only.
+func (ix *Index) KSPRBatchContext(ctx context.Context, k int, focals []int) ([]*KSPRResult, error) {
+	return ix.ksprBatch(ctx, k, focals, true)
+}
+
+func (ix *Index) ksprBatch(ctx context.Context, k int, focals []int, strict bool) ([]*KSPRResult, error) {
+	if k < 1 {
+		return nil, errors.New("tlevelindex: k must be >= 1")
+	}
+	for _, f := range focals {
+		if f < 0 {
+			return nil, fmt.Errorf("tlevelindex: invalid focal option %d", f)
+		}
+	}
+	if strict {
+		if err := ix.needsData(k); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*KSPRResult, len(focals))
+	fids := make([]int32, 0, len(focals))
+	live := make([]int, 0, len(focals))
+	for i, f := range focals {
+		fid := ix.filteredID(f)
+		if fid < 0 && k > ix.inner.MaxMaterializedLevel() && !strict {
+			// The option may enter deeper levels; extending refreshes the
+			// pool (plain-variant behavior, like KSPR).
+			ix.inner.EnsureLevels(k)
+			ix.idMap.Store(nil)
+			fid = ix.filteredID(f)
+		}
+		if fid < 0 {
+			out[i] = &KSPRResult{}
+			continue
+		}
+		fids = append(fids, fid)
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return out, nil
+	}
+	q := ix.startQuerySpan("query.ksprbatch")
+	res, err := ix.inner.KSPRBatchCtx(ctx, k, fids)
+	// Duplicate focals share one internal result; exporting through this
+	// memo preserves the sharing in the public answer.
+	exported := make(map[*index.KSPRResult]*KSPRResult, len(live))
+	var agg QueryStats
+	for j, i := range live {
+		r := res[j]
+		pub, ok := exported[r]
+		if !ok {
+			pub = &KSPRResult{Stats: exportStats(r.Stats)}
+			for _, id := range r.Cells {
+				pub.Regions = append(pub.Regions, exportRegion(ix.inner.Region(id)))
+			}
+			exported[r] = pub
+			agg.VisitedCells += pub.Stats.VisitedCells
+			agg.LPCalls += pub.Stats.LPCalls
+		}
+		out[i] = pub
+	}
+	q.finish(agg, err)
+	return out, err
+}
+
+// LocateBatchItem is one item's answer within a LocateBatch result.
+type LocateBatchItem struct {
+	// Key is the cell-chain identity at the reached depth; see CellKey.
+	Key CellKey
+	// Level is the depth actually reached: min(k, materialized depth), or
+	// less when the chain ran out of cells.
+	Level int
+	// Err is non-nil when this item's weight vector was rejected (it wraps
+	// ErrInvalidWeights).
+	Err error
+}
+
+// LocateBatch computes the cell-chain identity of every weight vector in ws
+// at depth k through one shared traversal — the batched form of
+// LocateDepth. Like Locate it is a pure lookup: the depth is clamped to the
+// materialized levels and the index is never extended, so it is safe for
+// concurrent use with other read-only queries.
+func (ix *Index) LocateBatch(ws [][]float64, k int) []LocateBatchItem {
+	items := make([]LocateBatchItem, len(ws))
+	xs := make([][]float64, 0, len(ws))
+	live := make([]int, 0, len(ws))
+	for i, w := range ws {
+		x, err := ix.reduce(w)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		xs = append(xs, x)
+		live = append(live, i)
+	}
+	if len(live) == 0 {
+		return items
+	}
+	keys, levels := ix.inner.LocateBatch(xs, k)
+	for j, i := range live {
+		items[i].Key = CellKey{h: keys[j]}
+		items[i].Level = levels[j]
+	}
+	return items
+}

@@ -1,0 +1,228 @@
+package tlevelindex
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randSimplexW returns a valid full weight vector of dimension d.
+func randSimplexW(rng *rand.Rand, d int) []float64 {
+	w := make([]float64, d)
+	s := 0.0
+	for i := range w {
+		w[i] = rng.Float64()
+		s += w[i]
+	}
+	for i := range w {
+		w[i] /= s
+	}
+	return w
+}
+
+func batchAPIIndex(t *testing.T) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	data := make([][]float64, 150)
+	for i := range data {
+		data[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	ix, err := Build(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestTopKBatchAPIMatchesSingle: the public batch answer must be
+// element-wise identical to TopKContext + LocateDepth per item, and
+// malformed vectors must fail per-item without disturbing their neighbors.
+func TestTopKBatchAPIMatchesSingle(t *testing.T) {
+	ix := batchAPIIndex(t)
+	rng := rand.New(rand.NewSource(22))
+	ws := make([][]float64, 24)
+	for i := range ws {
+		ws[i] = randSimplexW(rng, ix.Dim())
+	}
+	ws[5] = []float64{0.9, 0.9, 0.9} // sum != 1: per-item failure
+	ws[11] = nil                     // wrong dimension
+	for _, k := range []int{1, 2, 4} {
+		items, err := ix.TopKBatchContext(context.Background(), ws, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range ws {
+			if i == 5 || i == 11 {
+				if !errors.Is(items[i].Err, ErrInvalidWeights) {
+					t.Fatalf("k=%d item %d: Err = %v, want ErrInvalidWeights", k, i, items[i].Err)
+				}
+				if items[i].Options != nil || items[i].Level != 0 {
+					t.Fatalf("k=%d item %d: rejected item carries data: %+v", k, i, items[i])
+				}
+				continue
+			}
+			want, err := ix.TopKContext(context.Background(), w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(items[i].Options, want.Options) || items[i].Stats != want.Stats {
+				t.Fatalf("k=%d item %d: batch %+v != single %+v", k, i, items[i], want)
+			}
+			key, level, err := ix.LocateDepth(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if items[i].Key != key || items[i].Level != level {
+				t.Fatalf("k=%d item %d: key/level %v/%d != LocateDepth %v/%d",
+					k, i, items[i].Key, items[i].Level, key, level)
+			}
+		}
+	}
+	// Plain variant: same answers through the non-strict path.
+	plain, err := ix.TopKBatch(ws, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _ := ix.TopKBatchContext(context.Background(), ws, 2)
+	if !reflect.DeepEqual(plain, strict) {
+		t.Fatal("TopKBatch disagrees with TopKBatchContext on a materialized depth")
+	}
+	if _, err := ix.TopKBatch(ws, 0); err == nil {
+		t.Fatal("k=0 must fail the whole batch")
+	}
+}
+
+func TestKSPRBatchAPIMatchesSingle(t *testing.T) {
+	ix := batchAPIIndex(t)
+	focals := append([]int{}, ix.LevelOptions(1)...)
+	focals = append(focals, focals[0], 149, focals[0]) // duplicates + likely-filtered id
+	out, err := ix.KSPRBatchContext(context.Background(), 3, focals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]*KSPRResult{}
+	for i, f := range focals {
+		want, err := ix.KSPR(3, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(out[i].Regions, want.Regions) || out[i].Stats != want.Stats {
+			t.Fatalf("item %d (focal %d): batch != single", i, f)
+		}
+		if prev, ok := seen[f]; ok && len(out[i].Regions) > 0 && prev != out[i] {
+			t.Fatalf("item %d: duplicate focal %d did not share its result pointer", i, f)
+		}
+		seen[f] = out[i]
+	}
+	if _, err := ix.KSPRBatchContext(context.Background(), 3, []int{-1}); err == nil {
+		t.Fatal("negative focal must fail the whole batch")
+	}
+}
+
+func TestLocateBatchAPIMatchesSingle(t *testing.T) {
+	ix := batchAPIIndex(t)
+	rng := rand.New(rand.NewSource(23))
+	ws := make([][]float64, 16)
+	for i := range ws {
+		ws[i] = randSimplexW(rng, ix.Dim())
+	}
+	ws[3] = []float64{2, -1, 0}
+	for _, k := range []int{1, 4, 9} { // 9 > τ exercises clamping
+		items := ix.LocateBatch(ws, k)
+		for i, w := range ws {
+			if i == 3 {
+				if !errors.Is(items[i].Err, ErrInvalidWeights) {
+					t.Fatalf("item 3: Err = %v, want ErrInvalidWeights", items[i].Err)
+				}
+				continue
+			}
+			key, level, err := ix.LocateDepth(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if items[i].Key != key || items[i].Level != level {
+				t.Fatalf("k=%d item %d: %v/%d != LocateDepth %v/%d",
+					k, i, items[i].Key, items[i].Level, key, level)
+			}
+		}
+	}
+}
+
+func TestLocateTopKAPIMatchesSingle(t *testing.T) {
+	ix := batchAPIIndex(t)
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 20; i++ {
+		w := randSimplexW(rng, ix.Dim())
+		for _, k := range []int{1, 2, 4, 9} {
+			key, level, res, err := ix.LocateTopK(context.Background(), w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKey, wantLevel, err := ix.LocateDepth(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if key != wantKey || level != wantLevel {
+				t.Fatalf("k=%d: key/level %v/%d != LocateDepth %v/%d", k, key, level, wantKey, wantLevel)
+			}
+			if k <= ix.MaxMaterializedLevel() {
+				want, err := ix.TopKContext(context.Background(), w, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(res.Options, want.Options) || res.Stats != want.Stats {
+					t.Fatalf("k=%d: LocateTopK %+v != TopKContext %+v", k, res, want)
+				}
+			}
+		}
+	}
+	if _, _, _, err := ix.LocateTopK(context.Background(), []float64{0.5}, 2); !errors.Is(err, ErrInvalidWeights) {
+		t.Fatalf("invalid weights: err = %v", err)
+	}
+}
+
+// TestBatchStrictDepth: the context variants refuse k beyond the
+// materialized levels on an index without the full dataset, like every
+// other *Context query.
+func TestBatchStrictDepth(t *testing.T) {
+	ix := buildHotels(t, WithoutFullData())
+	ws := [][]float64{{0.18, 0.82}}
+	if _, err := ix.TopKBatchContext(context.Background(), ws, ix.Tau()+1); !errors.Is(err, ErrNeedsFullData) {
+		t.Fatalf("TopKBatchContext err = %v, want ErrNeedsFullData", err)
+	}
+	if _, err := ix.KSPRBatchContext(context.Background(), ix.Tau()+1, []int{0}); !errors.Is(err, ErrNeedsFullData) {
+		t.Fatalf("KSPRBatchContext err = %v, want ErrNeedsFullData", err)
+	}
+}
+
+// TestTopKBatchAPICancellation: a canceled batch surfaces ctx's error and
+// per-item partial prefixes.
+func TestTopKBatchAPICancellation(t *testing.T) {
+	ix := batchAPIIndex(t)
+	rng := rand.New(rand.NewSource(25))
+	ws := make([][]float64, 12)
+	for i := range ws {
+		ws[i] = randSimplexW(rng, ix.Dim())
+	}
+	full, err := ix.TopKBatchContext(context.Background(), ws, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part, err := ix.TopKBatchContext(ctx, ws, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range ws {
+		n := len(part[i].Options)
+		if !reflect.DeepEqual(part[i].Options, full[i].Options[:n]) {
+			t.Fatalf("item %d: partial %v is not a prefix of %v", i, part[i].Options, full[i].Options)
+		}
+		if part[i].Level != n {
+			t.Fatalf("item %d: level %d != len(options) %d", i, part[i].Level, n)
+		}
+	}
+}

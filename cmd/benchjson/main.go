@@ -10,7 +10,10 @@
 //
 // With -baseline FILE the fresh results are compared against the committed
 // numbers: any benchmark whose ns/op grew beyond the gate factor (2x) fails
-// the run with exit status 1, and the baseline file is left untouched so the
+// the run with exit status 1, as does any baseline benchmark missing from
+// the fresh run (a narrowed -bench regex or a renamed benchmark would
+// otherwise pass the gate while silently un-guarding that number). On
+// failure the baseline file is left untouched so the
 // next run still compares against the good numbers. Setting BENCH_NO_GATE=1
 // downgrades gate failures to warnings (for machines with known-different
 // performance). With -out FILE the JSON goes to that file instead of stdout.
@@ -138,16 +141,29 @@ func loadBaseline(path string) ([]result, error) {
 	return rs, nil
 }
 
-// gate compares the intersection of benchmark names and reports whether any
-// fresh ns/op exceeds gateFactor times its baseline. Benchmarks present on
-// only one side are ignored: the gate never blocks adding or retiring
-// benchmarks.
+// gate reports whether the fresh run regresses against the baseline: a
+// benchmark whose ns/op exceeds gateFactor times its committed number, or a
+// baseline benchmark missing from the fresh run entirely. The missing-name
+// check is what catches a benchmark silently dropped by a bad -bench regex
+// or a renamed function — without it the gate would report success while
+// guarding nothing. New benchmarks (fresh-only names) are always welcome;
+// retiring one intentionally means regenerating the baseline under
+// BENCH_NO_GATE=1.
 func gate(w io.Writer, old, fresh []result) bool {
+	seen := make(map[string]bool, len(fresh))
+	failed := false
+	for _, r := range fresh {
+		seen[r.Name] = true
+	}
 	base := make(map[string]float64, len(old))
 	for _, r := range old {
 		base[r.Name] = r.NsPerOp
+		if !seen[r.Name] {
+			failed = true
+			fmt.Fprintf(w, "benchjson: MISSING %s: in baseline but absent from this run (bad -bench regex?)\n",
+				r.Name)
+		}
 	}
-	failed := false
 	for _, r := range fresh {
 		was, ok := base[r.Name]
 		if !ok || was <= 0 {

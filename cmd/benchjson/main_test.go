@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+BenchmarkTopK-4         	     100	       200.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTopKBatch-4    	    6400	        60.25 ns/op	       8 B/op	       0 allocs/op
+PASS
+ok  	tlevelindex/internal/index	1.2s
+`
+
+func parsed(t *testing.T, text string) []result {
+	t.Helper()
+	rs, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestParseBench(t *testing.T) {
+	rs := parsed(t, benchText)
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	if rs[0].Name != "BenchmarkTopK" || rs[0].NsPerOp != 200.5 || rs[0].Iterations != 100 {
+		t.Fatalf("first result: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkTopKBatch" || *rs[1].AllocsPerOp != 0 || *rs[1].BytesPerOp != 8 {
+		t.Fatalf("second result: %+v", rs[1])
+	}
+}
+
+func TestGateRegression(t *testing.T) {
+	old := []result{{Name: "BenchmarkTopK", NsPerOp: 100}}
+	var sb strings.Builder
+	if gate(&sb, old, []result{{Name: "BenchmarkTopK", NsPerOp: 150}}) {
+		t.Fatalf("1.5x must pass the 2x gate: %s", sb.String())
+	}
+	sb.Reset()
+	if !gate(&sb, old, []result{{Name: "BenchmarkTopK", NsPerOp: 250}}) {
+		t.Fatal("2.5x must fail the 2x gate")
+	}
+	if !strings.Contains(sb.String(), "REGRESSION BenchmarkTopK") {
+		t.Fatalf("gate output: %s", sb.String())
+	}
+}
+
+// A baseline benchmark absent from the fresh run fails the gate: a narrowed
+// -bench regex must not silently stop guarding a committed number.
+func TestGateMissingBaselineName(t *testing.T) {
+	old := []result{
+		{Name: "BenchmarkTopK", NsPerOp: 100},
+		{Name: "BenchmarkTopKBatch", NsPerOp: 50},
+	}
+	fresh := []result{{Name: "BenchmarkTopK", NsPerOp: 90}}
+	var sb strings.Builder
+	if !gate(&sb, old, fresh) {
+		t.Fatal("missing baseline name must fail the gate")
+	}
+	if !strings.Contains(sb.String(), "MISSING BenchmarkTopKBatch") {
+		t.Fatalf("gate output: %s", sb.String())
+	}
+	// Fresh-only names never fail: adding benchmarks is free.
+	sb.Reset()
+	fresh = append(fresh, old[1], result{Name: "BenchmarkNew", NsPerOp: 7})
+	if gate(&sb, old, fresh) {
+		t.Fatalf("fresh-only benchmark must not fail the gate: %s", sb.String())
+	}
+}

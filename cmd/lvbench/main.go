@@ -117,6 +117,7 @@ var experiments = []struct {
 	{"table5", "average visited cells per query vs n and d", expTable5},
 	{"table6", "queries needed to amortize index construction", expTable6},
 	{"topk", "top-k point query: LevelIndex vs BRS (§7.3)", expTopK},
+	{"batch", "batched top-k vs single-query under -dist workloads (DESIGN.md §18)", expBatch},
 	{"ablation", "design-choice ablations (DESIGN.md §9)", expAblation},
 	{"parallel", "parallel build speedup and determinism vs worker count", expParallel},
 	{"persist", "durability overhead: WAL fsync per insert, snapshot, recovery", expPersist},
@@ -132,6 +133,7 @@ func main() {
 	scName := flag.String("scale", "medium", "parameter scale: small, medium, large")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.IntVar(&workersFlag, "workers", 0, "worker goroutines for index construction (0 = GOMAXPROCS)")
+	flag.StringVar(&distFlag, "dist", "all", "preference workload for -exp batch: uniform, clustered, correlated, all")
 	flag.Parse()
 
 	if *list {

@@ -183,6 +183,129 @@ func zeroInflated(rng *rand.Rand, skill, zeroProb float64) float64 {
 	return clamp01(skill*0.7 + 0.2*rng.NormFloat64())
 }
 
+// PrefDist selects a query-workload distribution: how the preference
+// vectors (simplex points) of a query stream are drawn. Option data and
+// preference vectors are distributed independently in practice — a uniform
+// catalog still sees clustered user tastes — so workloads get their own
+// axis instead of reusing Distribution.
+type PrefDist int
+
+const (
+	// PrefUniform draws preference vectors uniformly from the simplex
+	// (Dirichlet(1,...,1) via normalized exponentials).
+	PrefUniform PrefDist = iota
+	// PrefClustered draws from a small set of Gaussian bumps on the simplex:
+	// a few dominant taste profiles with per-user jitter. This is the regime
+	// batched query execution is built for — consecutive queries land in the
+	// same or adjacent cells.
+	PrefClustered
+	// PrefCorrelated draws vectors whose coordinates co-move through a
+	// shared latent factor: users weigh related attributes together, so mass
+	// concentrates near a low-dimensional curve on the simplex.
+	PrefCorrelated
+)
+
+// String implements fmt.Stringer.
+func (p PrefDist) String() string {
+	switch p {
+	case PrefUniform:
+		return "uniform"
+	case PrefClustered:
+		return "clustered"
+	case PrefCorrelated:
+		return "correlated"
+	default:
+		return fmt.Sprintf("PrefDist(%d)", int(p))
+	}
+}
+
+// ParsePrefDist maps "uniform"/"clustered"/"correlated" to a PrefDist.
+func ParsePrefDist(s string) (PrefDist, error) {
+	switch s {
+	case "uniform":
+		return PrefUniform, nil
+	case "clustered":
+		return PrefClustered, nil
+	case "correlated":
+		return PrefCorrelated, nil
+	}
+	return PrefUniform, fmt.Errorf("datagen: unknown preference distribution %q", s)
+}
+
+// prefClusters is the number of taste profiles PrefClustered draws from,
+// and prefSigma the per-coordinate jitter around a profile.
+const (
+	prefClusters = 4
+	prefSigma    = 0.02
+)
+
+// Preferences produces n preference vectors of dimension d under the
+// workload distribution. Every vector is on the open simplex: strictly
+// positive coordinates summing to 1, directly usable as query weights.
+func Preferences(dist PrefDist, n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	simplexPoint := func() []float64 {
+		w := make([]float64, d)
+		sum := 0.0
+		for j := range w {
+			w[j] = rng.ExpFloat64()
+			sum += w[j]
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+		return w
+	}
+	// Clustered: centers are themselves uniform simplex draws, fixed by the
+	// seed before any sample is taken.
+	var centers [][]float64
+	if dist == PrefClustered {
+		centers = make([][]float64, prefClusters)
+		for c := range centers {
+			centers[c] = simplexPoint()
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		var w []float64
+		switch dist {
+		case PrefClustered:
+			c := centers[rng.Intn(prefClusters)]
+			w = make([]float64, d)
+			sum := 0.0
+			for j := range w {
+				w[j] = c[j] + prefSigma*rng.NormFloat64()
+				if w[j] < 1e-9 {
+					w[j] = 1e-9 // clamp instead of rejecting: keeps n draws O(n)
+				}
+				sum += w[j]
+			}
+			for j := range w {
+				w[j] /= sum
+			}
+		case PrefCorrelated:
+			// One latent factor t tilts every coordinate through a fixed
+			// per-dimension loading; softmax maps back to the simplex. Small
+			// independent noise keeps vectors distinct along the curve.
+			t := rng.NormFloat64()
+			w = make([]float64, d)
+			sum := 0.0
+			for j := range w {
+				loading := float64(2*j-d+1) / float64(d) // spread in [-1, 1)
+				w[j] = math.Exp(0.8*loading*t + 0.1*rng.NormFloat64())
+				sum += w[j]
+			}
+			for j := range w {
+				w[j] /= sum
+			}
+		default: // PrefUniform
+			w = simplexPoint()
+		}
+		out[i] = w
+	}
+	return out
+}
+
 // Real returns the simulated real dataset by name ("HOTEL", "HOUSE",
 // "NBA"), scaled to n options (n <= 0 uses the paper's cardinality).
 func Real(name string, n int, seed int64) ([][]float64, error) {

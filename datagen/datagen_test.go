@@ -217,3 +217,75 @@ func TestInvertColumns(t *testing.T) {
 		t.Error("InvertColumns mutated its input")
 	}
 }
+
+func TestPreferences(t *testing.T) {
+	for _, dist := range []PrefDist{PrefUniform, PrefClustered, PrefCorrelated} {
+		for _, d := range []int{2, 3, 5} {
+			ws := Preferences(dist, 200, d, 7)
+			if len(ws) != 200 {
+				t.Fatalf("%v d=%d: %d vectors", dist, d, len(ws))
+			}
+			for i, w := range ws {
+				if len(w) != d {
+					t.Fatalf("%v d=%d vector %d: len %d", dist, d, i, len(w))
+				}
+				sum := 0.0
+				for _, v := range w {
+					if v <= 0 || v >= 1 {
+						t.Fatalf("%v d=%d vector %d: coordinate %v outside (0,1)", dist, d, i, v)
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("%v d=%d vector %d: sum %v", dist, d, i, sum)
+				}
+			}
+		}
+		// Deterministic per seed, distinct across seeds.
+		a := Preferences(dist, 5, 3, 42)
+		b := Preferences(dist, 5, 3, 42)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%v: same seed, different draws", dist)
+				}
+			}
+		}
+	}
+	// Clustered vectors concentrate: mean nearest-center distance must be
+	// far below what uniform draws exhibit.
+	spread := func(ws [][]float64) float64 {
+		total := 0.0
+		for _, w := range ws {
+			best := math.Inf(1)
+			for _, c := range ws[:4] { // first draws approximate the centers
+				d2 := 0.0
+				for j := range w {
+					d2 += (w[j] - c[j]) * (w[j] - c[j])
+				}
+				if d2 < best {
+					best = d2
+				}
+			}
+			total += math.Sqrt(best)
+		}
+		return total / float64(len(ws))
+	}
+	uni := spread(Preferences(PrefUniform, 300, 3, 9))
+	clu := spread(Preferences(PrefClustered, 300, 3, 9))
+	if clu > uni/3 {
+		t.Fatalf("clustered spread %v not far below uniform %v", clu, uni)
+	}
+}
+
+func TestParsePrefDist(t *testing.T) {
+	for _, s := range []string{"uniform", "clustered", "correlated"} {
+		p, err := ParsePrefDist(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParsePrefDist(%q) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := ParsePrefDist("zipf"); err == nil {
+		t.Fatal("unknown distribution must error")
+	}
+}

@@ -127,6 +127,48 @@ func (c *Cache) Get(key Key, lsn uint64) (any, bool) {
 	return e.val, true
 }
 
+// GetMulti is Get over a batch: vals[i], oks[i] receive the lookup of
+// keys[i] at lsn (both slices must hold len(keys) elements). Lookups are
+// grouped by shard, so a batch of same-cell queries — whose keys collide on
+// one shard — takes each shard's read lock once instead of once per item.
+// Hit/miss/stale counters advance per key, exactly as per-key Gets would.
+func (c *Cache) GetMulti(keys []Key, lsn uint64, vals []any, oks []bool) {
+	var touched [numShards]bool
+	sh := make([]uint8, len(keys))
+	for i := range keys {
+		si := keys[i].shardIndex()
+		sh[i] = uint8(si)
+		touched[si] = true
+	}
+	var hits, misses, stale uint64
+	for si := range c.shards {
+		if !touched[si] {
+			continue
+		}
+		s := &c.shards[si]
+		s.mu.RLock()
+		for i := range keys {
+			if int(sh[i]) != si {
+				continue
+			}
+			e, ok := s.m[keys[i]]
+			switch {
+			case !ok:
+				misses++
+			case e.lsn != lsn:
+				stale++
+			default:
+				hits++
+				vals[i], oks[i] = e.val, true
+			}
+		}
+		s.mu.RUnlock()
+	}
+	c.hits.Add(hits)
+	c.misses.Add(misses)
+	c.stale.Add(stale)
+}
+
 // Put stores val as the answer for key at lsn, replacing any previous
 // entry for the key. When the shard is at capacity an arbitrary resident
 // entry is evicted first — with LSN-wholesale invalidation every entry is

@@ -148,3 +148,34 @@ func BenchmarkGetHit(b *testing.B) {
 		}
 	}
 }
+
+// TestGetMulti: the batched lookup must agree with per-key Get — same
+// values, same hit/miss/stale accounting — across shard collisions,
+// duplicates, and LSN staleness.
+func TestGetMulti(t *testing.T) {
+	c := New(256)
+	keys := make([]Key, 12)
+	for i := range keys {
+		keys[i] = Key{Family: "topk", Cell: uint64(i % 5), K: 3}
+	}
+	c.Put(keys[0], 7, "a")
+	c.Put(keys[1], 7, "b")
+	c.Put(keys[2], 9, "stale") // wrong LSN: must miss
+	vals := make([]any, len(keys))
+	oks := make([]bool, len(keys))
+	c.GetMulti(keys, 7, vals, oks)
+	for i := range keys {
+		want, wantOK := c.Get(keys[i], 7)
+		if oks[i] != wantOK || vals[i] != want {
+			t.Fatalf("key %d: GetMulti (%v,%v) != Get (%v,%v)", i, vals[i], oks[i], want, wantOK)
+		}
+	}
+	// keys 0,1 hit; 5,6 duplicate them and hit too; 2 and its duplicate 7
+	// are stale; the rest miss.
+	st := c.Stats()
+	if st.Hits < 4 || st.Stale < 2 {
+		t.Fatalf("stats after GetMulti: %+v", st)
+	}
+	// Empty batch is a no-op.
+	c.GetMulti(nil, 7, nil, nil)
+}

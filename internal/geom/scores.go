@@ -1,0 +1,250 @@
+package geom
+
+// Batched scoring kernels. The batch traversal in internal/index groups
+// queries that sit in the same cell and evaluates one candidate option
+// against the whole group at once, so the option's coefficients are loaded
+// (and strength-reduced) once per group instead of once per query.
+//
+// Every kernel accumulates in exactly the order Score does —
+// s = r[d−1] + Σ_k (r[k]−r[d−1])·x[k], left to right — so batched scores
+// are bit-identical to the single-query path and argmax decisions (and with
+// them answers, chain keys, and cache hits) cannot drift between the two.
+
+// ScoreArgMax scores option r at each of the n = len(best) reduced points
+// packed row-major in xs (n×dim) and records id wherever the score strictly
+// beats best. Initializing best to −Inf and arg to −1 and calling this once
+// per candidate option computes, per point, the first-maximum argmax in
+// candidate order — the same tie-breaking as a sequential strict > scan.
+func ScoreArgMax(r, xs []float64, dim int, best []float64, arg []int32, id int32) {
+	n := len(best)
+	switch dim {
+	case 1:
+		b := r[1]
+		a0 := r[0] - r[1]
+		xs = xs[:n] // hoist the bounds check out of the loop
+		for i := 0; i < n; i++ {
+			if s := b + a0*xs[i]; s > best[i] {
+				best[i] = s
+				arg[i] = id
+			}
+		}
+	case 2:
+		b := r[2]
+		a0 := r[0] - r[2]
+		a1 := r[1] - r[2]
+		xs = xs[: 2*n : 2*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+2 {
+			if s := b + a0*xs[j] + a1*xs[j+1]; s > best[i] {
+				best[i] = s
+				arg[i] = id
+			}
+		}
+	case 3:
+		b := r[3]
+		a0 := r[0] - r[3]
+		a1 := r[1] - r[3]
+		a2 := r[2] - r[3]
+		xs = xs[: 3*n : 3*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+3 {
+			if s := b + a0*xs[j] + a1*xs[j+1] + a2*xs[j+2]; s > best[i] {
+				best[i] = s
+				arg[i] = id
+			}
+		}
+	default:
+		d := len(r)
+		for i := 0; i < n; i++ {
+			x := xs[i*dim : (i+1)*dim : (i+1)*dim]
+			s := r[d-1]
+			for k := 0; k < d-1; k++ {
+				s += (r[k] - r[d-1]) * x[k]
+			}
+			if s > best[i] {
+				best[i] = s
+				arg[i] = id
+			}
+		}
+	}
+}
+
+// ScoreArgMaxInit seeds the running argmax with the first candidate: best
+// and arg are written unconditionally, which is exactly what ScoreArgMax
+// over best = −Inf would do, without requiring the caller to reset the
+// buffers between groups.
+func ScoreArgMaxInit(r, xs []float64, dim int, best []float64, arg []int32, id int32) {
+	n := len(best)
+	switch dim {
+	case 1:
+		b := r[1]
+		a0 := r[0] - r[1]
+		xs = xs[:n]
+		for i := 0; i < n; i++ {
+			best[i] = b + a0*xs[i]
+			arg[i] = id
+		}
+	case 2:
+		b := r[2]
+		a0 := r[0] - r[2]
+		a1 := r[1] - r[2]
+		xs = xs[: 2*n : 2*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+2 {
+			best[i] = b + a0*xs[j] + a1*xs[j+1]
+			arg[i] = id
+		}
+	case 3:
+		b := r[3]
+		a0 := r[0] - r[3]
+		a1 := r[1] - r[3]
+		a2 := r[2] - r[3]
+		xs = xs[: 3*n : 3*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+3 {
+			best[i] = b + a0*xs[j] + a1*xs[j+1] + a2*xs[j+2]
+			arg[i] = id
+		}
+	default:
+		d := len(r)
+		for i := 0; i < n; i++ {
+			x := xs[i*dim : (i+1)*dim : (i+1)*dim]
+			s := r[d-1]
+			for k := 0; k < d-1; k++ {
+				s += (r[k] - r[d-1]) * x[k]
+			}
+			best[i] = s
+			arg[i] = id
+		}
+	}
+}
+
+// ScoreArgMaxPair scores two candidate options r0, r1 (candidate order:
+// id0 before id1) at each reduced point and records the per-point winner —
+// exactly ScoreArgMaxInit(r0) followed by ScoreArgMax(r1), fused so each
+// point is loaded once and best/arg are written once. Each score is
+// accumulated precisely as Score does, and the strict > comparison keeps
+// first-maximum tie-breaking, so results stay bit-identical to the
+// sequential kernels. The batch walk leans on this: box pruning usually
+// leaves exactly two candidates standing.
+func ScoreArgMaxPair(r0, r1, xs []float64, dim int, best []float64, arg []int32, id0, id1 int32) {
+	n := len(best)
+	switch dim {
+	case 1:
+		b0, a00 := r0[1], r0[0]-r0[1]
+		b1, a10 := r1[1], r1[0]-r1[1]
+		xs = xs[:n]
+		for i := 0; i < n; i++ {
+			s0 := b0 + a00*xs[i]
+			s1 := b1 + a10*xs[i]
+			if s1 > s0 {
+				best[i], arg[i] = s1, id1
+			} else {
+				best[i], arg[i] = s0, id0
+			}
+		}
+	case 2:
+		b0, a00, a01 := r0[2], r0[0]-r0[2], r0[1]-r0[2]
+		b1, a10, a11 := r1[2], r1[0]-r1[2], r1[1]-r1[2]
+		xs = xs[: 2*n : 2*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+2 {
+			x0, x1 := xs[j], xs[j+1]
+			s0 := b0 + a00*x0 + a01*x1
+			s1 := b1 + a10*x0 + a11*x1
+			if s1 > s0 {
+				best[i], arg[i] = s1, id1
+			} else {
+				best[i], arg[i] = s0, id0
+			}
+		}
+	case 3:
+		b0, a00, a01, a02 := r0[3], r0[0]-r0[3], r0[1]-r0[3], r0[2]-r0[3]
+		b1, a10, a11, a12 := r1[3], r1[0]-r1[3], r1[1]-r1[3], r1[2]-r1[3]
+		xs = xs[: 3*n : 3*n]
+		for i, j := 0, 0; i < n; i, j = i+1, j+3 {
+			x0, x1, x2 := xs[j], xs[j+1], xs[j+2]
+			s0 := b0 + a00*x0 + a01*x1 + a02*x2
+			s1 := b1 + a10*x0 + a11*x1 + a12*x2
+			if s1 > s0 {
+				best[i], arg[i] = s1, id1
+			} else {
+				best[i], arg[i] = s0, id0
+			}
+		}
+	default:
+		ScoreArgMaxInit(r0, xs, dim, best, arg, id0)
+		ScoreArgMax(r1, xs, dim, best, arg, id1)
+	}
+}
+
+// SplitCoef decomposes option r's reduced-score coefficients into their
+// positive and negative parts plus the constant term: pos[k] = max(a_k, 0),
+// neg[k] = min(a_k, 0) with a_k = r[k] − r[d−1], b = r[d−1]. With the signs
+// split ahead of time, interval bounds over a box need no per-coefficient
+// branching: min = b + Σ pos_k·lo_k + neg_k·hi_k, max = b + Σ pos_k·hi_k +
+// neg_k·lo_k — see ScoreRangeSplit. Callers amortize one SplitCoef over many
+// boxes against the same candidate set.
+func SplitCoef(r []float64, pos, neg []float64) (b float64) {
+	d := len(r)
+	b = r[d-1]
+	for k := 0; k < d-1; k++ {
+		a := r[k] - b
+		if a >= 0 {
+			pos[k], neg[k] = a, 0
+		} else {
+			pos[k], neg[k] = 0, a
+		}
+	}
+	return b
+}
+
+// ScoreRangeSplit is ScoreRange over coefficients pre-split by SplitCoef:
+// straight-line arithmetic with no branches, the hot-loop form of the bound.
+func ScoreRangeSplit(b float64, pos, neg, lo, hi []float64) (minS, maxS float64) {
+	minS, maxS = b, b
+	if len(pos) == 2 {
+		minS += pos[0]*lo[0] + neg[0]*hi[0] + pos[1]*lo[1] + neg[1]*hi[1]
+		maxS += pos[0]*hi[0] + neg[0]*lo[0] + pos[1]*hi[1] + neg[1]*lo[1]
+		return minS, maxS
+	}
+	for k := range pos {
+		minS += pos[k]*lo[k] + neg[k]*hi[k]
+		maxS += pos[k]*hi[k] + neg[k]*lo[k]
+	}
+	return minS, maxS
+}
+
+// ScoreRange bounds Score(r, ·) over the axis-aligned box [lo, hi] in
+// reduced space: the score is linear, so each coordinate contributes its
+// interval endpoint matching the coefficient's sign. The batch walk uses
+// these interval bounds to discard candidate options that lose everywhere
+// inside a query group's bounding box without scoring them per query.
+func ScoreRange(r, lo, hi []float64) (minS, maxS float64) {
+	d := len(r)
+	minS = r[d-1]
+	maxS = minS
+	if d == 3 {
+		if a := r[0] - r[2]; a >= 0 {
+			minS += a * lo[0]
+			maxS += a * hi[0]
+		} else {
+			minS += a * hi[0]
+			maxS += a * lo[0]
+		}
+		if a := r[1] - r[2]; a >= 0 {
+			minS += a * lo[1]
+			maxS += a * hi[1]
+		} else {
+			minS += a * hi[1]
+			maxS += a * lo[1]
+		}
+		return minS, maxS
+	}
+	for k := 0; k < d-1; k++ {
+		a := r[k] - r[d-1]
+		if a >= 0 {
+			minS += a * lo[k]
+			maxS += a * hi[k]
+		} else {
+			minS += a * hi[k]
+			maxS += a * lo[k]
+		}
+	}
+	return minS, maxS
+}

@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The batched kernel must be bit-identical to Score and must implement
+// first-maximum argmax in candidate order — anything weaker lets batch
+// answers drift from the single-query path.
+func TestScoreArgMaxMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 2, 3, 4, 6} {
+		d := dim + 1
+		const n = 37
+		xs := make([]float64, n*dim)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		best := make([]float64, n)
+		arg := make([]int32, n)
+		for i := range best {
+			best[i] = math.Inf(-1)
+			arg[i] = -1
+		}
+		wantBest := make([]float64, n)
+		wantArg := make([]int32, n)
+		copy(wantBest, best)
+		copy(wantArg, arg)
+		const cands = 9
+		opts := make([][]float64, cands)
+		for c := range opts {
+			r := make([]float64, d)
+			for j := range r {
+				r[j] = rng.Float64()
+			}
+			// Force exact duplicates so ties exercise first-max-wins.
+			if c%3 == 2 {
+				copy(r, opts[c-1])
+			}
+			opts[c] = r
+		}
+		for c, r := range opts {
+			ScoreArgMax(r, xs, dim, best, arg, int32(c))
+			for i := 0; i < n; i++ {
+				if s := Score(r, xs[i*dim:(i+1)*dim]); s > wantBest[i] {
+					wantBest[i] = s
+					wantArg[i] = int32(c)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if best[i] != wantBest[i] || arg[i] != wantArg[i] {
+				t.Fatalf("dim=%d point %d: kernel (%v,%d) != scalar (%v,%d)",
+					dim, i, best[i], arg[i], wantBest[i], wantArg[i])
+			}
+		}
+	}
+}
+
+// The seeding and fused-pair kernels must agree exactly with the sequential
+// ScoreArgMax protocol they shortcut, for the specialized and generic dims.
+func TestScoreArgMaxInitAndPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dim := range []int{1, 2, 3, 5} {
+		d := dim + 1
+		const n = 29
+		xs := make([]float64, n*dim)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		r0 := make([]float64, d)
+		r1 := make([]float64, d)
+		for j := range r0 {
+			r0[j] = rng.Float64()
+			r1[j] = rng.Float64()
+		}
+		if dim%2 == 1 {
+			copy(r1, r0) // exact tie: id0 must win everywhere
+		}
+		wantBest := make([]float64, n)
+		wantArg := make([]int32, n)
+		for i := range wantBest {
+			wantBest[i] = math.Inf(-1)
+			wantArg[i] = -1
+		}
+		ScoreArgMax(r0, xs, dim, wantBest, wantArg, 7)
+		ScoreArgMax(r1, xs, dim, wantBest, wantArg, 9)
+
+		best := make([]float64, n)
+		arg := make([]int32, n)
+		ScoreArgMaxInit(r0, xs, dim, best, arg, 7)
+		ScoreArgMax(r1, xs, dim, best, arg, 9)
+		for i := range best {
+			if best[i] != wantBest[i] || arg[i] != wantArg[i] {
+				t.Fatalf("dim=%d point %d: Init+ArgMax (%v,%d) != -Inf protocol (%v,%d)",
+					dim, i, best[i], arg[i], wantBest[i], wantArg[i])
+			}
+		}
+
+		ScoreArgMaxPair(r0, r1, xs, dim, best, arg, 7, 9)
+		for i := range best {
+			if best[i] != wantBest[i] || arg[i] != wantArg[i] {
+				t.Fatalf("dim=%d point %d: Pair (%v,%d) != -Inf protocol (%v,%d)",
+					dim, i, best[i], arg[i], wantBest[i], wantArg[i])
+			}
+		}
+	}
+}
+
+// SplitCoef + ScoreRangeSplit evaluate the same bound as ScoreRange up to
+// association order (the walk prunes with a slack far above any rounding
+// delta), and the bounds must actually contain Score over the box.
+func TestScoreRangeSplitMatchesScoreRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dim := range []int{1, 2, 3, 5} {
+		d := dim + 1
+		for trial := 0; trial < 50; trial++ {
+			r := make([]float64, d)
+			for j := range r {
+				r[j] = rng.Float64()
+			}
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			for j := range lo {
+				a, b := rng.Float64(), rng.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			wantMin, wantMax := ScoreRange(r, lo, hi)
+			pos := make([]float64, dim)
+			neg := make([]float64, dim)
+			b := SplitCoef(r, pos, neg)
+			gotMin, gotMax := ScoreRangeSplit(b, pos, neg, lo, hi)
+			if math.Abs(gotMin-wantMin) > 1e-12 || math.Abs(gotMax-wantMax) > 1e-12 {
+				t.Fatalf("dim=%d: split bounds (%v,%v) != ScoreRange (%v,%v)",
+					dim, gotMin, gotMax, wantMin, wantMax)
+			}
+			// Sample the box: every score must land inside the bounds.
+			x := make([]float64, dim)
+			for s := 0; s < 20; s++ {
+				for j := range x {
+					x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+				}
+				const eps = 1e-12
+				if sc := Score(r, x); sc < gotMin-eps || sc > gotMax+eps {
+					t.Fatalf("dim=%d: score %v outside bounds [%v,%v]", dim, sc, gotMin, gotMax)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// Randomized equivalence: every per-item observable of the batch paths —
+// ranked options, QueryStats, reached level, chain key — must be identical
+// to running the single-query path per item, across mixed cells, duplicate
+// vectors, and k both inside and beyond the materialized depth.
+
+func batchFixture(t *testing.T, seed int64, n, d, tau int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return buildOrFail(t, randData(rng, n, d), Config{Algorithm: PBAPlus, Tau: tau})
+}
+
+// batchPoints returns nq scattered reduced weights with a run of exact
+// duplicates at the front, so grouped execution sees both collapse and
+// fan-out.
+func batchPoints(rng *rand.Rand, nq, dim int) [][]float64 {
+	pts := make([][]float64, nq)
+	for i := range pts {
+		pts[i] = randReduced(rng, dim)
+	}
+	for i := 1; i < nq/4; i++ {
+		pts[i] = pts[0]
+	}
+	return pts
+}
+
+func TestTopKBatchMatchesSingle(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		n, d, tau int
+	}{
+		{101, 150, 3, 4},
+		{102, 90, 4, 3},
+		{103, 60, 2, 5},
+	} {
+		ix := batchFixture(t, tc.seed, tc.n, tc.d, tc.tau)
+		rng := rand.New(rand.NewSource(tc.seed + 1))
+		pts := batchPoints(rng, 48, ix.RDim())
+		for _, k := range []int{1, 2, tc.tau, tc.tau + 2} {
+			// Run the single path first so any on-demand extension happens
+			// the same way for both sides.
+			wantOut := make([][]int32, len(pts))
+			wantStats := make([]QueryStats, len(pts))
+			for i, x := range pts {
+				out, st, err := ix.TopKCtx(context.Background(), x, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantOut[i], wantStats[i] = out, st
+			}
+			bt, err := ix.TopKBatchCtx(context.Background(), pts, k, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range pts {
+				if !slices.Equal(bt.Outs[i], wantOut[i]) {
+					t.Fatalf("d=%d k=%d item %d: batch options %v != single %v",
+						tc.d, k, i, bt.Outs[i], wantOut[i])
+				}
+				if bt.Stats[i] != wantStats[i] {
+					t.Fatalf("d=%d k=%d item %d: batch stats %+v != single %+v",
+						tc.d, k, i, bt.Stats[i], wantStats[i])
+				}
+				if bt.Levels[i] != len(wantOut[i]) {
+					t.Fatalf("d=%d k=%d item %d: level %d != len(out) %d",
+						tc.d, k, i, bt.Levels[i], len(wantOut[i]))
+				}
+				key, _, level := ix.Locate(x, k)
+				if bt.Keys[i] != key || bt.Levels[i] != level {
+					t.Fatalf("d=%d k=%d item %d: batch key/level %x/%d != Locate %x/%d",
+						tc.d, k, i, bt.Keys[i], bt.Levels[i], key, level)
+				}
+			}
+		}
+	}
+}
+
+func TestLocateBatchMatchesSingle(t *testing.T) {
+	ix := batchFixture(t, 110, 130, 3, 4)
+	rng := rand.New(rand.NewSource(111))
+	pts := batchPoints(rng, 40, ix.RDim())
+	for _, k := range []int{1, 3, 4, 9} { // 9 > τ exercises clamping
+		keys, levels := ix.LocateBatch(pts, k)
+		for i, x := range pts {
+			key, _, level := ix.Locate(x, k)
+			if keys[i] != key || levels[i] != level {
+				t.Fatalf("k=%d item %d: LocateBatch %x/%d != Locate %x/%d",
+					k, i, keys[i], levels[i], key, level)
+			}
+		}
+	}
+}
+
+func TestLocateTopKMatchesSingle(t *testing.T) {
+	ix := batchFixture(t, 115, 130, 3, 4)
+	rng := rand.New(rand.NewSource(116))
+	var buf [16]int32
+	for i := 0; i < 40; i++ {
+		x := randReduced(rng, ix.RDim())
+		for _, k := range []int{1, 2, 4, 9} {
+			key, level, res, st, err := ix.LocateTopK(context.Background(), x, k, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKey, _, wantLevel := ix.Locate(x, k)
+			if key != wantKey || level != wantLevel {
+				t.Fatalf("k=%d: LocateTopK key/level %x/%d != Locate %x/%d",
+					k, key, level, wantKey, wantLevel)
+			}
+			if k <= ix.MaxMaterializedLevel() {
+				out, wantSt, err := ix.TopKCtx(context.Background(), x, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(res, out) {
+					t.Fatalf("k=%d: LocateTopK options %v != TopKCtx %v", k, res, out)
+				}
+				if st != wantSt {
+					t.Fatalf("k=%d: LocateTopK stats %+v != TopKCtx %+v", k, st, wantSt)
+				}
+			}
+		}
+	}
+}
+
+func TestKSPRBatchMatchesSingle(t *testing.T) {
+	ix := batchFixture(t, 120, 130, 3, 4)
+	// Focals that appear in the materialized levels plus a couple that may
+	// not; heavy duplication models skewed (popular-option) traffic.
+	var focals []int32
+	for _, id := range ix.Levels[1] {
+		focals = append(focals, ix.Cells[id].Opt)
+	}
+	focals = append(focals, focals[0], focals[0], 3, 7, focals[0], 3)
+	out, err := ix.KSPRBatchCtx(context.Background(), 4, focals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]*KSPRResult{}
+	for i, f := range focals {
+		want, err := ix.KSPRCtx(context.Background(), 4, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(out[i].Cells, want.Cells) || out[i].Stats != want.Stats {
+			t.Fatalf("item %d (focal %d): batch %+v != single %+v", i, f, out[i], want)
+		}
+		if prev, ok := seen[f]; ok && prev != out[i] {
+			t.Fatalf("item %d: duplicate focal %d did not share its result", i, f)
+		}
+		seen[f] = out[i]
+	}
+}
+
+// TestTopKBatchCancellation: a mid-batch cancellation surfaces the context
+// error plus per-item partial results, each a prefix of the full answer.
+func TestTopKBatchCancellation(t *testing.T) {
+	ix := batchFixture(t, 130, 150, 3, 4)
+	rng := rand.New(rand.NewSource(131))
+	pts := batchPoints(rng, 32, ix.RDim())
+	full, err := ix.TopKBatchCtx(context.Background(), pts, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walk polls once per popped run: limit 2 lets the first runs
+	// resolve and trips early, so at least some items hold a short prefix.
+	ctx := &trippingCtx{Context: context.Background(), limit: 2}
+	part, err := ix.TopKBatchCtx(ctx, pts, 4, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	short := 0
+	for i := range pts {
+		n := len(part.Outs[i])
+		if n < 4 {
+			short++
+		}
+		if !slices.Equal(part.Outs[i], full.Outs[i][:n]) {
+			t.Fatalf("item %d: partial %v is not a prefix of full %v", i, part.Outs[i], full.Outs[i])
+		}
+		if part.Levels[i] != n {
+			t.Fatalf("item %d: partial level %d != len(out) %d", i, part.Levels[i], n)
+		}
+		if part.Stats[i].VisitedCells > full.Stats[i].VisitedCells {
+			t.Fatalf("item %d: partial stats exceed full", i)
+		}
+	}
+	if short == 0 {
+		t.Fatal("cancellation produced no partial items; the trip point is wrong")
+	}
+}
+
+func TestTopKBatchEmpty(t *testing.T) {
+	ix := batchFixture(t, 140, 60, 3, 3)
+	bt, err := ix.TopKBatchCtx(context.Background(), nil, 3, true)
+	if err != nil || len(bt.Outs) != 0 || len(bt.Keys) != 0 {
+		t.Fatalf("empty batch: %+v, err=%v", bt, err)
+	}
+}
+
+// TestBatchSteadyStateAllocs pins the amortized allocation behavior: a
+// batch allocates its answer arrays (a handful of slices for the whole
+// batch) and nothing per level or per visited cell, so per-item allocations
+// stay well under 1.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector drops sync.Pool puts at random; the pin runs in the non-race test pass")
+	}
+	ix := batchFixture(t, 150, 120, 3, 4)
+	rng := rand.New(rand.NewSource(151))
+	const nq = 64
+	pts := batchPoints(rng, nq, ix.RDim())
+	dim := ix.RDim()
+	flat := make([]float64, 0, nq*dim)
+	for _, x := range pts {
+		flat = append(flat, x...)
+	}
+	focals := make([]int32, nq)
+	base := qbFocalsT(t, ix, 8)
+	for i := range focals {
+		focals[i] = base[i%len(base)]
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		max  float64 // per batch of 64 items
+		run  func()
+	}{
+		{"TopKBatchFlatCtx", 8, func() {
+			if _, err := ix.TopKBatchFlatCtx(ctx, flat, nq, 4, true); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"KSPRBatchCtx", 64, func() { // ~1 per item: answers + dedupe map
+			if _, err := ix.KSPRBatchCtx(ctx, 4, focals); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"LocateTopK", 0, func() {
+			var buf [8]int32
+			if _, _, _, _, err := ix.LocateTopK(ctx, pts[0], 4, buf[:0]); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm the pools
+			if got := testing.AllocsPerRun(50, tc.run); got > tc.max {
+				t.Errorf("%s allocates %.1f per batch, want <= %.0f", tc.name, got, tc.max)
+			}
+		})
+	}
+}
+
+// qbFocalsT mirrors qbFocals for tests: filtered ids present in the
+// materialized levels.
+func qbFocalsT(t *testing.T, ix *Index, n int) []int32 {
+	t.Helper()
+	var out []int32
+	for l := 1; l <= ix.Tau && len(out) < n; l++ {
+		for _, id := range ix.Levels[l] {
+			out = append(out, ix.Cells[id].Opt)
+			if len(out) >= n {
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no focal options")
+	}
+	return out
+}

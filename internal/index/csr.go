@@ -1,5 +1,7 @@
 package index
 
+import "tlevelindex/internal/geom"
+
 // Flat CSR cell storage. A built index keeps its DAG adjacency in three
 // shared int32 arenas (children, parents, bound sets) with one per-cell
 // (offset, length) header each, instead of three small heap slices per cell.
@@ -21,6 +23,22 @@ type flatDAG struct {
 	children []int32
 	parents  []int32
 	bounds   []int32
+	// optR packs each cell's winning option's coordinate row at
+	// optR[id*d : (id+1)*d] — a derived, heap-owned copy of the Pts rows in
+	// cell-id order. Batched traversal resolves candidate coefficients from
+	// it with one dense read instead of the Cells→Opt→Pts pointer chase,
+	// and sibling cells (allocated together) land on adjacent rows. Never
+	// serialized; rebuilt whenever the flat form is.
+	optR []float64
+	// boundR packs, aligned entry-for-entry with the children arena, each
+	// child cell's option row in the sign-split bound form of
+	// geom.ScoreRangeSplit — [b, pos₀..pos_{d−2}, neg₀..neg_{d−2}] at
+	// stride 2d−1. The batch walk's interval bounds over one parent's
+	// children then stream a single contiguous block with no per-child
+	// indirection. A cell with multiple parents contributes one (repeated)
+	// entry per reference — freeze-time space traded for query-time
+	// locality. Derived alongside optR.
+	boundR []float64
 }
 
 // cellSpans locates one cell's adjacency lists inside the arenas.
@@ -67,7 +85,29 @@ func (ix *Index) freeze() {
 		}
 		c.Parents, c.Children, c.Bound = nil, nil, nil
 	}
+	f.fillOptR(ix)
 	ix.flat = f
+}
+
+// fillOptR builds the derived per-cell coefficient arena (see flatDAG).
+func (f *flatDAG) fillOptR(ix *Index) {
+	d := ix.Dim
+	st := 2*d - 1
+	f.optR = make([]float64, len(ix.Cells)*d)
+	for i := range ix.Cells {
+		// The root carries no option (Opt == −1); it is never anyone's
+		// child, so its row is left zero and never read.
+		if opt := ix.Cells[i].Opt; opt >= 0 {
+			copy(f.optR[i*d:(i+1)*d], ix.Pts[opt])
+		}
+	}
+	f.boundR = make([]float64, len(f.children)*st)
+	for e, ch := range f.children {
+		if opt := ix.Cells[ch].Opt; opt >= 0 {
+			sp := f.boundR[e*st : (e+1)*st]
+			sp[0] = geom.SplitCoef(ix.Pts[opt], sp[1:d], sp[d:st])
+		}
+	}
 }
 
 // thaw materializes the staging slices back from the flat form so the

@@ -64,6 +64,14 @@ func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, 
 	}
 	qs := getScratch(ix.RDim())
 	defer putScratch(qs)
+	err := ix.ksprWalk(ctx, k, focal, qs, res)
+	return res, err
+}
+
+// ksprWalk is the KSPRCtx traversal body over a caller-held scratch, so
+// batched callers (KSPRBatchCtx) amortize one scratch checkout over many
+// focal options. It accumulates into res, which must start empty.
+func (ix *Index) ksprWalk(ctx context.Context, k int, focal int32, qs *queryScratch, res *KSPRResult) error {
 	qs.visited.reset(len(ix.Cells))
 	stack := append(qs.stack[:0], ix.Root())
 	defer func() { qs.stack = stack[:0] }()
@@ -76,7 +84,7 @@ func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, 
 		qs.visited.set(id)
 		res.Stats.VisitedCells++
 		if err := checkCtx(ctx, res.Stats.VisitedCells); err != nil {
-			return res, err
+			return err
 		}
 		c := &ix.Cells[id]
 		if c.Opt == focal {
@@ -91,7 +99,7 @@ func (ix *Index) KSPRCtx(ctx context.Context, k int, focal int32) (*KSPRResult, 
 			stack = append(stack, children[i])
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // UTKPartition is one piece of the level-k partitioning of the UTK query

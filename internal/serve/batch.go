@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/cache"
+)
+
+// POST /v1/query/batch: many QueryRequests through one envelope and one
+// replica/lock decision. Top-k items are grouped by depth and carried
+// through the index's shared-frontier batch traversal (DESIGN.md §18), and
+// their cache lookups are batched by cell key, so N same-cell queries cost
+// one index visit and N−1 cache hits. Every other family runs through the
+// same per-item pipeline as POST /v1/query, just without re-picking a
+// serving index per item.
+//
+// The envelope is {"queries": [<QueryRequest>, ...]} in and
+// {"results": [<item>, ...]} out, index-aligned with the request. A
+// successful item is {"result": ..., "stats": ..., "cached": bool,
+// "lsn": n} — the same fields as a /v1/query response; a failed item
+// carries {"error": ..., "status": n} with the HTTP status the single-query
+// endpoint would have answered, without failing its neighbors.
+
+// maxBatchQueries bounds one envelope; anything larger is a 400. It caps
+// the memory one request can pin and keeps a batch's lock hold bounded.
+const maxBatchQueries = 1024
+
+// batchRequest is the POST /v1/query/batch body.
+type batchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// batchResponseItem is one per-query outcome inside the batch envelope.
+type batchResponseItem struct {
+	Result any             `json:"result,omitempty"`
+	Stats  *queryStatsBody `json:"stats,omitempty"`
+	Cached bool            `json:"cached"`
+	LSN    uint64          `json:"lsn"`
+	Error  string          `json:"error,omitempty"`
+	Status int             `json:"status,omitempty"`
+}
+
+func batchErrItem(err error) batchResponseItem {
+	return batchResponseItem{Error: err.Error(), Status: statusFor(err)}
+}
+
+func batchOKItem(result any, stats tlx.QueryStats, cached bool, lsn uint64) batchResponseItem {
+	return batchResponseItem{
+		Result: result,
+		Stats:  &queryStatsBody{stats.VisitedCells, stats.LPCalls},
+		Cached: cached,
+		LSN:    lsn,
+	}
+}
+
+// handleQueryBatch is POST /v1/query/batch.
+func (h *Handler) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var body batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		badRequest(w, "bad batch body: %v", err)
+		return
+	}
+	if len(body.Queries) == 0 {
+		badRequest(w, "empty batch")
+		return
+	}
+	if len(body.Queries) > maxBatchQueries {
+		badRequest(w, "batch of %d queries exceeds the limit of %d", len(body.Queries), maxBatchQueries)
+		return
+	}
+	for i := range body.Queries {
+		// Same omitted-parameter defaults as POST /v1/query.
+		if body.Queries[i].K == 0 {
+			body.Queries[i].K = 10
+		}
+		if body.Queries[i].M == 0 {
+			body.Queries[i].M = 10
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []batchResponseItem `json:"results"`
+	}{h.dispatchBatch(r.Context(), body.Queries)})
+}
+
+// dispatchBatch validates every item, then routes the whole batch to one
+// serving index: a replica able to answer the deepest item lock-free, or
+// the writer under the lock its deepest item requires. One pick and one
+// lock acquisition cover the entire envelope.
+func (h *Handler) dispatchBatch(ctx context.Context, qs []QueryRequest) []batchResponseItem {
+	out := make([]batchResponseItem, len(qs))
+	specs := make([]*familySpec, len(qs))
+	maxDepth := 0
+	for i := range qs {
+		q := &qs[i]
+		spec, ok := families[q.Family]
+		if !ok {
+			out[i] = batchErrItem(fmt.Errorf("unknown query family %q", q.Family))
+			continue
+		}
+		if spec.needsFocal && q.Focal == nil {
+			out[i] = batchErrItem(fmt.Errorf("missing parameter %q", "focal"))
+			continue
+		}
+		specs[i] = spec
+		if d := spec.depth(q); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if state, idx, ok := h.reps.pick(maxDepth); ok {
+		h.reps.counters[idx].Inc()
+		h.runBatchOn(ctx, qs, specs, out, state.ix, state.lsn)
+		return out
+	}
+	if h.reps != nil {
+		h.writerReqs.Inc()
+	}
+	h.runQuery(maxDepth, func() {
+		h.runBatchOn(ctx, qs, specs, out, h.index(), h.lsnNow())
+	})
+	return out
+}
+
+// runBatchOn executes every valid item against one serving index. Top-k
+// items are pulled out and grouped by depth for the shared batch walk; the
+// remaining families reuse the single-query cache-then-traverse path.
+func (h *Handler) runBatchOn(ctx context.Context, qs []QueryRequest, specs []*familySpec,
+	out []batchResponseItem, ix *tlx.Index, lsn uint64) {
+	var topkByK map[int][]int
+	for i, spec := range specs {
+		if spec == nil {
+			continue // already failed validation
+		}
+		if spec.name == "topk" {
+			if topkByK == nil {
+				topkByK = make(map[int][]int)
+			}
+			topkByK[qs[i].K] = append(topkByK[qs[i].K], i)
+			continue
+		}
+		oc, err := h.runOn(ctx, spec, &qs[i], ix, lsn)
+		if err != nil {
+			out[i] = batchErrItem(err)
+			continue
+		}
+		out[i] = batchOKItem(oc.result, oc.stats, oc.cached, oc.lsn)
+	}
+	for k, idxs := range topkByK {
+		h.runTopKBatch(ctx, qs, idxs, k, out, ix, lsn)
+	}
+}
+
+// runTopKBatch answers all depth-k top-k items through one shared
+// traversal, with the cache consulted in one batched multi-get over the
+// located cell keys. Items that land in the same cell chain — the
+// clustered-traffic case the batch path exists for — dedupe to one cache
+// fill: the first miss publishes the answer, every duplicate reads it back
+// as a hit.
+func (h *Handler) runTopKBatch(ctx context.Context, qs []QueryRequest, idxs []int, k int,
+	out []batchResponseItem, ix *tlx.Index, lsn uint64) {
+	ws := make([][]float64, len(idxs))
+	for j, i := range idxs {
+		ws[j] = qs[i].W
+	}
+	items, err := ix.TopKBatchContext(ctx, ws, k)
+	if err != nil {
+		// A batch-level failure (strict depth, cancellation) is what the
+		// single-query endpoint would have answered for each of these items.
+		for _, i := range idxs {
+			out[i] = batchErrItem(err)
+		}
+		return
+	}
+	// Batched cache lookup over the cacheable items' cell keys. An item is
+	// cacheable exactly when the single-query path would cache it: valid
+	// weights and a walk that reached depth k.
+	var (
+		keys []cache.Key
+		vals []any
+		oks  []bool
+		cpos []int // keys[j] belongs to items[cpos[j]]
+	)
+	if h.cache != nil {
+		for j := range items {
+			if items[j].Err == nil && items[j].Level == k {
+				keys = append(keys, cache.Key{Family: "topk", Cell: items[j].Key.Sum64(), K: k})
+				cpos = append(cpos, j)
+			}
+		}
+		vals = make([]any, len(keys))
+		oks = make([]bool, len(keys))
+		h.cache.GetMulti(keys, lsn, vals, oks)
+	}
+	// hit[j]/filled share answers across duplicate keys within the batch.
+	hit := make(map[int]int, len(cpos)) // item position -> key position
+	for kj, j := range cpos {
+		hit[j] = kj
+	}
+	filled := make(map[cache.Key]*cachedAnswer)
+	for j, i := range idxs {
+		it := &items[j]
+		if it.Err != nil {
+			out[i] = batchErrItem(it.Err)
+			continue
+		}
+		if kj, ok := hit[j]; ok {
+			key := keys[kj]
+			if oks[kj] {
+				ans := vals[kj].(*cachedAnswer)
+				out[i] = batchOKItem(ans.result, ans.stats, true, lsn)
+				continue
+			}
+			if ans, ok := filled[key]; ok {
+				// A duplicate of a key this batch already filled: a hit in
+				// all but timing.
+				out[i] = batchOKItem(ans.result, ans.stats, true, lsn)
+				continue
+			}
+			body := &topkBody{Options: it.Options}
+			ans := &cachedAnswer{result: body, stats: it.Stats}
+			h.cache.Put(key, lsn, ans)
+			filled[key] = ans
+			recordQueryStats("topk", it.Stats)
+			out[i] = batchOKItem(body, it.Stats, false, lsn)
+			continue
+		}
+		// Cache off, or the walk fell short of k: fresh, uncached answer.
+		recordQueryStats("topk", it.Stats)
+		out[i] = batchOKItem(&topkBody{Options: it.Options}, it.Stats, false, lsn)
+	}
+}

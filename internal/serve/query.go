@@ -100,6 +100,20 @@ type familySpec struct {
 	// alongside an error when partial traversal statistics should still
 	// be recorded (cancellation).
 	run func(ctx context.Context, ix *tlx.Index, q *QueryRequest) (any, tlx.QueryStats, error)
+	// fastLocate, when non-nil, computes the cache key by pure point
+	// location — no extension, no answer materialization — so a
+	// cache-warm request costs exactly one locate plus one cache Get
+	// (the point-location fast path: for top-k the located cell chain
+	// already determines every rank, so on a hit nothing else need run).
+	// engaged=false means the preconditions did not hold (depth beyond
+	// the materialized levels, which the fast path must never extend, or
+	// a chain that ran short of the requested depth) and the
+	// cacheKey/run pair must serve the query.
+	fastLocate func(ix *tlx.Index, q *QueryRequest) (key cache.Key, engaged bool)
+	// fastRun materializes the answer after a fastLocate cache miss. It
+	// re-locates internally, which is still far cheaper than the full
+	// run traversal the slow path would pay on the same miss.
+	fastRun func(ctx context.Context, ix *tlx.Index, q *QueryRequest) (cacheable bool, result any, stats tlx.QueryStats, err error)
 	// legacy writes the historical flat response shape.
 	legacy func(w http.ResponseWriter, result any, stats tlx.QueryStats)
 }
@@ -149,6 +163,25 @@ var families = map[string]*familySpec{
 				return nil, tlx.QueryStats{}, err
 			}
 			return &topkBody{Options: res.Options}, res.Stats, err
+		},
+		fastLocate: func(ix *tlx.Index, q *QueryRequest) (cache.Key, bool) {
+			if q.K < 1 || q.K > ix.MaxMaterializedLevel() {
+				return cache.Key{}, false
+			}
+			ck, level, err := ix.LocateDepth(q.W, q.K)
+			if err != nil || level != q.K {
+				// Invalid weights or a chain short of depth k: the slow
+				// path owns both (error reporting and uncached partials).
+				return cache.Key{}, false
+			}
+			return cache.Key{Family: "topk", Cell: ck.Sum64(), K: q.K}, true
+		},
+		fastRun: func(ctx context.Context, ix *tlx.Index, q *QueryRequest) (bool, any, tlx.QueryStats, error) {
+			_, level, res, err := ix.LocateTopK(ctx, q.W, q.K)
+			if res == nil {
+				return false, nil, tlx.QueryStats{}, err
+			}
+			return err == nil && level == q.K, &topkBody{Options: res.Options}, res.Stats, err
 		},
 		legacy: func(w http.ResponseWriter, result any, stats tlx.QueryStats) {
 			b := result.(*topkBody)
@@ -423,6 +456,30 @@ func (h *Handler) runOn(ctx context.Context, spec *familySpec, q *QueryRequest,
 		key       cache.Key
 		cacheable bool
 	)
+	if h.cache != nil && spec.fastLocate != nil {
+		// Pure point location yields the cache key before any answer is
+		// materialized, so a cache-warm request costs one locate plus one
+		// Get — no traversal, no materialization. Only a miss pays
+		// fastRun, which is still cheaper than the slow path's
+		// cacheKey-then-run pair on the same miss.
+		if key, engaged := spec.fastLocate(ix, q); engaged {
+			if v, ok := h.cache.Get(key, lsn); ok {
+				ans := v.(*cachedAnswer)
+				return &queryOutcome{result: ans.result, stats: ans.stats, cached: true, lsn: lsn}, nil
+			}
+			cacheable, result, stats, err := spec.fastRun(ctx, ix, q)
+			if result != nil {
+				recordQueryStats(spec.name, stats)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if cacheable {
+				h.cache.Put(key, lsn, &cachedAnswer{result: result, stats: stats})
+			}
+			return &queryOutcome{result: result, stats: stats, lsn: lsn}, nil
+		}
+	}
 	if h.cache != nil {
 		key, cacheable = spec.cacheKey(ix, q)
 		if cacheable {

@@ -12,8 +12,19 @@
 //	/v1/query                       JSON body {"family": "topk", "w": [...], "k": 5, ...}
 //
 // and answers the uniform envelope {"result": ..., "stats": {...},
-// "cached": bool, "lsn": n}. The per-family GET routes remain as thin
-// adapters over the same decode/dispatch path, with their historical
+// "cached": bool, "lsn": n}. Its batched form is POST:
+//
+//	/v1/query/batch                 JSON body {"queries": [<query body>, ...]}
+//
+// carrying up to 1024 query bodies through one round trip, one replica
+// pick, and — for top-k items — one shared index traversal with the cache
+// consulted in a single batched lookup, so same-cell queries cost one
+// index visit and N−1 cache hits. The answer is {"results": [...]},
+// index-aligned with the request: each success item has the /v1/query
+// fields, each failure item is {"error": "...", "status": n} with the
+// status /v1/query would have answered, failing no neighbors (batch.go
+// documents the envelope in full). The per-family GET routes remain as
+// thin adapters over the same decode/dispatch path, with their historical
 // response shapes:
 //
 //	/v1/topk?w=0.2,0.8&k=5          ranked retrieval at a weight vector
@@ -326,6 +337,7 @@ func (h *Handler) Mux() *http.ServeMux {
 		mux.HandleFunc(path, fn)
 	}
 	register("/query", post(h.handleQuery))
+	register("/query/batch", post(h.handleQueryBatch))
 	for name := range families {
 		spec := families[name]
 		register("/"+name, get(func(w http.ResponseWriter, r *http.Request) {
@@ -413,19 +425,22 @@ func badRequest(w http.ResponseWriter, format string, args ...interface{}) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeErr maps the public sentinel errors to HTTP statuses; anything
+// statusFor maps the public sentinel errors to HTTP statuses; anything
 // unrecognized is a 400 (the remaining failures are all input validation).
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, tlx.ErrExtended):
-		status = http.StatusConflict
+		return http.StatusConflict
 	case errors.Is(err, tlx.ErrNeedsFullData):
-		status = http.StatusUnprocessableEntity
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		status = statusCanceled
+		return statusCanceled
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	return http.StatusBadRequest
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
 }
 
 func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {

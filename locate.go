@@ -1,6 +1,9 @@
 package tlevelindex
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // CellKey identifies the chain of preference-space cells a weight vector
 // descends through: the index's cell identity at a fixed depth. Keys are
@@ -50,4 +53,31 @@ func (ix *Index) LocateDepth(w []float64, k int) (CellKey, int, error) {
 	}
 	h, _, level := ix.inner.Locate(x, k)
 	return CellKey{h: h}, level, nil
+}
+
+// LocateTopK answers LocateDepth and TopKContext in one root-to-leaf walk:
+// the key, reached level, ranked options, and traversal stats all come from
+// the same descent, so a serving tier that needs the key for its result
+// cache gets the answer itself for free on a miss (DESIGN.md §18). Like
+// Locate it is a pure lookup — the depth is clamped to the materialized
+// levels, the index is never extended — and the per-item observables are
+// identical to calling LocateDepth and TopKContext separately. On
+// cancellation it returns ctx's error with a non-nil result carrying the
+// partial ranks and stats.
+func (ix *Index) LocateTopK(ctx context.Context, w []float64, k int) (CellKey, int, *TopKResult, error) {
+	if k < 1 {
+		return CellKey{}, 0, nil, fmt.Errorf("tlevelindex: k must be >= 1")
+	}
+	x, err := ix.reduce(w)
+	if err != nil {
+		return CellKey{}, 0, nil, err
+	}
+	q := ix.startQuerySpan("query.locatetopk")
+	h, level, res, st, err := ix.inner.LocateTopK(ctx, x, k, nil)
+	q.finish(exportStats(st), err)
+	out := &TopKResult{Stats: exportStats(st)}
+	for _, o := range res {
+		out.Options = append(out.Options, ix.origID(o))
+	}
+	return CellKey{h: h}, level, out, err
 }
