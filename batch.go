@@ -163,6 +163,12 @@ func (ix *Index) ksprBatch(ctx context.Context, k int, focals []int, strict bool
 	var agg QueryStats
 	for j, i := range live {
 		r := res[j]
+		if r == nil {
+			// Cancellation truncated the internal batch before this focal was
+			// reached; the item reports an empty result alongside ctx's error.
+			out[i] = &KSPRResult{}
+			continue
+		}
 		pub, ok := exported[r]
 		if !ok {
 			pub = &KSPRResult{Stats: exportStats(r.Stats)}

@@ -3,6 +3,7 @@ package tlevelindex
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -121,6 +122,57 @@ func TestKSPRBatchAPIMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestKSPRBatchAPICancellation: a canceled KSPR batch surfaces ctx's error
+// with every item non-nil — focals the walk never reached report empty
+// results, not nil pointers.
+func TestKSPRBatchAPICancellation(t *testing.T) {
+	ix := batchAPIIndex(t)
+	focals := append([]int{}, ix.LevelOptions(1)...)
+	if len(focals) < 2 {
+		t.Fatal("fixture has too few level-1 options")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ix.KSPRBatchContext(ctx, 3, focals)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != len(focals) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(focals))
+	}
+	for i, r := range out {
+		if r == nil {
+			t.Fatalf("item %d: canceled batch returned a nil result", i)
+		}
+	}
+}
+
+// TestBatchNaNWeightsRejected: NaN entries defeat both of reduce's range
+// checks (NaN comparisons are false), so they must be rejected explicitly —
+// per item in the batch paths, as a plain error in the single paths.
+func TestBatchNaNWeightsRejected(t *testing.T) {
+	ix := batchAPIIndex(t)
+	bad := []float64{math.NaN(), 0.5, 0.5}
+	if _, err := ix.TopKContext(context.Background(), bad, 2); !errors.Is(err, ErrInvalidWeights) {
+		t.Fatalf("TopKContext err = %v, want ErrInvalidWeights", err)
+	}
+	good := []float64{0.2, 0.3, 0.5}
+	items, err := ix.TopKBatch([][]float64{bad, good}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(items[0].Err, ErrInvalidWeights) {
+		t.Fatalf("item 0: Err = %v, want ErrInvalidWeights", items[0].Err)
+	}
+	if items[1].Err != nil || len(items[1].Options) == 0 {
+		t.Fatalf("item 1: %+v, want a normal answer", items[1])
+	}
+	loc := ix.LocateBatch([][]float64{bad}, 2)
+	if !errors.Is(loc[0].Err, ErrInvalidWeights) {
+		t.Fatalf("LocateBatch Err = %v, want ErrInvalidWeights", loc[0].Err)
+	}
+}
+
 func TestLocateBatchAPIMatchesSingle(t *testing.T) {
 	ix := batchAPIIndex(t)
 	rng := rand.New(rand.NewSource(23))
@@ -129,7 +181,7 @@ func TestLocateBatchAPIMatchesSingle(t *testing.T) {
 		ws[i] = randSimplexW(rng, ix.Dim())
 	}
 	ws[3] = []float64{2, -1, 0}
-	for _, k := range []int{1, 4, 9} { // 9 > τ exercises clamping
+	for _, k := range []int{-1, 0, 1, 4, 9} { // 9 > τ exercises clamping; k < 1 the entry-cell key
 		items := ix.LocateBatch(ws, k)
 		for i, w := range ws {
 			if i == 3 {

@@ -224,7 +224,19 @@ func (ix *Index) LocateBatch(xs [][]float64, k int) (keys []uint64, levels []int
 // for n items. Answers are written rank-indexed into outFlat (item i's
 // rank-l option lands at i*k+l−1); outFlat == nil runs locate-only.
 func (ix *Index) topKBatchWalk(ctx context.Context, xflat []float64, dim, n, k int, wantKeys bool, outFlat []int32, bt *BatchTopK) error {
-	if n == 0 || k == 0 {
+	if n == 0 {
+		return nil
+	}
+	if k <= 0 {
+		// Depth 0 (or a negative depth clamped to it — Locate treats k < 1 as
+		// "stop at the entry cell"): every item reports the empty-chain key at
+		// level 0, exactly like the single-query Locate.
+		if wantKeys {
+			keys := bt.Keys[:n]
+			for i := range keys {
+				keys[i] = fnvOffset64
+			}
+		}
 		return nil
 	}
 	bs := batchScratchPool.Get()
@@ -419,8 +431,12 @@ func (ix *Index) topKBatchWalk(ctx context.Context, xflat []float64, dim, n, k i
 				// Singleton run: the scalar argmax scan beats the batched
 				// kernel's per-child call overhead, so fully scattered
 				// batches degrade to exactly the single-query cost.
+				// The first child seeds the argmax so a non-finite weight
+				// vector (every comparison false) still descends into a real
+				// child — like Locate and the batched kernels — instead of
+				// indexing with -1.
 				x := xs[pos*dim : (pos+1)*dim : (pos+1)*dim]
-				bestCh := int32(-1)
+				bestCh := children[0]
 				bestScore := math.Inf(-1)
 				if optR != nil {
 					for _, ch := range children {
@@ -772,7 +788,8 @@ func (ix *Index) LocateTopK(ctx context.Context, x []float64, k int, out []int32
 		if len(children) == 0 {
 			break
 		}
-		best := int32(-1)
+		// First-child seed: see the singleton-run note in topKBatchWalk.
+		best := children[0]
 		bestScore := math.Inf(-1)
 		for _, ch := range children {
 			st.VisitedCells++

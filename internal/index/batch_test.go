@@ -3,6 +3,7 @@ package index
 import (
 	"context"
 	"errors"
+	"math"
 	"math/rand"
 	"slices"
 	"testing"
@@ -88,7 +89,9 @@ func TestLocateBatchMatchesSingle(t *testing.T) {
 	ix := batchFixture(t, 110, 130, 3, 4)
 	rng := rand.New(rand.NewSource(111))
 	pts := batchPoints(rng, 40, ix.RDim())
-	for _, k := range []int{1, 3, 4, 9} { // 9 > τ exercises clamping
+	// 9 > τ exercises clamping from above; k <= 0 must yield the level-0
+	// empty-chain key like Locate, not a panic.
+	for _, k := range []int{-1, 0, 1, 3, 4, 9} {
 		keys, levels := ix.LocateBatch(pts, k)
 		for i, x := range pts {
 			key, _, level := ix.Locate(x, k)
@@ -96,6 +99,60 @@ func TestLocateBatchMatchesSingle(t *testing.T) {
 				t.Fatalf("k=%d item %d: LocateBatch %x/%d != Locate %x/%d",
 					k, i, keys[i], levels[i], key, level)
 			}
+		}
+	}
+}
+
+// TestBatchNonFiniteVector: a NaN reduced vector (rejected at the public
+// boundary, but reachable through the internal API) must not derail the
+// walk: every argmax is seeded with a real child, so the NaN item descends
+// like the single-query paths do and its neighbors stay exact.
+func TestBatchNonFiniteVector(t *testing.T) {
+	ix := batchFixture(t, 160, 120, 3, 4)
+	nan := make([]float64, ix.RDim())
+	for i := range nan {
+		nan[i] = math.NaN()
+	}
+	// Singleton batch: exercises the scalar argmax scan directly.
+	bt, err := ix.TopKBatchCtx(context.Background(), [][]float64{nan}, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := ix.TopKCtx(context.Background(), nan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(bt.Outs[0], out) || bt.Stats[0] != st {
+		t.Fatalf("singleton NaN batch %v/%+v != single %v/%+v", bt.Outs[0], bt.Stats[0], out, st)
+	}
+	key, _, level := ix.Locate(nan, 4)
+	if bt.Keys[0] != key || bt.Levels[0] != level {
+		t.Fatalf("singleton NaN key/level %x/%d != Locate %x/%d", bt.Keys[0], bt.Levels[0], key, level)
+	}
+	if _, _, _, _, err := ix.LocateTopK(context.Background(), nan, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mixed batch: the NaN item rides along without perturbing finite items.
+	rng := rand.New(rand.NewSource(161))
+	pts := batchPoints(rng, 16, ix.RDim())
+	pts[7] = nan
+	mixed, err := ix.TopKBatchCtx(context.Background(), pts, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range pts {
+		if i == 7 {
+			if len(mixed.Outs[i]) != mixed.Levels[i] {
+				t.Fatalf("NaN item: len(out) %d != level %d", len(mixed.Outs[i]), mixed.Levels[i])
+			}
+			continue
+		}
+		want, wantSt, err := ix.TopKCtx(context.Background(), x, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(mixed.Outs[i], want) || mixed.Stats[i] != wantSt {
+			t.Fatalf("item %d alongside NaN: batch %v != single %v", i, mixed.Outs[i], want)
 		}
 	}
 }

@@ -393,7 +393,11 @@ func (ix *Index) TopKCtx(ctx context.Context, x []float64, k int) ([]int32, Quer
 		if len(children) == 0 {
 			break
 		}
-		best := int32(-1)
+		// First-child seed: a non-finite weight vector scores NaN everywhere,
+		// leaving every comparison false; seeding with a real child keeps the
+		// walk in the DAG (descending like Locate does) instead of stepping
+		// to cell -1.
+		best := children[0]
 		bestScore := math.Inf(-1)
 		for _, ch := range children {
 			st.VisitedCells++

@@ -373,6 +373,12 @@ func (ix *Index) reduce(w []float64) ([]float64, error) {
 	}
 	sum := 0.0
 	for _, v := range w {
+		// NaN slips past both range checks below (every comparison with NaN
+		// is false, and a NaN sum defeats the sum-to-1 test), so it needs an
+		// explicit rejection; ±Inf already fails one of them.
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: non-finite weight", ErrInvalidWeights)
+		}
 		if v < -1e-9 {
 			return nil, fmt.Errorf("%w: negative weight", ErrInvalidWeights)
 		}
