@@ -78,11 +78,17 @@ recovery-bench:
 	@echo "wrote BENCH_recovery.json"
 
 # Observability smoke: scrape /v1/metrics through httptest, assert the
-# exposition parses and every promised metric family is present, and lint
-# each registered metric name against the Prometheus naming convention.
-# The zero-allocation guard for the disabled tracer path rides along.
+# exposition parses (exemplars included) and every promised metric family
+# is present, and lint each registered metric name against the Prometheus
+# naming convention. The flight-recorder endpoints are scraped under real
+# traffic — /v1/admin/trace must answer well-formed JSON with a non-empty
+# recorder and /v1/admin/hotcells the sampled hot-cell sketch — and the
+# zero-allocation guards for the disabled tracer and disabled recorder
+# paths ride along.
 obs-smoke:
 	$(GO) test ./internal/serve -run 'TestMetricsEndpoint|TestMetricNamesLint' -count 1
+	$(GO) test ./internal/serve -count 1 \
+		-run 'TestTraceAdminSmoke|TestHotCellsAdminSmoke|TestBatchTraceTree|TestDispatchAllocsRecorderOff'
 	$(GO) test . -run 'TestNoopTracerZeroAlloc' -count 1
 
 # Short fuzz runs over the parsers that face crash-damaged or hostile

@@ -82,7 +82,7 @@ func (ix *Index) topKBatch(ctx context.Context, ws [][]float64, k int, strict bo
 	if len(live) == 0 {
 		return items, nil
 	}
-	q := ix.startQuerySpan("query.topkbatch")
+	q := ix.startQuerySpan(ctx, "query.topkbatch")
 	bt, err := ix.inner.TopKBatchFlatCtx(ctx, flat, len(live), k, true)
 	var agg QueryStats
 	for j, i := range live {
@@ -155,7 +155,7 @@ func (ix *Index) ksprBatch(ctx context.Context, k int, focals []int, strict bool
 	if len(live) == 0 {
 		return out, nil
 	}
-	q := ix.startQuerySpan("query.ksprbatch")
+	q := ix.startQuerySpan(ctx, "query.ksprbatch")
 	res, err := ix.inner.KSPRBatchCtx(ctx, k, fids)
 	// Duplicate focals share one internal result; exporting through this
 	// memo preserves the sharing in the public answer.

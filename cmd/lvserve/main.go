@@ -47,6 +47,17 @@
 //	curl localhost:8080/v1/metrics
 //	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
 //
+// Requests additionally run under W3C traces recorded into an in-memory
+// flight recorder with a separate slow-query tier: incoming traceparent
+// headers are always honored, and 1 in -trace-sample other requests starts
+// a fresh trace (set 1 to trace everything). Recent traces are served at
+// GET /v1/admin/trace (-trace-buffer sizes it, negative disables;
+// -slow-query-ms tunes the slow threshold) and sampled answer-cache
+// traffic per cell at GET /v1/admin/hotcells:
+//
+//	curl 'localhost:8080/v1/admin/trace?min_ms=100&n=10'
+//	curl 'localhost:8080/v1/admin/hotcells?n=20'
+//
 // SIGINT/SIGTERM trigger a graceful stop: in-flight requests drain (bounded
 // by -drain) and, in durable mode, a final snapshot is written so the next
 // start replays nothing.
@@ -87,6 +98,9 @@ func main() {
 	progress := flag.Bool("progress", false, "log per-level build progress (cells/sec)")
 	replicas := flag.Int("replicas", 0, "read-only index replicas for lock-free query serving (0: writer only)")
 	cacheEntries := flag.Int("cache-entries", 0, "answer-cache capacity (0: default size, negative: cache off)")
+	traceBuffer := flag.Int("trace-buffer", 0, "flight-recorder trace capacity (0: default size, negative: recorder off)")
+	slowQueryMs := flag.Float64("slow-query-ms", 0, "slow-query threshold in ms (0: default 100ms, negative: slow tier off)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N requests without a caller traceparent (0: default 64, 1: every request, negative: propagated only)")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -131,6 +145,9 @@ func main() {
 		Pprof:        *pprofOn,
 		CacheEntries: *cacheEntries,
 		Replicas:     *replicas,
+		TraceBuffer:  *traceBuffer,
+		SlowQuery:    time.Duration(*slowQueryMs * float64(time.Millisecond)),
+		TraceSample:  *traceSample,
 	}
 	var handler *serve.Handler
 	var st *store.Store
@@ -139,11 +156,18 @@ func main() {
 		if *dataDir == "" {
 			fatal(fmt.Errorf("-follow requires -data-dir for the downloaded snapshot"))
 		}
+		// The follower and its serve handler share one flight recorder, so
+		// GET /v1/admin/trace on the replica shows bootstrap traces next to
+		// request traces. A negative -trace-buffer disables both.
+		if *traceBuffer >= 0 {
+			cfg.Recorder = obs.NewRecorder(*traceBuffer, cfg.SlowQuery, log)
+		}
 		fol, err = replicate.Start(replicate.Options{
 			PrimaryURL: *follow,
 			Dir:        *dataDir,
 			HeapLoad:   !*mmapLoad,
 			Logger:     log,
+			Recorder:   cfg.Recorder,
 		})
 		if err != nil {
 			fatal(err)

@@ -32,21 +32,37 @@ import (
 // lookups and safe to call concurrently from many goroutines.
 
 // querySpan bundles the per-query tracing state. With no tracer attached
-// (the default) starting and finishing it performs one atomic load and two
-// nil checks and allocates nothing.
+// (the default) and an untraced context, starting and finishing it performs
+// one atomic load, one context lookup and two nil checks and allocates
+// nothing.
 type querySpan struct {
 	tr Tracer
 	sp obs.Span
 	wf uint64 // witness fast-path counter baseline
 }
 
-func (ix *Index) startQuerySpan(name string) querySpan {
+// startQuerySpan begins the traversal span for one query. The span joins the
+// request trace carried in ctx when there is one (parented under the
+// caller's span, delivered to the context's tracer when the index has none
+// of its own — this covers replica copies and follower index swaps, which
+// never see SetTracer); otherwise it behaves like the pre-tracing span: a
+// standalone span to the index tracer, or nothing at all.
+func (ix *Index) startQuerySpan(ctx context.Context, name string) querySpan {
 	q := querySpan{tr: ix.loadTracer()}
-	if q.tr != nil {
-		q.sp = obs.StartSpan(name)
-		s, e, c := geom.WitnessStats()
-		q.wf = s + e + c
+	sc, traced := obs.SpanContextFrom(ctx)
+	if q.tr == nil && traced {
+		q.tr = sc.Tracer
 	}
+	if q.tr == nil {
+		return q
+	}
+	if traced {
+		q.sp = obs.StartSpanIn(sc, name)
+	} else {
+		q.sp = obs.StartSpan(name)
+	}
+	s, e, c := geom.WitnessStats()
+	q.wf = s + e + c
 	return q
 }
 
@@ -99,7 +115,7 @@ func (ix *Index) TopKContext(ctx context.Context, w []float64, k int) (*TopKResu
 	if err != nil {
 		return nil, err
 	}
-	q := ix.startQuerySpan("query.topk")
+	q := ix.startQuerySpan(ctx, "query.topk")
 	opts, st, err := ix.inner.TopKCtx(ctx, x, k)
 	q.finish(exportStats(st), err)
 	out := &TopKResult{Stats: exportStats(st)}
@@ -133,7 +149,7 @@ func (ix *Index) KSPRContext(ctx context.Context, k, focal int) (*KSPRResult, er
 	if fid < 0 {
 		return &KSPRResult{}, nil
 	}
-	q := ix.startQuerySpan("query.kspr")
+	q := ix.startQuerySpan(ctx, "query.kspr")
 	res, err := ix.inner.KSPRCtx(ctx, k, fid)
 	q.finish(exportStats(res.Stats), err)
 	out := &KSPRResult{Stats: exportStats(res.Stats)}
@@ -164,7 +180,7 @@ func (ix *Index) UTKContext(ctx context.Context, k int, lo, hi []float64) (*UTKR
 	if err := ix.needsData(k); err != nil {
 		return nil, err
 	}
-	q := ix.startQuerySpan("query.utk")
+	q := ix.startQuerySpan(ctx, "query.utk")
 	res, err := ix.inner.UTKCtx(ctx, k, geom.NewBox(lo, hi))
 	q.finish(exportStats(res.Stats), err)
 	out := &UTKResult{Stats: exportStats(res.Stats)}
@@ -198,7 +214,7 @@ func (ix *Index) ORUContext(ctx context.Context, k int, w []float64, m int) (*OR
 	if err != nil {
 		return nil, err
 	}
-	q := ix.startQuerySpan("query.oru")
+	q := ix.startQuerySpan(ctx, "query.oru")
 	res, err := ix.inner.ORUCtx(ctx, k, x, m)
 	q.finish(exportStats(res.Stats), err)
 	out := &ORUResult{Rho: res.Rho, Stats: exportStats(res.Stats)}
@@ -230,7 +246,7 @@ func (ix *Index) MaxRankContext(ctx context.Context, opt int) (*MaxRankResult, e
 	if fid < 0 {
 		return &MaxRankResult{Rank: -1}, nil
 	}
-	q := ix.startQuerySpan("query.maxrank")
+	q := ix.startQuerySpan(ctx, "query.maxrank")
 	rank, st, err := ix.inner.MaxRankCtx(ctx, fid)
 	q.finish(exportStats(st), err)
 	return &MaxRankResult{Rank: rank, Stats: exportStats(st)}, err
@@ -272,7 +288,7 @@ func (ix *Index) MonoRTopKContext(ctx context.Context, k, focal int) (*MonoRTopK
 	if fid < 0 {
 		return &MonoRTopKResult{}, nil
 	}
-	q := ix.startQuerySpan("query.monortopk")
+	q := ix.startQuerySpan(ctx, "query.monortopk")
 	segs, st, err := ix.inner.MonoRTopKCtx(ctx, k, fid)
 	q.finish(exportStats(st), err)
 	out := &MonoRTopKResult{Stats: exportStats(st)}
@@ -319,7 +335,7 @@ func (ix *Index) MarketShareContext(ctx context.Context, focal, k int) (*MarketS
 	if fid < 0 {
 		return &MarketShareResult{}, nil
 	}
-	q := ix.startQuerySpan("query.marketshare")
+	q := ix.startQuerySpan(ctx, "query.marketshare")
 	res, err := ix.inner.KSPRCtx(ctx, k, fid)
 	out := &MarketShareResult{Stats: exportStats(res.Stats)}
 	if err != nil {
@@ -388,7 +404,7 @@ func (ix *Index) ReverseTopKContext(ctx context.Context, k, focal int, users [][
 	if fid < 0 {
 		return &ReverseTopKResult{}, nil
 	}
-	q := ix.startQuerySpan("query.reversetopk")
+	q := ix.startQuerySpan(ctx, "query.reversetopk")
 	res, err := ix.inner.KSPRCtx(ctx, k, fid)
 	out := &ReverseTopKResult{Stats: exportStats(res.Stats)}
 	if err != nil {
@@ -433,7 +449,7 @@ func (ix *Index) WhyNotContext(ctx context.Context, opt int, w []float64, k int)
 	if fid < 0 {
 		return &WhyNotResult{Rank: -1, MinShift: -1}, nil
 	}
-	q := ix.startQuerySpan("query.whynot")
+	q := ix.startQuerySpan(ctx, "query.whynot")
 	res, err := ix.inner.WhyNotCtx(ctx, fid, x, k)
 	q.finish(exportStats(res.Stats), err)
 	out := &WhyNotResult{Rank: res.RankAtW, InTopK: res.InTopK, MinShift: res.NearestDist,

@@ -63,6 +63,12 @@ type Cache struct {
 	stale     atomic.Uint64
 	evictions atomic.Uint64
 	entries   atomic.Int64
+
+	// sampler, when set, observes cell-keyed lookups (hit=true only for a
+	// valid entry at the caller's LSN; stale counts as a miss). Lookups whose
+	// key has no cell component are not reported — cell analytics only cares
+	// about cells. Set before concurrent use; not synchronized afterwards.
+	sampler func(cell uint64, hit bool)
 }
 
 // numShards spreads lock contention; a power of two keeps selection a mask.
@@ -82,6 +88,12 @@ func New(maxEntries int) *Cache {
 	}
 	return c
 }
+
+// SetSampler installs fn as the cell-traffic observer (see the sampler
+// field); fn must be safe for concurrent use. Call before the cache sees
+// concurrent traffic — the field is read without synchronization on the
+// lookup path so the hook stays free when unset.
+func (c *Cache) SetSampler(fn func(cell uint64, hit bool)) { c.sampler = fn }
 
 // FNV-1a over the key fields selects the shard. Only the distribution
 // matters here; the map handles full equality.
@@ -115,11 +127,15 @@ func (c *Cache) Get(key Key, lsn uint64) (any, bool) {
 	s.mu.RLock()
 	e, ok := s.m[key]
 	s.mu.RUnlock()
+	hit := ok && e.lsn == lsn
+	if c.sampler != nil && key.Cell != 0 {
+		c.sampler(key.Cell, hit)
+	}
 	if !ok {
 		c.misses.Add(1)
 		return nil, false
 	}
-	if e.lsn != lsn {
+	if !hit {
 		c.stale.Add(1)
 		return nil, false
 	}
@@ -163,6 +179,13 @@ func (c *Cache) GetMulti(keys []Key, lsn uint64, vals []any, oks []bool) {
 			}
 		}
 		s.mu.RUnlock()
+	}
+	if c.sampler != nil {
+		for i := range keys {
+			if keys[i].Cell != 0 {
+				c.sampler(keys[i].Cell, oks[i])
+			}
+		}
 	}
 	c.hits.Add(hits)
 	c.misses.Add(misses)

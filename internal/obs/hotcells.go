@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HotCells is a sampled, bounded sketch of per-cell answer-cache traffic.
+// The index's core property — every preference vector in a cell shares one
+// answer — makes the cell the natural unit of production skew: a handful of
+// hot cells is the expected regime under clustered preference traffic, and
+// their hit/miss split is exactly the cache-sizing signal.
+//
+// Observations are sampled 1-in-sampleEvery via one atomic counter, so the
+// cache hot path pays a single uncontended atomic add in the common case;
+// only sampled observations touch a shard. Each shard keeps a bounded map
+// of cell slots with atomic hit/miss counters; when a shard is full an
+// incoming cell evicts the coldest resident slot and inherits its total as
+// an overcount floor (the space-saving sketch's trick), so a genuinely hot
+// cell cannot be kept out by a full table while the table stays a fixed
+// size forever.
+type HotCells struct {
+	tick   atomic.Uint64
+	mask   uint64 // sample when tick&mask == 0
+	shards [hcShards]hcShard
+	per    int // per-shard slot bound
+}
+
+const hcShards = 4
+
+type hcShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*hcSlot
+}
+
+type hcSlot struct {
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	// floor is the evicted predecessor's total at takeover time: the
+	// space-saving overcount bound, kept so Top can report totals that
+	// never undercount a hot cell relative to an evicted cold one.
+	floor uint64
+}
+
+// CellStat is one cell's sampled traffic in a Top snapshot.
+type CellStat struct {
+	Cell   uint64
+	Hits   uint64
+	Misses uint64
+	Total  uint64 // hits + misses + eviction floor
+}
+
+// DefaultHotCellSample is the sampling divisor NewHotCells applies when
+// sampleEvery is 0. Powers of two keep the sample test a mask.
+const DefaultHotCellSample = 64
+
+// NewHotCells returns a sketch tracking roughly capacity cells (0 selects
+// 1024), sampling one observation in sampleEvery (rounded down to a power
+// of two; 0 selects DefaultHotCellSample, 1 records everything).
+func NewHotCells(capacity, sampleEvery int) *HotCells {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultHotCellSample
+	}
+	mask := uint64(1)
+	for mask*2 <= uint64(sampleEvery) {
+		mask *= 2
+	}
+	per := (capacity + hcShards - 1) / hcShards
+	if per < 1 {
+		per = 1
+	}
+	h := &HotCells{mask: mask - 1, per: per}
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64]*hcSlot, per)
+	}
+	return h
+}
+
+// SampleEvery is the effective sampling divisor (a power of two).
+func (h *HotCells) SampleEvery() int { return int(h.mask) + 1 }
+
+// Observe records one cache lookup against cell, subject to sampling. Safe
+// for concurrent use and on a nil receiver; the unsampled path is one
+// atomic add.
+func (h *HotCells) Observe(cell uint64, hit bool) {
+	if h == nil {
+		return
+	}
+	if h.tick.Add(1)&h.mask != 0 {
+		return
+	}
+	sh := &h.shards[splitmix64(cell)&(hcShards-1)]
+	sh.mu.RLock()
+	slot := sh.m[cell]
+	sh.mu.RUnlock()
+	if slot == nil {
+		slot = h.admit(sh, cell)
+	}
+	if hit {
+		slot.hits.Add(1)
+	} else {
+		slot.misses.Add(1)
+	}
+}
+
+// admit inserts a slot for cell, evicting the coldest resident when the
+// shard is full. The newcomer inherits the victim's total as its floor.
+func (h *HotCells) admit(sh *hcShard, cell uint64) *hcSlot {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if slot := sh.m[cell]; slot != nil {
+		return slot
+	}
+	slot := &hcSlot{}
+	if len(sh.m) >= h.per {
+		var victim uint64
+		minTotal := ^uint64(0)
+		for c, s := range sh.m {
+			if t := s.total(); t < minTotal {
+				minTotal, victim = t, c
+			}
+		}
+		delete(sh.m, victim)
+		slot.floor = minTotal
+	}
+	sh.m[cell] = slot
+	return slot
+}
+
+func (s *hcSlot) total() uint64 {
+	return s.hits.Load() + s.misses.Load() + s.floor
+}
+
+// Top returns the n busiest sampled cells, hottest first. Counts are in
+// sampled observations; multiply by SampleEvery for an unbiased traffic
+// estimate. Safe on a nil receiver (returns nil).
+func (h *HotCells) Top(n int) []CellStat {
+	if h == nil {
+		return nil
+	}
+	if n <= 0 {
+		n = 20
+	}
+	var out []CellStat
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.RLock()
+		for cell, slot := range sh.m {
+			out = append(out, CellStat{
+				Cell:   cell,
+				Hits:   slot.hits.Load(),
+				Misses: slot.misses.Load(),
+				Total:  slot.total(),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Cell < out[j].Cell
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -101,6 +101,14 @@ type histData struct {
 	counts []atomic.Uint64 // one per bucket bound, +Inf implicit via count
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// Exemplar: the trace id of the worst observation since the last scrape,
+	// rendered on the +Inf bucket line and cleared at scrape time so each
+	// scrape window names its own worst request.
+	exMu    sync.Mutex
+	exVal   float64
+	exTrace TraceID
+	exSet   bool
 }
 
 // NewRegistry returns an empty registry.
@@ -243,6 +251,32 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.m.hist.count.Load() }
 
+// ObserveWithExemplar records one observation and — when t is a real trace
+// id — offers it as the series' exemplar. The exposition keeps the worst
+// (largest) observation since the last scrape, so the +Inf bucket line links
+// straight to the scrape window's slowest request in the flight recorder.
+func (h *Histogram) ObserveWithExemplar(v float64, t TraceID) {
+	h.Observe(v)
+	if t.IsZero() {
+		return
+	}
+	d := h.m.hist
+	d.exMu.Lock()
+	if !d.exSet || v > d.exVal {
+		d.exVal, d.exTrace, d.exSet = v, t, true
+	}
+	d.exMu.Unlock()
+}
+
+// takeExemplar claims and clears the pending exemplar, if any.
+func (d *histData) takeExemplar() (float64, TraceID, bool) {
+	d.exMu.Lock()
+	v, t, ok := d.exVal, d.exTrace, d.exSet
+	d.exSet = false
+	d.exMu.Unlock()
+	return v, t, ok
+}
+
 // Histogram returns the histogram for (name, labels), registering it on
 // first use with the given bucket upper bounds (must be sorted ascending;
 // the +Inf bucket is implicit). Buckets are fixed by the first registration.
@@ -373,7 +407,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				}
 				io.WriteString(w, f.name+"_bucket")
 				writeLabels(w, m.labels, Label{"le", "+Inf"})
-				fmt.Fprintf(w, " %d\n", m.hist.count.Load())
+				fmt.Fprintf(w, " %d", m.hist.count.Load())
+				if v, t, ok := m.hist.takeExemplar(); ok {
+					// OpenMetrics-style exemplar, tolerated as a comment by
+					// 0.0.4 parsers: the trace id of the scrape window's
+					// worst observation, linking into /v1/admin/trace.
+					fmt.Fprintf(w, " # {trace_id=\"%s\"} %s", t.String(), formatFloat(v))
+				}
+				io.WriteString(w, "\n")
 				io.WriteString(w, f.name+"_sum")
 				writeLabels(w, m.labels)
 				fmt.Fprintf(w, " %s\n", formatFloat(math.Float64frombits(m.hist.sum.Load())))

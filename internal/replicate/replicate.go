@@ -69,6 +69,14 @@ type Options struct {
 	Client *http.Client
 	// Logger receives follower lifecycle events; nil discards them.
 	Logger *slog.Logger
+	// Recorder, when non-nil, receives the bootstrap trace: the download,
+	// replay, and tail-fetch spans of every (re-)bootstrap. Share it with
+	// the serve handler (serve.Config.Recorder) so a follower's
+	// /v1/admin/trace shows its own bootstraps next to request traces.
+	// Bootstrap fetches carry the trace as a W3C traceparent header whether
+	// or not a recorder is attached, so the primary's flight recorder sees
+	// the bootstrap under the follower's trace id either way.
+	Recorder *obs.Recorder
 }
 
 // Follower is a live replica of a remote primary. It implements the serve
@@ -89,9 +97,83 @@ type Follower struct {
 	primary atomic.Uint64
 	state   atomic.Value // string
 
+	// traceID is the most recent bootstrap's trace id (atomic.Value of
+	// obs.TraceID), readable by anyone; bsc/tracing are the in-flight
+	// bootstrap's span context and are only touched by the goroutine
+	// running that bootstrap (Start's caller, then the follow loop).
+	traceID atomic.Value
+	bsc     obs.SpanContext
+	tracing bool
+
 	done chan struct{}
 	once sync.Once
 	wg   sync.WaitGroup
+}
+
+// beginTrace opens a bootstrap trace: a fresh trace id (forwarded on every
+// bootstrap fetch) with a root span delivered to Options.Recorder, which
+// may be nil — the id still propagates so the primary records its side.
+func (f *Follower) beginTrace() obs.Span {
+	t := obs.NewTraceID()
+	f.traceID.Store(t)
+	f.bsc = obs.SpanContext{Trace: t, Tracer: f.opts.Recorder}
+	f.tracing = true
+	root := obs.StartSpanIn(f.bsc, "replicate.bootstrap")
+	f.bsc.Span = root.ID
+	return root
+}
+
+// endTrace completes the bootstrap trace and records it.
+func (f *Follower) endTrace(root obs.Span, err error) {
+	root.Err = err
+	root.Duration = time.Since(root.Start)
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusInternalServerError
+	}
+	f.opts.Recorder.Record(root, "replicate.bootstrap", status)
+	f.tracing = false
+}
+
+// TraceID returns the most recent bootstrap's trace id — the id to look up
+// in the primary's (or, with a shared recorder, the follower's own)
+// /v1/admin/trace. Zero before the first bootstrap begins.
+func (f *Follower) TraceID() obs.TraceID {
+	if t, ok := f.traceID.Load().(obs.TraceID); ok {
+		return t
+	}
+	return obs.TraceID{}
+}
+
+// span opens a child span of the in-flight bootstrap trace; outside a
+// bootstrap it returns the zero Span and finishSpan discards it.
+func (f *Follower) span(name string) obs.Span {
+	if !f.tracing {
+		return obs.Span{}
+	}
+	return obs.StartSpanIn(f.bsc, name)
+}
+
+func (f *Follower) finishSpan(sp obs.Span, err error) {
+	if !f.tracing {
+		return
+	}
+	sp.Err = err
+	sp.FinishTo(f.bsc.Tracer)
+}
+
+// get issues one GET toward the primary, carrying the bootstrap trace
+// position as a traceparent header while a bootstrap is in flight so the
+// primary's instrument adopts the follower's trace id.
+func (f *Follower) get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.tracing {
+		req.Header.Set("traceparent", obs.Traceparent(f.bsc.Trace, f.bsc.Span))
+	}
+	return f.client.Do(req)
 }
 
 // snapshotName mirrors the store's snapshot naming so a follower data
@@ -155,8 +237,16 @@ func Start(opts Options) (*Follower, error) {
 
 // bootstrap establishes a consistent index: resume from a local snapshot
 // when one loads and the primary still has our tail, else a full download.
-// The index goes live (f.ix, f.applied) only once fully consistent.
+// The index goes live (f.ix, f.applied) only once fully consistent. The
+// whole bootstrap runs as one trace, propagated to the primary.
 func (f *Follower) bootstrap() error {
+	root := f.beginTrace()
+	err := f.bootstrapInner()
+	f.endTrace(root, err)
+	return err
+}
+
+func (f *Follower) bootstrapInner() error {
 	if lsn, ix, ok := f.resumeLocal(); ok {
 		last, err := f.fetchTail(ix, lsn, false)
 		if err == nil {
@@ -284,7 +374,7 @@ func isCorruptStream(err error) bool {
 // Any error leaves no usable state behind except a validly installed
 // snapshot file, which a later attempt or restart may still resume from.
 func (f *Follower) fetchFull() (*tlx.Index, uint64, error) {
-	resp, err := f.client.Get(f.opts.PrimaryURL + "/v1/admin/snapshot/stream")
+	resp, err := f.get(f.opts.PrimaryURL + "/v1/admin/snapshot/stream")
 	if err != nil {
 		return nil, 0, err
 	}
@@ -299,8 +389,10 @@ func (f *Follower) fetchFull() (*tlx.Index, uint64, error) {
 	if hdr.SnapBytes == 0 {
 		return nil, 0, fmt.Errorf("%w: full bootstrap stream carries no snapshot", store.ErrCorrupt)
 	}
+	dl := f.span("replicate.download")
 	path, err := f.downloadSnapshot(hdr, resp.Body)
 	if err != nil {
+		f.finishSpan(dl, err)
 		return nil, 0, err
 	}
 	ix, err := f.loadSnapshot(path)
@@ -308,13 +400,20 @@ func (f *Follower) fetchFull() (*tlx.Index, uint64, error) {
 		// The X3 checksum caught a corrupt shipped snapshot; drop the file
 		// so a retry cannot resume from it.
 		os.Remove(path)
+		f.finishSpan(dl, err)
 		return nil, 0, err
 	}
+	dl.Set("snapBytes", float64(hdr.SnapBytes))
+	f.finishSpan(dl, nil)
+	rp := f.span("replicate.replay")
 	last, err := f.applyTail(ix, hdr, resp.Body, hdr.SnapLSN, false)
 	if err != nil {
 		ix.Close()
+		f.finishSpan(rp, err)
 		return nil, 0, err
 	}
+	rp.Set("records", float64(last-hdr.SnapLSN))
+	f.finishSpan(rp, nil)
 	f.observePrimary(last)
 	f.pruneLocal(hdr.SnapLSN)
 	return ix, last, nil
@@ -398,7 +497,7 @@ func (f *Follower) applyTail(ix *tlx.Index, hdr store.ShipHeader, r io.Reader, f
 // store.ErrShipGap: the primary pruned our position and only a full
 // re-bootstrap recovers.
 func (f *Follower) fetchTail(ix *tlx.Index, from uint64, live bool) (uint64, error) {
-	resp, err := f.client.Get(f.opts.PrimaryURL + "/v1/admin/snapshot/stream?from=" + strconv.FormatUint(from, 10))
+	resp, err := f.get(f.opts.PrimaryURL + "/v1/admin/snapshot/stream?from=" + strconv.FormatUint(from, 10))
 	if err != nil {
 		return from, err
 	}
@@ -459,7 +558,9 @@ func (f *Follower) followLoop() {
 // stale index keeps serving (at its stale applied LSN) until the fresh
 // one is fully consistent; install swaps atomically under the write lock.
 func (f *Follower) rebootstrap() {
+	root := f.beginTrace()
 	fresh, last, err := f.fullBootstrap()
+	f.endTrace(root, err)
 	if err != nil {
 		f.log.Error("replicate: re-bootstrap failed; serving stale index", "err", err)
 		return

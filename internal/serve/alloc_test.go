@@ -1,0 +1,43 @@
+//go:build !race
+
+package serve
+
+import (
+	"context"
+	"testing"
+
+	tlx "tlevelindex"
+)
+
+// TestDispatchAllocsRecorderOff pins the steady-state query path with the
+// flight recorder disabled: a cache-hit dispatch is two allocations (the
+// cached-answer envelope pair), and tracing must add zero when off — the
+// untraced path is a single context lookup. Excluded under -race, which
+// inflates allocation counts.
+func TestDispatchAllocsRecorderOff(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(ix, Config{TraceBuffer: -1})
+	if h.rec != nil {
+		t.Fatal("negative TraceBuffer did not disable the recorder")
+	}
+	q := &QueryRequest{Family: "topk", W: []float64{0.18, 0.82}, K: 2}
+	ctx := context.Background()
+	// Warm the cache and run the hot-cell sampler past its first slot
+	// allocation so the loop below measures only the steady state.
+	for i := 0; i < 200; i++ {
+		if _, err := h.dispatch(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := h.dispatch(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("cache-hit dispatch with recorder off = %.2f allocs/op, want <= 2", allocs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	tlx "tlevelindex"
 	"tlevelindex/internal/cache"
+	"tlevelindex/internal/obs"
 )
 
 // POST /v1/query/batch: many QueryRequests through one envelope and one
@@ -112,12 +113,14 @@ func (h *Handler) dispatchBatch(ctx context.Context, qs []QueryRequest) []batchR
 	}
 	if state, idx, ok := h.reps.pick(maxDepth); ok {
 		h.reps.counters[idx].Inc()
+		notePick(ctx, idx)
 		h.runBatchOn(ctx, qs, specs, out, state.ix, state.lsn)
 		return out
 	}
 	if h.reps != nil {
 		h.writerReqs.Inc()
 	}
+	notePick(ctx, -1)
 	h.runQuery(maxDepth, func() {
 		h.runBatchOn(ctx, qs, specs, out, h.index(), h.lsnNow())
 	})
@@ -151,6 +154,23 @@ func (h *Handler) runBatchOn(ctx context.Context, qs []QueryRequest, specs []*fa
 	for k, idxs := range topkByK {
 		h.runTopKBatch(ctx, qs, idxs, k, out, ix, lsn)
 	}
+}
+
+// noteItem emits one batch item's child span and trace annotation. Batch
+// items share one traversal span (the index's query.topkbatch, parented
+// under the envelope), so the per-item spans are markers carrying each
+// item's cache status, cell key, and traversal effort rather than timings.
+func (h *Handler) noteItem(sc obs.SpanContext, q *QueryRequest, cell uint64,
+	cached bool, st tlx.QueryStats, itemErr error) {
+	sp := obs.StartSpanIn(sc, "item.topk")
+	sp.Err = itemErr
+	sp.Set("cached", b2f(cached))
+	sp.Set("visitedCells", float64(st.VisitedCells))
+	sp.Set("lpCalls", float64(st.LPCalls))
+	meta := obs.QueryMeta{Family: "topk", W: q.W, K: q.K, Cell: obs.CellKey(cell),
+		Cached: cached, VisitedCells: st.VisitedCells, LPCalls: st.LPCalls}
+	h.rec.Annotate(sc.Trace, meta)
+	sp.FinishTo(sc.Tracer)
 }
 
 // runTopKBatch answers all depth-k top-k items through one shared
@@ -200,10 +220,14 @@ func (h *Handler) runTopKBatch(ctx context.Context, qs []QueryRequest, idxs []in
 		hit[j] = kj
 	}
 	filled := make(map[cache.Key]*cachedAnswer)
+	sc, traced := obs.SpanContextFrom(ctx)
 	for j, i := range idxs {
 		it := &items[j]
 		if it.Err != nil {
 			out[i] = batchErrItem(it.Err)
+			if traced {
+				h.noteItem(sc, &qs[i], 0, false, tlx.QueryStats{}, it.Err)
+			}
 			continue
 		}
 		if kj, ok := hit[j]; ok {
@@ -211,12 +235,18 @@ func (h *Handler) runTopKBatch(ctx context.Context, qs []QueryRequest, idxs []in
 			if oks[kj] {
 				ans := vals[kj].(*cachedAnswer)
 				out[i] = batchOKItem(ans.result, ans.stats, true, lsn)
+				if traced {
+					h.noteItem(sc, &qs[i], key.Cell, true, ans.stats, nil)
+				}
 				continue
 			}
 			if ans, ok := filled[key]; ok {
 				// A duplicate of a key this batch already filled: a hit in
 				// all but timing.
 				out[i] = batchOKItem(ans.result, ans.stats, true, lsn)
+				if traced {
+					h.noteItem(sc, &qs[i], key.Cell, true, ans.stats, nil)
+				}
 				continue
 			}
 			body := &topkBody{Options: it.Options}
@@ -225,10 +255,16 @@ func (h *Handler) runTopKBatch(ctx context.Context, qs []QueryRequest, idxs []in
 			filled[key] = ans
 			recordQueryStats("topk", it.Stats)
 			out[i] = batchOKItem(body, it.Stats, false, lsn)
+			if traced {
+				h.noteItem(sc, &qs[i], key.Cell, false, it.Stats, nil)
+			}
 			continue
 		}
 		// Cache off, or the walk fell short of k: fresh, uncached answer.
 		recordQueryStats("topk", it.Stats)
 		out[i] = batchOKItem(&topkBody{Options: it.Options}, it.Stats, false, lsn)
+		if traced {
+			h.noteItem(sc, &qs[i], it.Key.Sum64(), false, it.Stats, nil)
+		}
 	}
 }

@@ -148,28 +148,94 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so instrumented streaming endpoints
+// (the snapshot-stream replication feed) can push bytes mid-response; a
+// plain wrapper would hide the underlying http.Flusher and stall a
+// bootstrapping follower until the whole stream buffered. When the
+// underlying writer cannot flush this is a no-op.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // quiet marks endpoints whose traffic is machine-generated and periodic;
 // their access logs drop to Debug so a scraper does not flood the log.
+// Endpoints are named by their canonical /v1 label, matching instrument.
 func quiet(endpoint string) bool {
-	return endpoint == "/metrics" || strings.HasPrefix(endpoint, "/debug/pprof")
+	return endpoint == "/v1/metrics" || strings.HasPrefix(endpoint, "/debug/pprof")
+}
+
+// commonCodes are the statuses the handlers actually answer (see the
+// package doc's status table); their counters are resolved at registration
+// so the request path performs no registry lookup. Anything rarer falls
+// back to a registry lookup.
+var commonCodes = [...]int{200, 400, 403, 404, 405, 409, 410, 422, 499, 500}
+
+func requestCounter(endpoint string, code int) *obs.Counter {
+	return obs.Default().Counter("tlx_http_requests_total", "HTTP requests served.",
+		obs.Label{Name: "endpoint", Value: endpoint},
+		obs.Label{Name: "code", Value: strconv.Itoa(code)})
 }
 
 // instrument wraps an endpoint with the request counter, the latency
-// histogram, and the access log. The endpoint label is the canonical /v1
+// histogram, the access log, and — when the flight recorder is enabled —
+// the request's root trace span. The endpoint label is the canonical /v1
 // path, shared by the bare alias.
+//
+// Tracing: the wrapper adopts the caller's W3C traceparent when one is
+// presented (so a follower's fetches appear under the follower's trace) and
+// otherwise starts a fresh trace for the sampled 1-in-Config.TraceSample of
+// requests, answers the chosen position in the response traceparent header,
+// and carries it to the handlers through the request context. When the root
+// finishes, the assembled trace enters the recorder and the latency
+// observation carries the trace id as its exemplar. Quiet endpoints are not
+// traced: scraper traffic in the recent-trace ring would be pure noise.
 func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	hist := obs.Default().Histogram("tlx_http_request_seconds",
 		"HTTP request latency in seconds.", obs.LatencyBuckets(),
 		obs.Label{Name: "endpoint", Value: endpoint})
+	codes := make(map[int]*obs.Counter, len(commonCodes))
+	for _, c := range commonCodes {
+		codes[c] = requestCounter(endpoint, c)
+	}
+	traceable := h.rec != nil && !quiet(endpoint)
+	rootSpan := "serve" + endpoint
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		var (
+			sc     obs.SpanContext
+			root   obs.Span
+			traced bool
+		)
+		if traceable {
+			trace, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			if !ok && h.sampleTrace() {
+				trace, parent, ok = obs.NewTraceID(), 0, true
+			}
+			if ok {
+				traced = true
+				sc = obs.SpanContext{Trace: trace, Span: parent, Tracer: h.rec}
+				root = obs.StartSpanIn(sc, rootSpan)
+				w.Header().Set("traceparent", obs.Traceparent(trace, root.ID))
+				r = r.WithContext(obs.ContextWithSpan(r.Context(), sc.ChildOf(root.ID)))
+			}
+		}
 		fn(sw, r)
 		took := time.Since(start)
-		hist.Observe(took.Seconds())
-		obs.Default().Counter("tlx_http_requests_total", "HTTP requests served.",
-			obs.Label{Name: "endpoint", Value: endpoint},
-			obs.Label{Name: "code", Value: strconv.Itoa(sw.status)}).Inc()
+		if traced {
+			root.Duration = took
+			h.rec.Record(root, endpoint, sw.status)
+			hist.ObserveWithExemplar(took.Seconds(), sc.Trace)
+		} else {
+			hist.Observe(took.Seconds())
+		}
+		c := codes[sw.status]
+		if c == nil {
+			c = requestCounter(endpoint, sw.status)
+		}
+		c.Inc()
 		level := slog.LevelInfo
 		if quiet(endpoint) {
 			level = slog.LevelDebug
@@ -180,16 +246,57 @@ func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 	}
 }
 
+// familyCounters are one query family's traversal-stat counters, resolved
+// once at package init so the per-query path is a map lookup away from its
+// instruments instead of a label allocation plus registry lookup.
+type familyCounters struct {
+	visited, lp *obs.Counter
+}
+
+func newFamilyCounters(query string) *familyCounters {
+	return &familyCounters{
+		visited: obs.Default().Counter("tlx_query_visited_cells_total",
+			"Cells visited by query traversals.",
+			obs.Label{Name: "query", Value: query}),
+		lp: obs.Default().Counter("tlx_query_lp_calls_total",
+			"LP feasibility calls issued by query traversals.",
+			obs.Label{Name: "query", Value: query}),
+	}
+}
+
+var queryCounters = func() map[string]*familyCounters {
+	m := make(map[string]*familyCounters, len(families))
+	for name := range families {
+		m[name] = newFamilyCounters(name)
+	}
+	return m
+}()
+
 // recordQueryStats feeds one query's traversal statistics into the
 // per-query-type counters. Called for every traversal that ran, including
 // ones abandoned by cancellation (their partial stats still count).
 func recordQueryStats(query string, st tlx.QueryStats) {
-	obs.Default().Counter("tlx_query_visited_cells_total",
-		"Cells visited by query traversals.",
-		obs.Label{Name: "query", Value: query}).Add(uint64(st.VisitedCells))
-	obs.Default().Counter("tlx_query_lp_calls_total",
-		"LP feasibility calls issued by query traversals.",
-		obs.Label{Name: "query", Value: query}).Add(uint64(st.LPCalls))
+	c := queryCounters[query]
+	if c == nil {
+		c = newFamilyCounters(query)
+	}
+	c.visited.Add(uint64(st.VisitedCells))
+	c.lp.Add(uint64(st.LPCalls))
+}
+
+// sampleTrace decides whether a request that presented no caller
+// traceparent starts a fresh trace. The first request is always sampled
+// (the tick counter starts at zero, so tick 1 matches), then every
+// traceEvery-th after it; a rate of 0 samples nothing. The unsampled path
+// costs one atomic add and allocates nothing.
+func (h *Handler) sampleTrace() bool {
+	switch h.traceEvery {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	return h.traceTick.Add(1)%h.traceEvery == 1
 }
 
 // mountPprof registers the net/http/pprof handlers on the mux. Opt-in via

@@ -15,9 +15,11 @@ import (
 )
 
 // expositionLine matches one sample line of the Prometheus text format:
-// a metric name, optional {labels}, and a value.
+// a metric name, optional {labels}, a value, and an optional
+// OpenMetrics-style exemplar (` # {trace_id="..."} <value>`) as the
+// histogram +Inf buckets emit for the window's worst traced request.
 var expositionLine = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+( # \{trace_id="[0-9a-f]{32}"\} [^ ]+)?$`)
 
 // scrapeMetrics fetches /v1/metrics, validates every line parses as text
 // exposition, and returns the full body.
@@ -77,8 +79,8 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	body := scrapeMetrics(t, srv.URL)
 	required := []string{
-		`tlx_http_requests_total{endpoint="/topk",code="200"}`,
-		`tlx_http_request_seconds_bucket{endpoint="/topk",le="+Inf"}`,
+		`tlx_http_requests_total{endpoint="/v1/topk",code="200"}`,
+		`tlx_http_request_seconds_bucket{endpoint="/v1/topk",le="+Inf"}`,
 		`tlx_query_visited_cells_total{query="topk"}`,
 		`tlx_query_lp_calls_total{query="kspr"}`,
 		"tlx_build_verdict_cache_hits_total",

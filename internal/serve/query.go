@@ -10,6 +10,7 @@ import (
 
 	tlx "tlevelindex"
 	"tlevelindex/internal/cache"
+	"tlevelindex/internal/obs"
 )
 
 // Unified query decode/dispatch. Every query family — whether it arrives
@@ -83,6 +84,9 @@ type queryOutcome struct {
 // familySpec wires one query family into the shared pipeline.
 type familySpec struct {
 	name string
+	// itemSpan is the per-item trace span name ("item."+name), precomputed
+	// so the traced hot path concatenates nothing. Filled at init.
+	itemSpan string
 	// needsFocal marks families whose Focal parameter is required.
 	needsFocal bool
 	// fromURL decodes a legacy GET request; parameter errors carry the
@@ -129,6 +133,12 @@ func fmtFloats(dst []byte, v []float64) []byte {
 		dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
 	}
 	return dst
+}
+
+func init() {
+	for name, spec := range families {
+		spec.itemSpan = "item." + name
+	}
 }
 
 var families = map[string]*familySpec{
@@ -416,6 +426,27 @@ func parseIntParam(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// b2f renders a bool as a span attribute value.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// notePick emits the replica-pick child span into the request trace: which
+// serving index the routing decision landed on (the replica's position, or
+// -1 for the writer index). Untraced requests cost one context lookup.
+func notePick(ctx context.Context, replica int) {
+	sc, ok := obs.SpanContextFrom(ctx)
+	if !ok {
+		return
+	}
+	sp := obs.StartSpanIn(sc, "serve.pick")
+	sp.Set("replica", float64(replica))
+	sp.FinishTo(sc.Tracer)
+}
+
 // dispatch validates the request, routes it to a replica or the writer,
 // consults the cache, and runs the traversal on a miss.
 func (h *Handler) dispatch(ctx context.Context, q *QueryRequest) (*queryOutcome, error) {
@@ -429,6 +460,7 @@ func (h *Handler) dispatch(ctx context.Context, q *QueryRequest) (*queryOutcome,
 	depth := spec.depth(q)
 	if state, idx, ok := h.reps.pick(depth); ok {
 		h.reps.counters[idx].Inc()
+		notePick(ctx, idx)
 		// Replica states are immutable and never mutated in place, so the
 		// query runs with no locking; the state's LSN stamps the answer.
 		return h.runOn(ctx, spec, q, state.ix, state.lsn)
@@ -436,6 +468,7 @@ func (h *Handler) dispatch(ctx context.Context, q *QueryRequest) (*queryOutcome,
 	if h.reps != nil {
 		h.writerReqs.Inc()
 	}
+	notePick(ctx, -1)
 	var (
 		out *queryOutcome
 		err error
@@ -449,9 +482,38 @@ func (h *Handler) dispatch(ctx context.Context, q *QueryRequest) (*queryOutcome,
 	return out, err
 }
 
-// runOn is the shared cache-then-traverse path for one serving index.
+// runOn is the shared cache-then-traverse path for one serving index. When
+// the request is traced it wraps the item in a child span carrying the
+// cache status and annotates the trace with the query's identity (family,
+// preference vector, k, cell key, stats) — the detail the slow tier retains
+// so a captured slow request can be replayed exactly.
 func (h *Handler) runOn(ctx context.Context, spec *familySpec, q *QueryRequest,
 	ix *tlx.Index, lsn uint64) (*queryOutcome, error) {
+	sc, traced := obs.SpanContextFrom(ctx)
+	if !traced {
+		return h.runOnInner(ctx, spec, q, ix, lsn, nil)
+	}
+	sp := obs.StartSpanIn(sc, spec.itemSpan)
+	var key cache.Key
+	out, err := h.runOnInner(obs.ContextWithSpan(ctx, sc.ChildOf(sp.ID)), spec, q, ix, lsn, &key)
+	meta := obs.QueryMeta{Family: spec.name, W: q.W, K: q.K, Cell: obs.CellKey(key.Cell)}
+	sp.Err = err
+	if out != nil {
+		meta.Cached = out.cached
+		meta.VisitedCells, meta.LPCalls = out.stats.VisitedCells, out.stats.LPCalls
+		sp.Set("cached", b2f(out.cached))
+		sp.Set("visitedCells", float64(out.stats.VisitedCells))
+		sp.Set("lpCalls", float64(out.stats.LPCalls))
+	}
+	h.rec.Annotate(sc.Trace, meta)
+	sp.FinishTo(sc.Tracer)
+	return out, err
+}
+
+// runOnInner does runOn's actual work; keyOut, when non-nil, receives the
+// cache key the item resolved to (for the trace annotation).
+func (h *Handler) runOnInner(ctx context.Context, spec *familySpec, q *QueryRequest,
+	ix *tlx.Index, lsn uint64, keyOut *cache.Key) (*queryOutcome, error) {
 	var (
 		key       cache.Key
 		cacheable bool
@@ -463,6 +525,9 @@ func (h *Handler) runOn(ctx context.Context, spec *familySpec, q *QueryRequest,
 		// fastRun, which is still cheaper than the slow path's
 		// cacheKey-then-run pair on the same miss.
 		if key, engaged := spec.fastLocate(ix, q); engaged {
+			if keyOut != nil {
+				*keyOut = key
+			}
 			if v, ok := h.cache.Get(key, lsn); ok {
 				ans := v.(*cachedAnswer)
 				return &queryOutcome{result: ans.result, stats: ans.stats, cached: true, lsn: lsn}, nil
@@ -483,6 +548,9 @@ func (h *Handler) runOn(ctx context.Context, spec *familySpec, q *QueryRequest,
 	if h.cache != nil {
 		key, cacheable = spec.cacheKey(ix, q)
 		if cacheable {
+			if keyOut != nil {
+				*keyOut = key
+			}
 			if v, ok := h.cache.Get(key, lsn); ok {
 				ans := v.(*cachedAnswer)
 				return &queryOutcome{result: ans.result, stats: ans.stats, cached: true, lsn: lsn}, nil

@@ -155,6 +155,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	tlx "tlevelindex"
 	"tlevelindex/internal/cache"
@@ -167,6 +168,15 @@ import (
 // distinct cacheable answers is the cell count times the query families,
 // so a few thousand entries cover realistic indexes outright.
 const defaultCacheEntries = 4096
+
+// DefaultTraceSample is the head-sampling rate applied when
+// Config.TraceSample is zero: one fresh trace per this many requests.
+// Collecting a span tree costs a few microseconds and a dozen allocations
+// per request; at 1-in-64 the amortized cost disappears into measurement
+// noise while the recorder still sees a steady stream of representative
+// traces. Requests presenting a caller traceparent bypass sampling
+// entirely — a distributed trace must never lose its local leg.
+const DefaultTraceSample = 64
 
 // Config configures a Handler. The zero value is a production-reasonable
 // default: silent, no pprof, answer cache on at its default size, no
@@ -185,6 +195,28 @@ type Config struct {
 	// Replicas is the number of read-only index replicas to keep; 0 (the
 	// default) serves every query from the writer index under its lock.
 	Replicas int
+	// TraceBuffer bounds the flight recorder's recent-trace ring: 0 selects
+	// obs.DefaultTraceBuffer, a negative value disables the recorder (and
+	// with it request tracing and GET /v1/admin/trace).
+	TraceBuffer int
+	// SlowQuery is the slow-tier admission threshold: requests at least this
+	// slow are retained separately and logged at Warn. 0 selects
+	// obs.DefaultSlowThreshold; a negative value disables the slow tier.
+	SlowQuery time.Duration
+	// TraceSample is the head-sampling rate for fresh traces: when no caller
+	// traceparent is presented, one request in every TraceSample collects a
+	// full span tree (the first request is always sampled, so a fresh handler
+	// traces immediately). 0 selects DefaultTraceSample, 1 traces every
+	// request, and a negative value traces only requests that present a
+	// traceparent. Propagated traceparents are always traced regardless of
+	// the rate: a caller that chose to trace must see its downstream spans.
+	TraceSample int
+	// Recorder, when non-nil, is an externally constructed flight recorder
+	// the handler adopts instead of building its own (overriding TraceBuffer
+	// and SlowQuery). Follower deployments share one recorder between the
+	// handler and the replication client so a bootstrap's spans land in the
+	// same rings as request traces.
+	Recorder *obs.Recorder
 }
 
 // Follower is a replica following a remote primary (internal/replicate
@@ -216,8 +248,16 @@ type Handler struct {
 	fol   Follower     // non-nil only in follower mode
 	log   *slog.Logger
 	pprof bool
-	cache *cache.Cache // nil when disabled
-	reps  *replicaSet  // nil without replicas
+	cache *cache.Cache  // nil when disabled
+	reps  *replicaSet   // nil without replicas
+	rec   *obs.Recorder // flight recorder; nil when disabled
+	hot   *obs.HotCells // sampled cell-traffic sketch; nil without a cache
+	// traceEvery is the resolved head-sampling rate: a fresh trace starts on
+	// every traceEvery-th request without a caller traceparent (0 means only
+	// propagated traceparents are traced). traceTick is the request counter
+	// the rate divides.
+	traceEvery uint64
+	traceTick  atomic.Uint64
 	// writerReqs counts queries that fell through to the writer index in
 	// replicated mode (label replica="writer").
 	writerReqs *obs.Counter
@@ -284,6 +324,22 @@ func newHandler(h *Handler, cfg Config) *Handler {
 			n = defaultCacheEntries
 		}
 		h.cache = cache.New(n)
+		// Cell-keyed lookups feed the hot-cell sketch; sampled, so the
+		// common case stays one extra atomic add on the cache path.
+		h.hot = obs.NewHotCells(0, 0)
+		h.cache.SetSampler(h.hot.Observe)
+	}
+	switch {
+	case cfg.Recorder != nil:
+		h.rec = cfg.Recorder
+	case cfg.TraceBuffer >= 0:
+		h.rec = obs.NewRecorder(cfg.TraceBuffer, cfg.SlowQuery, h.log)
+	}
+	switch {
+	case cfg.TraceSample > 0:
+		h.traceEvery = uint64(cfg.TraceSample)
+	case cfg.TraceSample == 0:
+		h.traceEvery = DefaultTraceSample
 	}
 	if cfg.Replicas > 0 {
 		h.reps = newReplicaSet(cfg.Replicas)
@@ -332,7 +388,10 @@ func (h *Handler) index() *tlx.Index {
 func (h *Handler) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	register := func(path string, fn http.HandlerFunc) {
-		fn = h.instrument(path, fn)
+		// The instrument label is the canonical /v1 path (shared by the bare
+		// alias), so quiet(), dashboards, and the access log all name
+		// endpoints one way.
+		fn = h.instrument("/v1"+path, fn)
 		mux.HandleFunc("/v1"+path, fn)
 		mux.HandleFunc(path, fn)
 	}
@@ -347,6 +406,8 @@ func (h *Handler) Mux() *http.ServeMux {
 	register("/stats", get(h.handleStats))
 	register("/insert", post(h.handleInsert))
 	register("/metrics", get(obs.Default().Handler().ServeHTTP))
+	register("/admin/trace", get(h.handleTrace))
+	register("/admin/hotcells", get(h.handleHotCells))
 	if h.st != nil {
 		register("/admin/snapshot", post(h.handleSnapshot))
 		register("/admin/status", get(h.handleStatus))

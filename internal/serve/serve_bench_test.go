@@ -81,6 +81,21 @@ func BenchmarkServeTopKCached(b *testing.B) {
 	serveBench(b, NewHandler(serveBenchIndex(b), Config{}), sbTopKURL)
 }
 
+// The flight-recorder cost pair around BenchmarkServeTopKCached (which
+// runs with the recorder at its default-on, 1-in-64-sampled setting):
+// RecorderOff disables the recorder outright, TraceAll collects a span
+// tree for every request. Cached-vs-RecorderOff is the amortized cost of
+// default sampling (should vanish into noise); TraceAll-vs-RecorderOff is
+// the full per-request tracing cost — trace id generation, root and item
+// spans, the trace annotation, and the ring insert.
+func BenchmarkServeTopKCachedRecorderOff(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{TraceBuffer: -1}), sbTopKURL)
+}
+
+func BenchmarkServeTopKCachedTraceAll(b *testing.B) {
+	serveBench(b, NewHandler(serveBenchIndex(b), Config{TraceSample: 1}), sbTopKURL)
+}
+
 // The UTK pair is the headline cache number: region reachability is the
 // most expensive family, so the hit/miss qps ratio is largest here.
 func BenchmarkServeUTKUncached(b *testing.B) {

@@ -22,7 +22,9 @@ func newServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(ix, Config{}).Mux())
+	// TraceSample 1: the trace tests drive a handful of requests and expect
+	// every one of them in the flight recorder, not a 1-in-64 sample.
+	srv := httptest.NewServer(NewHandler(ix, Config{TraceSample: 1}).Mux())
 	t.Cleanup(srv.Close)
 	return srv
 }

@@ -1,0 +1,461 @@
+package serve
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tlx "tlevelindex"
+	"tlevelindex/internal/obs"
+)
+
+// traceOut mirrors the GET /v1/admin/trace response for decoding.
+type traceOut struct {
+	Traces []struct {
+		TraceID  string          `json:"traceId"`
+		Endpoint string          `json:"endpoint"`
+		Status   int             `json:"status"`
+		Slow     bool            `json:"slow"`
+		DurMs    float64         `json:"durMs"`
+		Queries  []obs.QueryMeta `json:"queries"`
+		Tree     *obs.SpanNode   `json:"tree"`
+	} `json:"traces"`
+	SlowMs       float64 `json:"slowThresholdMs"`
+	DroppedSpans uint64  `json:"droppedSpans"`
+}
+
+// walkTree flattens a span tree into name -> nodes.
+func walkTree(n *obs.SpanNode, into map[string][]*obs.SpanNode) {
+	if n == nil {
+		return
+	}
+	into[n.Name] = append(into[n.Name], n)
+	for _, c := range n.Children {
+		walkTree(c, into)
+	}
+}
+
+// TestBatchTraceTree is the tentpole acceptance test: one
+// POST /v1/query/batch against a replicated handler must surface as a
+// single retrievable trace whose tree shows the envelope, the replica
+// pick, the shared batch walk, and a per-item child span with its cache
+// status. The handler keeps the default config on purpose: a fresh
+// handler's first request must be head-sampled, so tracing works out of
+// the box without TraceSample tuning.
+func TestBatchTraceTree(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewReplicatedHandler(ix, 2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(h.Mux())
+	defer srv.Close()
+
+	// Two identical top-k items: the batch dedupes them to one cache fill,
+	// so the trace must show one fresh item and one within-batch hit.
+	body := `{"queries":[{"family":"topk","w":[0.18,0.82],"k":2},{"family":"topk","w":[0.18,0.82],"k":2}]}`
+	resp, err := http.Post(srv.URL+"/v1/query/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	trace, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", resp.Header.Get("traceparent"))
+	}
+
+	var out traceOut
+	if code := getJSON(t, srv.URL+"/v1/admin/trace?n=10", &out); code != 200 {
+		t.Fatalf("admin/trace status %d", code)
+	}
+	var found *obs.SpanNode
+	var queries []obs.QueryMeta
+	for _, tr := range out.Traces {
+		if tr.TraceID == trace.String() {
+			if tr.Endpoint != "/v1/query/batch" || tr.Status != 200 {
+				t.Fatalf("trace = %s %d", tr.Endpoint, tr.Status)
+			}
+			found, queries = tr.Tree, tr.Queries
+		}
+	}
+	if found == nil {
+		t.Fatalf("trace %s not retained (have %d traces)", trace, len(out.Traces))
+	}
+	if found.Name != "serve/v1/query/batch" {
+		t.Fatalf("root span = %q", found.Name)
+	}
+
+	names := make(map[string][]*obs.SpanNode)
+	walkTree(found, names)
+	picks := names["serve.pick"]
+	if len(picks) != 1 {
+		t.Fatalf("serve.pick spans = %d, want 1", len(picks))
+	}
+	if r, ok := picks[0].Attrs["replica"]; !ok || r < 0 {
+		t.Fatalf("pick did not land on a replica: attrs %v", picks[0].Attrs)
+	}
+	if len(names["query.topkbatch"]) != 1 {
+		t.Fatalf("shared batch walk span missing: %v", names)
+	}
+	items := names["item.topk"]
+	if len(items) != 2 {
+		t.Fatalf("item spans = %d, want 2", len(items))
+	}
+	cachedVals := []float64{}
+	for _, it := range items {
+		v, ok := it.Attrs["cached"]
+		if !ok {
+			t.Fatalf("item span without cached attr: %v", it.Attrs)
+		}
+		cachedVals = append(cachedVals, v)
+	}
+	if cachedVals[0]+cachedVals[1] != 1 {
+		t.Fatalf("want one fresh + one deduped hit, got cached attrs %v", cachedVals)
+	}
+	if len(queries) != 2 || queries[0].Family != "topk" || queries[0].Cell == 0 {
+		t.Fatalf("query annotations = %+v", queries)
+	}
+}
+
+// TestTraceparentAdoption: a caller-supplied W3C traceparent is adopted —
+// the request records under the caller's trace id with the caller's span
+// as the root's parent — and the response header names the server's span.
+func TestTraceparentAdoption(t *testing.T) {
+	srv := newServer(t)
+	callerTrace := obs.NewTraceID()
+	callerSpan := obs.NewSpanID()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/topk?w=0.18,0.82&k=2", nil)
+	req.Header.Set("traceparent", obs.Traceparent(callerTrace, callerSpan))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	gotTrace, gotSpan, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok || gotTrace != callerTrace {
+		t.Fatalf("response traceparent %q, want trace %s", resp.Header.Get("traceparent"), callerTrace)
+	}
+	if gotSpan == callerSpan {
+		t.Fatal("response span id echoes the caller's instead of the server root's")
+	}
+
+	var out traceOut
+	getJSON(t, srv.URL+"/v1/admin/trace?n=10", &out)
+	for _, tr := range out.Traces {
+		if tr.TraceID == callerTrace.String() {
+			if tr.Tree.ParentID != obs.SpanIDString(callerSpan) {
+				t.Fatalf("root parent = %q, want caller span %s", tr.Tree.ParentID, obs.SpanIDString(callerSpan))
+			}
+			if tr.Tree.SpanID != obs.SpanIDString(gotSpan) {
+				t.Fatalf("root span = %q, want %s (from response header)", tr.Tree.SpanID, obs.SpanIDString(gotSpan))
+			}
+			return
+		}
+	}
+	t.Fatalf("trace %s not recorded", callerTrace)
+}
+
+// plainWriter hides any Flusher the embedded ResponseWriter may have.
+type plainWriter struct{ http.ResponseWriter }
+
+// TestStatusWriterForwardsFlush: the instrument wrapper must not swallow
+// http.Flusher — streaming endpoints (the snapshot-shipping feed) rely on
+// pushing bytes mid-response.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	var _ http.Flusher = sw
+	sw.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush not forwarded to the underlying writer")
+	}
+	// A non-flushing underlying writer is a safe no-op.
+	(&statusWriter{ResponseWriter: plainWriter{httptest.NewRecorder()}, status: 200}).Flush()
+}
+
+// TestInstrumentedStreamingFlush is the follower's-eye regression test: a
+// client of an instrumented streaming endpoint must see flushed bytes
+// while the handler is still running, not after the whole response
+// buffered.
+func TestInstrumentedStreamingFlush(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(ix, Config{})
+
+	var (
+		release  = make(chan struct{})
+		once     sync.Once
+		gaveUp   atomic.Bool
+		flushers atomic.Int32
+	)
+	fn := h.instrument("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "first\n")
+		if f, ok := w.(http.Flusher); ok {
+			flushers.Add(1)
+			f.Flush()
+		}
+		<-release
+		io.WriteString(w, "rest\n")
+	})
+	srv := httptest.NewServer(fn)
+	defer srv.Close()
+	// Watchdog: if the first chunk never arrives (Flush swallowed), unblock
+	// the handler so the test fails instead of hanging.
+	stop := time.AfterFunc(5*time.Second, func() {
+		gaveUp.Store(true)
+		once.Do(func() { close(release) })
+	})
+	defer stop.Stop()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadString('\n')
+	if err != nil || line != "first\n" {
+		t.Fatalf("first chunk = %q, %v", line, err)
+	}
+	if gaveUp.Load() {
+		t.Fatal("first chunk arrived only after the handler completed: Flush was swallowed")
+	}
+	if flushers.Load() == 0 {
+		t.Fatal("instrumented writer does not implement http.Flusher")
+	}
+	once.Do(func() { close(release) })
+	if rest, _ := io.ReadAll(br); string(rest) != "rest\n" {
+		t.Fatalf("rest of stream = %q", rest)
+	}
+}
+
+// TestQuietCanonicalLabels: quiet() speaks the same endpoint names
+// instrument labels with — the canonical /v1 path — so scraper traffic is
+// demoted on both the alias and the versioned route, counts under one
+// label, and stays out of the flight recorder.
+func TestQuietCanonicalLabels(t *testing.T) {
+	if !quiet("/v1/metrics") || !quiet("/debug/pprof/heap") {
+		t.Fatal("quiet() misses the scraper endpoints")
+	}
+	if quiet("/v1/topk") {
+		t.Fatal("quiet() demotes a real endpoint")
+	}
+
+	srv := newServer(t)
+	for _, path := range []string{"/metrics", "/v1/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("traceparent") != "" {
+			t.Fatalf("%s was traced; scraper endpoints must stay out of the recorder", path)
+		}
+	}
+	body := scrapeMetrics(t, srv.URL)
+	if !strings.Contains(body, `tlx_http_requests_total{endpoint="/v1/metrics",code="200"}`) {
+		t.Fatal("metrics endpoint not counted under its canonical label")
+	}
+	if strings.Contains(body, `{endpoint="/metrics"`) {
+		t.Fatal("bare alias leaked its own endpoint label")
+	}
+	var out traceOut
+	getJSON(t, srv.URL+"/v1/admin/trace?n=100", &out)
+	for _, tr := range out.Traces {
+		if tr.Endpoint == "/v1/metrics" {
+			t.Fatal("scrape traffic entered the flight recorder")
+		}
+	}
+}
+
+// TestTraceAdminSmoke exercises the endpoint's parameters over HTTP the
+// way make obs-smoke curls it.
+func TestTraceAdminSmoke(t *testing.T) {
+	srv := newServer(t)
+	for i := 0; i < 5; i++ {
+		if code := getJSON(t, srv.URL+"/v1/topk?w=0.18,0.82&k=2", nil); code != 200 {
+			t.Fatalf("topk status %d", code)
+		}
+	}
+	var out traceOut
+	if code := getJSON(t, srv.URL+"/v1/admin/trace", &out); code != 200 {
+		t.Fatalf("trace status %d", code)
+	}
+	if len(out.Traces) < 5 {
+		t.Fatalf("recorder retained %d traces, want >= 5", len(out.Traces))
+	}
+	if out.SlowMs != 100 {
+		t.Fatalf("default slow threshold = %vms", out.SlowMs)
+	}
+	// min_ms filters; an impossible threshold leaves nothing.
+	var none traceOut
+	getJSON(t, srv.URL+"/v1/admin/trace?min_ms=60000", &none)
+	if len(none.Traces) != 0 {
+		t.Fatalf("min_ms filter kept %d traces", len(none.Traces))
+	}
+	var byFam traceOut
+	getJSON(t, srv.URL+"/v1/admin/trace?family=kspr", &byFam)
+	if len(byFam.Traces) != 0 {
+		t.Fatalf("family filter kept %d traces", len(byFam.Traces))
+	}
+	getJSON(t, srv.URL+"/v1/admin/trace?family=topk&n=2", &byFam)
+	if len(byFam.Traces) != 2 {
+		t.Fatalf("family+n returned %d traces", len(byFam.Traces))
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/trace?min_ms=banana", nil); code != 400 {
+		t.Fatalf("bad min_ms status %d", code)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/trace?min_ms=-1", nil); code != 400 {
+		t.Fatalf("negative min_ms status %d", code)
+	}
+}
+
+// TestRecorderDisabled: a negative TraceBuffer turns the flight recorder
+// off — no response traceparent, and the admin endpoint answers an empty
+// list rather than an error.
+func TestRecorderDisabled(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(ix, Config{TraceBuffer: -1}).Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/topk?w=0.18,0.82&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("traceparent") != "" {
+		t.Fatal("disabled recorder still answered a traceparent")
+	}
+	var out traceOut
+	if code := getJSON(t, srv.URL+"/v1/admin/trace", &out); code != 200 {
+		t.Fatalf("trace status %d", code)
+	}
+	if len(out.Traces) != 0 {
+		t.Fatalf("disabled recorder retained %d traces", len(out.Traces))
+	}
+}
+
+// TestTraceSampling: the default config head-samples fresh traces at
+// 1-in-DefaultTraceSample with the first request always in, and a negative
+// TraceSample traces nothing but propagated traceparents — which bypass
+// sampling at any rate.
+func TestTraceSampling(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := func(srv *httptest.Server, traceparent string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/topk?w=0.18,0.82&k=2", nil)
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	srv := httptest.NewServer(NewHandler(ix, Config{}).Mux())
+	defer srv.Close()
+	traced := 0
+	for i := 0; i < DefaultTraceSample+1; i++ {
+		if do(srv, "").Header.Get("traceparent") != "" {
+			traced++
+			if i != 0 && i != DefaultTraceSample {
+				t.Fatalf("request %d sampled; want only the 1st and %dth", i, DefaultTraceSample+1)
+			}
+		}
+	}
+	if traced != 2 {
+		t.Fatalf("sampled %d of %d requests, want 2", traced, DefaultTraceSample+1)
+	}
+
+	// Negative rate: no fresh traces, but a caller's traceparent still is.
+	off := httptest.NewServer(NewHandler(ix, Config{TraceSample: -1}).Mux())
+	defer off.Close()
+	if tp := do(off, "").Header.Get("traceparent"); tp != "" {
+		t.Fatalf("negative TraceSample started a fresh trace %q", tp)
+	}
+	caller := obs.NewTraceID()
+	resp := do(off, obs.Traceparent(caller, obs.NewSpanID()))
+	if got, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent")); !ok || got != caller {
+		t.Fatalf("propagated traceparent not honored: %q", resp.Header.Get("traceparent"))
+	}
+	var out traceOut
+	getJSON(t, off.URL+"/v1/admin/trace?n=10", &out)
+	if len(out.Traces) != 1 || out.Traces[0].TraceID != caller.String() {
+		t.Fatalf("recorder holds %+v, want exactly the propagated trace", out.Traces)
+	}
+}
+
+// TestHotCellsAdminSmoke: clustered traffic on one cell surfaces in the
+// hot-cell sketch with its hit/miss split. The sampler ticks once per
+// cache lookup, so 200 same-cell requests are sampled deterministically.
+func TestHotCellsAdminSmoke(t *testing.T) {
+	srv := newServer(t)
+	for i := 0; i < 200; i++ {
+		if code := getJSON(t, srv.URL+"/v1/topk?w=0.18,0.82&k=2", nil); code != 200 {
+			t.Fatalf("topk status %d", code)
+		}
+	}
+	var out struct {
+		SampleEvery int `json:"sampleEvery"`
+		Cells       []struct {
+			Cell   string  `json:"cell"`
+			Hits   uint64  `json:"hits"`
+			Misses uint64  `json:"misses"`
+			Total  uint64  `json:"total"`
+			Ratio  float64 `json:"hitRatio"`
+		} `json:"cells"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/hotcells", &out); code != 200 {
+		t.Fatalf("hotcells status %d", code)
+	}
+	if out.SampleEvery != obs.DefaultHotCellSample {
+		t.Fatalf("sampleEvery = %d", out.SampleEvery)
+	}
+	if len(out.Cells) != 1 {
+		t.Fatalf("hot cells = %+v, want exactly the one clustered cell", out.Cells)
+	}
+	c := out.Cells[0]
+	// 200 lookups at 1-in-64 sampling: ticks 64, 128, 192 — all hits (only
+	// the very first request missed).
+	if c.Total != 3 || c.Hits != 3 || c.Ratio != 1 {
+		t.Fatalf("sampled counts = %+v", c)
+	}
+	if len(c.Cell) != 16 {
+		t.Fatalf("cell key %q is not 16 hex digits", c.Cell)
+	}
+	if code := getJSON(t, srv.URL+"/v1/admin/hotcells?n=banana", nil); code != 400 {
+		t.Fatalf("bad n status %d", code)
+	}
+}

@@ -72,7 +72,7 @@ func (ix *Index) LocateTopK(ctx context.Context, w []float64, k int) (CellKey, i
 	if err != nil {
 		return CellKey{}, 0, nil, err
 	}
-	q := ix.startQuerySpan("query.locatetopk")
+	q := ix.startQuerySpan(ctx, "query.locatetopk")
 	h, level, res, st, err := ix.inner.LocateTopK(ctx, x, k, nil)
 	q.finish(exportStats(st), err)
 	out := &TopKResult{Stats: exportStats(st)}

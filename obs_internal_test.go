@@ -17,8 +17,9 @@ func TestNoopTracerZeroAlloc(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := QueryStats{VisitedCells: 7, LPCalls: 2}
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
-		q := ix.startQuerySpan("query.topk")
+		q := ix.startQuerySpan(ctx, "query.topk")
 		q.finish(st, nil)
 	})
 	if allocs != 0 {
