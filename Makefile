@@ -77,10 +77,11 @@ recovery-bench:
 		./internal/index | $(GO) run ./cmd/benchjson -baseline BENCH_recovery.json -out BENCH_recovery.json
 	@echo "wrote BENCH_recovery.json"
 
-# Observability smoke: scrape /v1/metrics through httptest, assert the
-# exposition parses (exemplars included) and every promised metric family
-# is present, and lint each registered metric name against the Prometheus
-# naming convention. The flight-recorder endpoints are scraped under real
+# Observability smoke: scrape /v1/metrics through httptest, assert both
+# expositions parse — classic 0.0.4 (which must stay exemplar-free) and
+# the negotiated OpenMetrics form (exemplars and # EOF included) — with
+# every promised metric family present, and lint each registered metric
+# name against the Prometheus naming convention. The flight-recorder endpoints are scraped under real
 # traffic — /v1/admin/trace must answer well-formed JSON with a non-empty
 # recorder and /v1/admin/hotcells the sampled hot-cell sketch — and the
 # zero-allocation guards for the disabled tracer and disabled recorder

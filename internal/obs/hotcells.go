@@ -85,7 +85,11 @@ func (h *HotCells) SampleEvery() int { return int(h.mask) + 1 }
 
 // Observe records one cache lookup against cell, subject to sampling. Safe
 // for concurrent use and on a nil receiver; the unsampled path is one
-// atomic add.
+// atomic add. The increment always lands while a shard lock is held, so a
+// concurrent admit cannot evict the slot between lookup and bump — every
+// sampled observation is accounted in exactly one resident slot and the
+// space-saving invariant (the sum of slot totals equals the sampled
+// observation count) holds under eviction churn.
 func (h *HotCells) Observe(cell uint64, hit bool) {
 	if h == nil {
 		return
@@ -95,40 +99,46 @@ func (h *HotCells) Observe(cell uint64, hit bool) {
 	}
 	sh := &h.shards[splitmix64(cell)&(hcShards-1)]
 	sh.mu.RLock()
-	slot := sh.m[cell]
-	sh.mu.RUnlock()
-	if slot == nil {
-		slot = h.admit(sh, cell)
+	if slot := sh.m[cell]; slot != nil {
+		slot.bump(hit)
+		sh.mu.RUnlock()
+		return
 	}
+	sh.mu.RUnlock()
+	h.admit(sh, cell, hit)
+}
+
+func (s *hcSlot) bump(hit bool) {
 	if hit {
-		slot.hits.Add(1)
+		s.hits.Add(1)
 	} else {
-		slot.misses.Add(1)
+		s.misses.Add(1)
 	}
 }
 
-// admit inserts a slot for cell, evicting the coldest resident when the
-// shard is full. The newcomer inherits the victim's total as its floor.
-func (h *HotCells) admit(sh *hcShard, cell uint64) *hcSlot {
+// admit records one observation against cell's slot, inserting it — and
+// evicting the coldest resident when the shard is full — under the write
+// lock. The newcomer inherits the victim's total as its floor.
+func (h *HotCells) admit(sh *hcShard, cell uint64, hit bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if slot := sh.m[cell]; slot != nil {
-		return slot
-	}
-	slot := &hcSlot{}
-	if len(sh.m) >= h.per {
-		var victim uint64
-		minTotal := ^uint64(0)
-		for c, s := range sh.m {
-			if t := s.total(); t < minTotal {
-				minTotal, victim = t, c
+	slot := sh.m[cell]
+	if slot == nil {
+		slot = &hcSlot{}
+		if len(sh.m) >= h.per {
+			var victim uint64
+			minTotal := ^uint64(0)
+			for c, s := range sh.m {
+				if t := s.total(); t < minTotal {
+					minTotal, victim = t, c
+				}
 			}
+			delete(sh.m, victim)
+			slot.floor = minTotal
 		}
-		delete(sh.m, victim)
-		slot.floor = minTotal
+		sh.m[cell] = slot
 	}
-	sh.m[cell] = slot
-	return slot
+	slot.bump(hit)
 }
 
 func (s *hcSlot) total() uint64 {

@@ -102,9 +102,11 @@ type histData struct {
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
 
-	// Exemplar: the trace id of the worst observation since the last scrape,
-	// rendered on the +Inf bucket line and cleared at scrape time so each
-	// scrape window names its own worst request.
+	// Exemplar: the trace id of the worst observation since the last
+	// OpenMetrics scrape, rendered on the +Inf bucket line of the
+	// OpenMetrics exposition only (the classic 0.0.4 text format has no
+	// exemplar syntax) and cleared when claimed, so each OpenMetrics scrape
+	// window names its own worst request.
 	exMu    sync.Mutex
 	exVal   float64
 	exTrace TraceID
@@ -252,9 +254,10 @@ func (h *Histogram) Observe(v float64) {
 func (h *Histogram) Count() uint64 { return h.m.hist.count.Load() }
 
 // ObserveWithExemplar records one observation and — when t is a real trace
-// id — offers it as the series' exemplar. The exposition keeps the worst
-// (largest) observation since the last scrape, so the +Inf bucket line links
-// straight to the scrape window's slowest request in the flight recorder.
+// id — offers it as the series' exemplar. The OpenMetrics exposition keeps
+// the worst (largest) observation since the last OpenMetrics scrape, so the
+// +Inf bucket line links straight to the scrape window's slowest request in
+// the flight recorder. The classic 0.0.4 exposition never carries it.
 func (h *Histogram) ObserveWithExemplar(v float64, t TraceID) {
 	h.Observe(v)
 	if t.IsZero() {
@@ -365,9 +368,25 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus renders every family in Prometheus text exposition format
-// (version 0.0.4), running OnScrape hooks first.
+// WritePrometheus renders every family in the classic Prometheus text
+// exposition format (version 0.0.4), running OnScrape hooks first. The
+// classic format has no exemplar syntax — a mid-line `#` breaks strict
+// 0.0.4 parsers — so exemplars are left pending for the next OpenMetrics
+// scrape rather than rendered here.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.write(w, false)
+}
+
+// WriteOpenMetrics renders every family as an OpenMetrics exposition:
+// counter families drop their `_total` suffix on the HELP/TYPE lines (the
+// sample line keeps it, as the spec requires), histogram +Inf buckets carry
+// the pending exemplar — the trace id of the window's worst observation,
+// linking into /v1/admin/trace — and the output ends with `# EOF`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	fns := append([]func(){}, r.scrapeFns...)
 	r.mu.Unlock()
@@ -378,10 +397,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	defer r.mu.Unlock()
 	for _, name := range r.order {
 		f := r.fams[name]
-		if f.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		famName := f.name
+		if openMetrics && f.typ == "counter" {
+			// OpenMetrics names the family without the reserved suffix;
+			// every counter here ends in _total by convention (the smoke
+			// lint), so the sample name below stays f.name.
+			famName = strings.TrimSuffix(f.name, "_total")
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", famName, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.typ)
 		for _, sig := range f.order {
 			m := f.metrics[sig]
 			switch f.typ {
@@ -408,11 +434,10 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				io.WriteString(w, f.name+"_bucket")
 				writeLabels(w, m.labels, Label{"le", "+Inf"})
 				fmt.Fprintf(w, " %d", m.hist.count.Load())
-				if v, t, ok := m.hist.takeExemplar(); ok {
-					// OpenMetrics-style exemplar, tolerated as a comment by
-					// 0.0.4 parsers: the trace id of the scrape window's
-					// worst observation, linking into /v1/admin/trace.
-					fmt.Fprintf(w, " # {trace_id=\"%s\"} %s", t.String(), formatFloat(v))
+				if openMetrics {
+					if v, t, ok := m.hist.takeExemplar(); ok {
+						fmt.Fprintf(w, " # {trace_id=\"%s\"} %s", t.String(), formatFloat(v))
+					}
 				}
 				io.WriteString(w, "\n")
 				io.WriteString(w, f.name+"_sum")
@@ -424,12 +449,27 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 		}
 	}
+	if openMetrics {
+		io.WriteString(w, "# EOF\n")
+	}
 }
 
+// openMetricsContentType is the negotiated OpenMetrics media type; the
+// version echoes the exposition features used (exemplars).
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler returns an http.Handler exposing the registry in Prometheus text
-// format, suitable for mounting at /v1/metrics.
+// format, suitable for mounting at /v1/metrics. Scrapers that negotiate
+// application/openmetrics-text via the Accept header get the OpenMetrics
+// exposition (exemplars included); everyone else gets classic 0.0.4, which
+// has no exemplar syntax and therefore carries none.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

@@ -125,6 +125,45 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestOpenMetricsExposition: the negotiated OpenMetrics rendering names
+// counter families without the reserved _total suffix (the sample line
+// keeps it), terminates with # EOF, and leaves the classic 0.0.4 rendering
+// untouched — same sample names, full family name on metadata lines, no
+// trailer.
+func TestOpenMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tlx_om_total", "requests", Label{"k", "v"}).Inc()
+	r.Gauge("tlx_om_g", "level").Set(2)
+
+	var buf bytes.Buffer
+	r.WriteOpenMetrics(&buf)
+	out := buf.String()
+	for _, w := range []string{
+		"# HELP tlx_om requests",
+		"# TYPE tlx_om counter",
+		`tlx_om_total{k="v"} 1`,
+		"# TYPE tlx_om_g gauge",
+		"tlx_om_g 2",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("OpenMetrics exposition missing %q\n%s", w, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition missing # EOF trailer:\n%s", out)
+	}
+
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "# TYPE tlx_om_total counter") {
+		t.Errorf("classic exposition renamed the counter family:\n%s", out)
+	}
+	if strings.Contains(out, "# EOF") {
+		t.Errorf("classic exposition carries the OpenMetrics trailer:\n%s", out)
+	}
+}
+
 func TestConcurrentInstruments(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

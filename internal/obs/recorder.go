@@ -294,7 +294,11 @@ func (tr *Trace) matches(minDur time.Duration, family string) bool {
 // Snapshot returns up to n retained traces at least minDur slow and — when
 // family is non-empty — touching that query family, newest first. The slow
 // tier is consulted alongside the recent rings, so a slow request stays
-// retrievable after fast traffic has lapped the ring.
+// retrievable after fast traffic has lapped the ring. Dedup is by trace
+// identity (the *Trace held by both tiers), never by trace id: one
+// distributed trace legitimately spans several recorded legs — a follower
+// bootstrap's snapshot-stream fetch plus its tail fetches all share the
+// follower's trace id — and every leg must stay retrievable.
 func (r *Recorder) Snapshot(minDur time.Duration, family string, n int) []*Trace {
 	if r == nil {
 		return nil
@@ -302,13 +306,13 @@ func (r *Recorder) Snapshot(minDur time.Duration, family string, n int) []*Trace
 	if n <= 0 {
 		n = 50
 	}
-	seen := make(map[TraceID]bool)
+	seen := make(map[*Trace]bool)
 	var out []*Trace
 	collect := func(tr *Trace) {
-		if tr == nil || seen[tr.ID] || !tr.matches(minDur, family) {
+		if tr == nil || seen[tr] || !tr.matches(minDur, family) {
 			return
 		}
-		seen[tr.ID] = true
+		seen[tr] = true
 		out = append(out, tr)
 	}
 	for i := range r.shards {

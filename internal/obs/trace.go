@@ -111,26 +111,41 @@ func Traceparent(t TraceID, span uint64) string {
 }
 
 // ParseTraceparent parses a W3C traceparent header value, accepting any
-// version whose first two fields have the version-00 layout. ok is false
-// for malformed headers and for the invalid all-zero ids.
-func ParseTraceparent(s string) (t TraceID, span uint64, ok bool) {
+// version whose first fields have the version-00 layout (trailing fields
+// after a further '-' are tolerated, as future versions may add them). ok
+// is false for malformed headers — a non-hex or forbidden "ff" version,
+// malformed trace-flags — and for the invalid all-zero ids. sampled is the
+// trace-flags sampled bit: a caller that sends flags 00 explicitly opted
+// the request out of recording, and callers should honor that.
+func ParseTraceparent(s string) (t TraceID, span uint64, sampled, ok bool) {
 	// version "00" layout: 2-35-52-55 with '-' separators.
 	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
-		return TraceID{}, 0, false
+		return TraceID{}, 0, false, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return TraceID{}, 0, false, false
+	}
+	var ver [1]byte
+	if _, err := hex.Decode(ver[:], []byte(s[:2])); err != nil || ver[0] == 0xff {
+		return TraceID{}, 0, false, false
 	}
 	t, ok = ParseTraceID(s[3:35])
 	if !ok {
-		return TraceID{}, 0, false
+		return TraceID{}, 0, false, false
 	}
 	var b [8]byte
 	if _, err := hex.Decode(b[:], []byte(s[36:52])); err != nil {
-		return TraceID{}, 0, false
+		return TraceID{}, 0, false, false
 	}
 	span = binary.BigEndian.Uint64(b[:])
 	if span == 0 {
-		return TraceID{}, 0, false
+		return TraceID{}, 0, false, false
 	}
-	return t, span, true
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return TraceID{}, 0, false, false
+	}
+	return t, span, flags[0]&0x01 == 0x01, true
 }
 
 // SpanContext is the request-scoped trace position carried through

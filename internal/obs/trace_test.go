@@ -6,6 +6,7 @@ import (
 	"errors"
 	"log/slog"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -50,13 +51,18 @@ func TestTraceparentRoundTrip(t *testing.T) {
 	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") || len(hdr) != 55 {
 		t.Fatalf("Traceparent = %q", hdr)
 	}
-	gotT, gotS, ok := ParseTraceparent(hdr)
-	if !ok || gotT != id || gotS != span {
-		t.Fatalf("ParseTraceparent(%q) = %v %v %v", hdr, gotT, gotS, ok)
+	gotT, gotS, sampled, ok := ParseTraceparent(hdr)
+	if !ok || !sampled || gotT != id || gotS != span {
+		t.Fatalf("ParseTraceparent(%q) = %v %v %v %v", hdr, gotT, gotS, sampled, ok)
 	}
 	// Trailing fields beyond the version-00 layout are tolerated.
-	if _, _, ok := ParseTraceparent(hdr + "-extra"); !ok {
+	if _, _, _, ok := ParseTraceparent(hdr + "-extra"); !ok {
 		t.Fatal("traceparent with trailing field rejected")
+	}
+	// The sampled bit reflects the trace-flags field: flags 00 parses fine
+	// but reports the caller's explicit opt-out.
+	if _, _, sampled, ok := ParseTraceparent(hdr[:52] + "-00"); !ok || sampled {
+		t.Fatalf("flags 00: sampled=%v ok=%v, want false true", sampled, ok)
 	}
 }
 
@@ -74,8 +80,15 @@ func TestParseTraceparentRejects(t *testing.T) {
 			"00f067aa0ba902b7-01",
 		"bad hex span": "00-0af7651916cd43dd8448eb211c80319c-" +
 			"00f067aa0ba902bz-01",
+		"bad hex version": "zz-0af7651916cd43dd8448eb211c80319c-" +
+			"00f067aa0ba902b7-01",
+		"forbidden version ff": "ff-0af7651916cd43dd8448eb211c80319c-" +
+			"00f067aa0ba902b7-01",
+		"bad hex flags": "00-0af7651916cd43dd8448eb211c80319c-" +
+			"00f067aa0ba902b7-0g",
+		"trailing junk without separator": valid + "x",
 	} {
-		if _, _, ok := ParseTraceparent(s); ok {
+		if _, _, _, ok := ParseTraceparent(s); ok {
 			t.Errorf("%s: ParseTraceparent(%q) accepted", name, s)
 		}
 	}
@@ -166,6 +179,30 @@ func TestRecorderSlowTierSurvivesRingLap(t *testing.T) {
 	if !strings.Contains(buf.String(), "slow query captured") ||
 		!strings.Contains(buf.String(), slow.String()) {
 		t.Fatalf("slow query not logged:\n%s", buf.String())
+	}
+}
+
+// TestSnapshotKeepsDistributedLegs: a follower bootstrap produces several
+// primary-side request traces sharing one trace id (the snapshot-stream
+// fetch plus tail fetches). Snapshot dedupes by trace identity, not id, so
+// every leg stays retrievable.
+func TestSnapshotKeepsDistributedLegs(t *testing.T) {
+	r := NewRecorder(64, time.Second, nil)
+	id := NewTraceID()
+	sc := SpanContext{Trace: id, Tracer: r}
+	for _, endpoint := range []string{"/v1/admin/snapshot/stream", "/v1/admin/wal", "/v1/admin/wal"} {
+		root := StartSpanIn(sc, "serve"+endpoint)
+		root.Duration = time.Millisecond
+		r.Record(root, endpoint, 200)
+	}
+	got := r.Snapshot(0, "", 0)
+	if len(got) != 3 {
+		t.Fatalf("Snapshot kept %d of 3 legs sharing trace id %s: %+v", len(got), id, got)
+	}
+	for _, tr := range got {
+		if tr.ID != id {
+			t.Fatalf("leg has trace id %s, want %s", tr.ID, id)
+		}
 	}
 }
 
@@ -262,17 +299,28 @@ func TestHistogramExemplar(t *testing.T) {
 	h.ObserveWithExemplar(0.05, NewTraceID()) // not the worst; must not displace
 	h.ObserveWithExemplar(0.01, TraceID{})    // untraced observation carries none
 
+	// The classic 0.0.4 exposition has no exemplar syntax: a pending
+	// exemplar must neither render there nor be consumed by the scrape.
 	var buf bytes.Buffer
 	r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "#") && strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("0.0.4 exposition carries an exemplar:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	r.WriteOpenMetrics(&buf)
 	want := `tlx_ex_seconds_bucket{op="q",le="+Inf"} 4 # {trace_id="` + worst.String() + `"} 0.9`
 	if !strings.Contains(buf.String(), want) {
 		t.Fatalf("exemplar missing; want %q in:\n%s", want, buf.String())
 	}
+	if !strings.HasSuffix(buf.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition missing # EOF trailer:\n%s", buf.String())
+	}
 
-	// The exemplar is consumed by the scrape; the next exposition is bare
-	// until a new traced observation arrives.
+	// The exemplar is consumed by the OpenMetrics scrape; the next
+	// exposition is bare until a new traced observation arrives.
 	buf.Reset()
-	r.WritePrometheus(&buf)
+	r.WriteOpenMetrics(&buf)
 	if strings.Contains(buf.String(), "trace_id") {
 		t.Fatalf("exemplar not cleared by scrape:\n%s", buf.String())
 	}
@@ -320,6 +368,34 @@ func TestHotCellsSampling(t *testing.T) {
 	// A non-power-of-two divisor rounds down to one.
 	if got := NewHotCells(16, 7).SampleEvery(); got != 4 {
 		t.Fatalf("SampleEvery(7) = %d, want 4", got)
+	}
+}
+
+// TestHotCellsChurnLosesNothing: every sampled observation lands in exactly
+// one resident slot even while concurrent admits evict slots, so the sum of
+// slot totals (eviction floors included) equals the observation count — the
+// space-saving invariant a lock-free bump-after-lookup would violate. Run
+// under -race this also exercises the lock discipline.
+func TestHotCellsChurnLosesNothing(t *testing.T) {
+	h := NewHotCells(4, 1) // one slot per shard: constant eviction churn
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(g*per+i), i%2 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum uint64
+	for _, s := range h.Top(0) {
+		sum += s.Total
+	}
+	if sum != goroutines*per {
+		t.Fatalf("slot totals sum to %d, want %d: increments lost under eviction churn", sum, goroutines*per)
 	}
 }
 

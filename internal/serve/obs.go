@@ -184,13 +184,15 @@ func requestCounter(endpoint string, code int) *obs.Counter {
 // path, shared by the bare alias.
 //
 // Tracing: the wrapper adopts the caller's W3C traceparent when one is
-// presented (so a follower's fetches appear under the follower's trace) and
-// otherwise starts a fresh trace for the sampled 1-in-Config.TraceSample of
-// requests, answers the chosen position in the response traceparent header,
-// and carries it to the handlers through the request context. When the root
-// finishes, the assembled trace enters the recorder and the latency
-// observation carries the trace id as its exemplar. Quiet endpoints are not
-// traced: scraper traffic in the recent-trace ring would be pure noise.
+// presented with the sampled flag set (so a follower's fetches appear under
+// the follower's trace), honors an explicitly unsampled traceparent (flags
+// 00) by leaving the request untraced, and otherwise starts a fresh trace
+// for the sampled 1-in-Config.TraceSample of requests, answers the chosen
+// position in the response traceparent header, and carries it to the
+// handlers through the request context. When the root finishes, the
+// assembled trace enters the recorder and the latency observation carries
+// the trace id as its exemplar. Quiet endpoints are not traced: scraper
+// traffic in the recent-trace ring would be pure noise.
 func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
 	hist := obs.Default().Histogram("tlx_http_request_seconds",
 		"HTTP request latency in seconds.", obs.LatencyBuckets(),
@@ -210,11 +212,14 @@ func (h *Handler) instrument(endpoint string, fn http.HandlerFunc) http.HandlerF
 			traced bool
 		)
 		if traceable {
-			trace, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			// A parsed-but-unsampled traceparent (flags 00) is the caller
+			// explicitly opting out; it neither records nor consumes a
+			// head-sampling tick.
+			trace, parent, sampled, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
 			if !ok && h.sampleTrace() {
-				trace, parent, ok = obs.NewTraceID(), 0, true
+				trace, parent, sampled, ok = obs.NewTraceID(), 0, true, true
 			}
-			if ok {
+			if ok && sampled {
 				traced = true
 				sc = obs.SpanContext{Trace: trace, Span: parent, Tracer: h.rec}
 				root = obs.StartSpanIn(sc, rootSpan)

@@ -14,15 +14,22 @@ import (
 	"tlevelindex/internal/obs"
 )
 
-// expositionLine matches one sample line of the Prometheus text format:
-// a metric name, optional {labels}, a value, and an optional
-// OpenMetrics-style exemplar (` # {trace_id="..."} <value>`) as the
-// histogram +Inf buckets emit for the window's worst traced request.
+// expositionLine matches one sample line of the classic Prometheus text
+// format (version 0.0.4): a metric name, optional {labels}, and a value —
+// no exemplars, which that format has no syntax for.
 var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+$`)
+
+// openMetricsLine additionally allows the OpenMetrics exemplar suffix
+// (` # {trace_id="..."} <value>`) that histogram +Inf buckets emit for the
+// window's worst traced request.
+var openMetricsLine = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [^ ]+( # \{trace_id="[0-9a-f]{32}"\} [^ ]+)?$`)
 
-// scrapeMetrics fetches /v1/metrics, validates every line parses as text
-// exposition, and returns the full body.
+// scrapeMetrics fetches /v1/metrics without content negotiation, validates
+// every line parses as classic 0.0.4 text exposition — in particular that
+// no exemplar leaks into the format, which strict scrapers would fail the
+// whole scrape over — and returns the full body.
 func scrapeMetrics(t *testing.T, base string) string {
 	t.Helper()
 	resp, err := http.Get(base + "/v1/metrics")
@@ -54,6 +61,53 @@ func scrapeMetrics(t *testing.T, base string) string {
 		}
 		if !expositionLine.MatchString(line) {
 			t.Errorf("line does not parse as text exposition: %q", line)
+		}
+	}
+	return body
+}
+
+// scrapeOpenMetrics fetches /v1/metrics negotiating the OpenMetrics
+// exposition via the Accept header, validates every line (exemplars
+// allowed) and the mandatory # EOF trailer, and returns the full body.
+func scrapeOpenMetrics(t *testing.T, base string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("OpenMetrics exposition missing the # EOF trailer")
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || line == "# EOF" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment line %q", line)
+			continue
+		}
+		if !openMetricsLine.MatchString(line) {
+			t.Errorf("line does not parse as OpenMetrics exposition: %q", line)
 		}
 	}
 	return body
@@ -101,6 +155,19 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range required {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition is missing %q", want)
+		}
+	}
+	// The first topk request was head-sampled, so an exemplar is pending:
+	// it must stay out of the classic exposition (scrapeMetrics verified
+	// line shapes above) and surface on the negotiated OpenMetrics one,
+	// which links /v1/metrics to the flight recorder.
+	om := scrapeOpenMetrics(t, srv.URL)
+	if !strings.Contains(om, `trace_id="`) {
+		t.Error("OpenMetrics exposition is missing the worst-trace exemplar")
+	}
+	for _, want := range required {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics exposition is missing %q", want)
 		}
 	}
 }

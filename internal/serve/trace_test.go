@@ -72,7 +72,7 @@ func TestBatchTraceTree(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status %d", resp.StatusCode)
 	}
-	trace, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	trace, _, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
 	if !ok {
 		t.Fatalf("response traceparent %q does not parse", resp.Header.Get("traceparent"))
 	}
@@ -147,7 +147,7 @@ func TestTraceparentAdoption(t *testing.T) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	gotTrace, gotSpan, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	gotTrace, gotSpan, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
 	if !ok || gotTrace != callerTrace {
 		t.Fatalf("response traceparent %q, want trace %s", resp.Header.Get("traceparent"), callerTrace)
 	}
@@ -169,6 +169,54 @@ func TestTraceparentAdoption(t *testing.T) {
 		}
 	}
 	t.Fatalf("trace %s not recorded", callerTrace)
+}
+
+// TestUnsampledTraceparentHonored: a caller that presents trace-flags 00
+// explicitly opted out of recording. The W3C semantics are honored — the
+// request is not traced, not recorded, does not answer a traceparent (which
+// would falsely claim flags 01), and does not consume a head-sampling tick.
+func TestUnsampledTraceparentHonored(t *testing.T) {
+	ix, err := tlx.Build(hotels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(ix, Config{}).Mux())
+	defer srv.Close()
+
+	caller := obs.NewTraceID()
+	hdr := obs.Traceparent(caller, obs.NewSpanID())
+	hdr = hdr[:len(hdr)-2] + "00" // clear the sampled flag
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/topk?w=0.18,0.82&k=2", nil)
+	req.Header.Set("traceparent", hdr)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if tp := resp.Header.Get("traceparent"); tp != "" {
+		t.Fatalf("unsampled request answered traceparent %q", tp)
+	}
+
+	// The opt-out did not burn the head-sampling budget: the next bare
+	// request is still the handler's first sampled one.
+	resp2, err := http.Get(srv.URL + "/v1/topk?w=0.18,0.82&k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.Header.Get("traceparent") == "" {
+		t.Fatal("head sampling consumed by the unsampled caller")
+	}
+
+	var out traceOut
+	getJSON(t, srv.URL+"/v1/admin/trace?n=100", &out)
+	for _, tr := range out.Traces {
+		if tr.TraceID == caller.String() {
+			t.Fatal("explicitly unsampled trace was recorded")
+		}
+	}
 }
 
 // plainWriter hides any Flusher the embedded ResponseWriter may have.
@@ -407,7 +455,7 @@ func TestTraceSampling(t *testing.T) {
 	}
 	caller := obs.NewTraceID()
 	resp := do(off, obs.Traceparent(caller, obs.NewSpanID()))
-	if got, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent")); !ok || got != caller {
+	if got, _, _, ok := obs.ParseTraceparent(resp.Header.Get("traceparent")); !ok || got != caller {
 		t.Fatalf("propagated traceparent not honored: %q", resp.Header.Get("traceparent"))
 	}
 	var out traceOut
