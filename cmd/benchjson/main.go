@@ -40,13 +40,16 @@ import (
 // percent-level drift.
 const gateFactor = 2.0
 
-// result is one benchmark line in structured form.
+// result is one benchmark line in structured form. Extra holds custom
+// b.ReportMetric columns (e.g. the ingest bench's fsyncs/rec) keyed by
+// unit; the standard B/op and allocs/op columns keep their own fields.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -113,15 +116,23 @@ func parseBench(r io.Reader) ([]result, error) {
 		}
 		r := result{Name: trimProcSuffix(fields[0]), Iterations: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				continue
-			}
 			switch fields[i+1] {
 			case "B/op":
-				r.BytesPerOp = &v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					r.BytesPerOp = &v
+				}
 			case "allocs/op":
-				r.AllocsPerOp = &v
+				if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					r.AllocsPerOp = &v
+				}
+			default:
+				// Custom b.ReportMetric column (floats, arbitrary unit).
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					if r.Extra == nil {
+						r.Extra = make(map[string]float64)
+					}
+					r.Extra[fields[i+1]] = v
+				}
 			}
 		}
 		out = append(out, r)

@@ -9,6 +9,7 @@ const benchText = `goos: linux
 goarch: amd64
 BenchmarkTopK-4         	     100	       200.5 ns/op	       0 B/op	       0 allocs/op
 BenchmarkTopKBatch-4    	    6400	        60.25 ns/op	       8 B/op	       0 allocs/op
+BenchmarkIngestSingle-4 	      64	 494361604 ns/op	         1.000 fsyncs/rec
 PASS
 ok  	tlevelindex/internal/index	1.2s
 `
@@ -24,14 +25,18 @@ func parsed(t *testing.T, text string) []result {
 
 func TestParseBench(t *testing.T) {
 	rs := parsed(t, benchText)
-	if len(rs) != 2 {
-		t.Fatalf("parsed %d results, want 2", len(rs))
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
 	}
 	if rs[0].Name != "BenchmarkTopK" || rs[0].NsPerOp != 200.5 || rs[0].Iterations != 100 {
 		t.Fatalf("first result: %+v", rs[0])
 	}
 	if rs[1].Name != "BenchmarkTopKBatch" || *rs[1].AllocsPerOp != 0 || *rs[1].BytesPerOp != 8 {
 		t.Fatalf("second result: %+v", rs[1])
+	}
+	// Custom b.ReportMetric columns land in Extra keyed by unit.
+	if rs[2].Name != "BenchmarkIngestSingle" || rs[2].Extra["fsyncs/rec"] != 1.0 {
+		t.Fatalf("third result: %+v", rs[2])
 	}
 }
 

@@ -121,6 +121,7 @@ var experiments = []struct {
 	{"ablation", "design-choice ablations (DESIGN.md §9)", expAblation},
 	{"parallel", "parallel build speedup and determinism vs worker count", expParallel},
 	{"persist", "durability overhead: WAL fsync per insert, snapshot, recovery", expPersist},
+	{"ingest", "ingest throughput: single vs batched vs group-commit writers (DESIGN.md §20)", expIngest},
 }
 
 // workersFlag is the -workers value, threaded into every build the

@@ -340,6 +340,19 @@ func (r *Region) cacheWitness(x []float64, slack float64) {
 	r.witnessSlack = slack
 }
 
+// WitnessSlack returns the cached witness together with its exact slack
+// (min over HS of the distance to each constraint). Callers holding a
+// monotonically growing constraint set can carry the pair forward: the
+// slack of the same point after appending halfspaces is the min of this
+// value and the new constraints' slacks, no LP needed. The slice is
+// region-owned; copy it to outlive the region.
+func (r *Region) WitnessSlack() (x []float64, slack float64, ok bool) {
+	if len(r.witness) == r.Dim && r.Dim > 0 && r.witnessSlack > InteriorEps {
+		return r.witness, r.witnessSlack, true
+	}
+	return nil, 0, false
+}
+
 // ContainsPoint reports whether x satisfies every halfspace within tol.
 func (r *Region) ContainsPoint(x []float64, tol float64) bool {
 	for _, h := range r.HS {

@@ -48,7 +48,15 @@ func buildIBA(ix *Index, order []int) {
 // the level below (already settled), so the intersection LPs fan out over
 // the worker pool; tombstoning and parent assignment are then applied
 // sequentially in slice order.
-func (ix *Index) fixupEdges() {
+func (ix *Index) fixupEdges() { ix.fixupEdgesWith(nil) }
+
+// fixupEdgesWith is fixupEdges with an optional batch-insert cache. With a
+// cache, Definition-2 regions of Bound-free cells advance incrementally
+// instead of rebuilding from scratch, and parent-intersection outcomes are
+// carried across rounds as monotone certificates (see insertCache). Every
+// shortcut reproduces the exact decision the uncached scan would make, so
+// the resulting DAG is identical either way.
+func (ix *Index) fixupEdgesWith(cache *insertCache) {
 	type info struct {
 		r   []int32
 		reg *geom.Region
@@ -66,13 +74,35 @@ func (ix *Index) fixupEdges() {
 		allIDs = append(allIDs, c.ID)
 		k := setKey(in.r)
 		byKey[k] = append(byKey[k], c.ID)
+		if cache != nil {
+			// A changed result set invalidates every certificate the cell
+			// participates in; regions are validated separately against the
+			// exact sequence, so the set-canonical key suffices here.
+			if cache.key[c.ID] != k {
+				cache.gen[c.ID]++
+				cache.key[c.ID] = k
+			}
+			if c.Bound == nil {
+				// Pre-create the region slot while still serial; the map
+				// must not grow during the parallel phases below.
+				cache.regionEntry(c.ID)
+			}
+		}
 	}
 	// Reassemble every cell's region up front, in parallel; each goroutine
 	// writes only its own info. Parent chains stay untouched until the
 	// rewiring at the end, so these regions match what lazy reassembly
-	// would have produced.
+	// would have produced. Bound-carrying cells use the (cheap) bounded
+	// form and are rebuilt fresh; Bound-free cells are the O(options) case
+	// the cache advances incrementally.
 	pool.ForEach(ix.workers, len(allIDs), func(i int) {
-		infos[allIDs[i]].reg = ix.Region(allIDs[i])
+		id := allIDs[i]
+		in := infos[id]
+		if cache != nil && ix.Cells[id].Bound == nil {
+			in.reg = ix.advanceRegion(cache.reg[id], id, in.r, len(ix.Pts))
+		} else {
+			in.reg = ix.Region(id)
+		}
 	})
 	// Compute the exact parent set of every cell, ascending by level so that
 	// cells whose regions turn out empty are tombstoned before they can act
@@ -83,10 +113,138 @@ func (ix *Index) fixupEdges() {
 		perLevel[ix.Cells[id].Level] = append(perLevel[ix.Cells[id].Level], id)
 	}
 	newParents := make(map[int32][]int32)
+	type pairUpdate struct {
+		key [2]int32
+		ps  *pairState
+	}
 	type parentResult struct {
 		parents  []int32
 		fallback int32
 		lpCalls  int64
+		newPairs []pairUpdate
+	}
+	// exactScan is the reference computation: one full intersection LP per
+	// live candidate, plus the empty-or-degenerate check when none passes.
+	exactScan := func(in *info, cands []int32) parentResult {
+		res := parentResult{fallback: -1}
+		var fallbackMargin float64
+		comb := geom.GetRegion()
+		defer geom.PutRegion(comb)
+		for _, p := range cands {
+			if ix.Cells[p].Level < 0 {
+				continue // parent was tombstoned
+			}
+			comb.CopyFrom(in.reg)
+			comb.Add(infos[p].reg.HS...)
+			res.lpCalls++
+			if m, ok := comb.FeasibleMargin(); ok {
+				if m > geom.InteriorEps {
+					res.parents = append(res.parents, p)
+				} else if res.fallback < 0 || m > fallbackMargin {
+					res.fallback, fallbackMargin = p, m
+				}
+			}
+		}
+		if len(res.parents) == 0 {
+			// No full-dimensional parent intersection: decide between
+			// dropping the cell and keeping its best boundary parent.
+			res.lpCalls++
+			if !in.reg.Feasible() {
+				res.fallback = -1
+			}
+		}
+		return res
+	}
+	// cachedScan settles candidates through the pair-certificate cache.
+	// Regions only shrink while generations hold, so a failed pair is
+	// skipped outright and a passed pair re-verifies its witness against
+	// only the halfspaces appended since the last full LP. ok=false means
+	// the fallback bookkeeping is incomplete (candidates were skipped yet
+	// no parent emerged — a rare case that needs exact margins); the caller
+	// must then rerun exactScan, which reproduces the reference decision.
+	cachedScan := func(id int32, in *info, cands []int32) (parentResult, bool) {
+		res := parentResult{fallback: -1}
+		var fallbackMargin float64
+		cGen := cache.gen[id]
+		nc := len(in.reg.HS)
+		skipped := false
+		comb := geom.GetRegion()
+		defer geom.PutRegion(comb)
+		for _, p := range cands {
+			if ix.Cells[p].Level < 0 {
+				continue // parent was tombstoned
+			}
+			pin := infos[p]
+			pGen := cache.gen[p]
+			np := len(pin.reg.HS)
+			key := [2]int32{id, p}
+			ps := cache.pair[key]
+			if ps == nil {
+				ps = &pairState{}
+				res.newPairs = append(res.newPairs, pairUpdate{key, ps})
+			} else if ps.cGen == cGen && ps.pGen == pGen {
+				if ps.failed {
+					// Monotone: the margin was ≤ InteriorEps (or the
+					// intersection empty) and regions have only shrunk.
+					skipped = true
+					continue
+				}
+				if len(ps.w) > 0 && ps.nc <= nc && ps.np <= np {
+					// Witness re-verification: the constraint prefixes are
+					// stable while generations hold, so the cached slack
+					// only needs tightening by the appended halfspaces.
+					s := ps.slack
+					for _, h := range in.reg.HS[ps.nc:nc] {
+						if v := -h.Eval(ps.w); v < s {
+							s = v
+						}
+					}
+					for _, h := range pin.reg.HS[ps.np:np] {
+						if v := -h.Eval(ps.w); v < s {
+							s = v
+						}
+					}
+					if s > geom.InteriorEps {
+						// The witness is still strictly interior: the true
+						// margin is ≥ s, the same verdict the LP would give.
+						ps.slack, ps.nc, ps.np = s, nc, np
+						res.parents = append(res.parents, p)
+						continue
+					}
+					// Witness cut off — margin unknown, rerun the LP below.
+				}
+			}
+			comb.CopyFrom(in.reg)
+			comb.Add(pin.reg.HS...)
+			res.lpCalls++
+			ps.cGen, ps.pGen, ps.failed, ps.w = cGen, pGen, true, ps.w[:0]
+			if m, ok := comb.FeasibleMargin(); ok {
+				if m > geom.InteriorEps {
+					res.parents = append(res.parents, p)
+					if w, s, wok := comb.WitnessSlack(); wok {
+						ps.failed = false
+						ps.w = append(ps.w[:0], w...)
+						ps.slack, ps.nc, ps.np = s, nc, np
+					} else {
+						// Passed without a usable certificate: leave the
+						// pair unknown so the next round reruns the LP.
+						ps.cGen = cGen - 1
+					}
+				} else if res.fallback < 0 || m > fallbackMargin {
+					res.fallback, fallbackMargin = p, m
+				}
+			}
+		}
+		if len(res.parents) == 0 {
+			if skipped {
+				return res, false
+			}
+			res.lpCalls++
+			if !in.reg.Feasible() {
+				res.fallback = -1
+			}
+		}
+		return res, true
 	}
 	for l := 1; l <= ix.Tau; l++ {
 		ids := perLevel[l]
@@ -99,7 +257,6 @@ func (ix *Index) fixupEdges() {
 		results := make([]parentResult, len(ids))
 		pool.ForEach(ix.workers, len(ids), func(i int) {
 			id := ids[i]
-			res := parentResult{fallback: -1}
 			in := infos[id]
 			opt := ix.Cells[id].Opt
 			prefix := make([]int32, 0, len(in.r)-1)
@@ -108,37 +265,28 @@ func (ix *Index) fixupEdges() {
 					prefix = append(prefix, v)
 				}
 			}
-			var fallbackMargin float64
-			comb := geom.GetRegion()
-			defer geom.PutRegion(comb)
-			for _, p := range byKey[setKey(prefix)] {
-				if ix.Cells[p].Level < 0 {
-					continue // parent was tombstoned
-				}
-				comb.CopyFrom(in.reg)
-				comb.Add(infos[p].reg.HS...)
-				res.lpCalls++
-				if m, ok := comb.FeasibleMargin(); ok {
-					if m > geom.InteriorEps {
-						res.parents = append(res.parents, p)
-					} else if res.fallback < 0 || m > fallbackMargin {
-						res.fallback, fallbackMargin = p, m
-					}
-				}
+			cands := byKey[setKey(prefix)]
+			if cache == nil {
+				results[i] = exactScan(in, cands)
+				return
 			}
-			if len(res.parents) == 0 {
-				// No full-dimensional parent intersection: decide between
-				// dropping the cell and keeping its best boundary parent.
-				res.lpCalls++
-				if !in.reg.Feasible() {
-					res.fallback = -1
-				}
+			res, ok := cachedScan(id, in, cands)
+			if !ok {
+				exact := exactScan(in, cands)
+				exact.lpCalls += res.lpCalls
+				exact.newPairs = res.newPairs
+				res = exact
 			}
 			results[i] = res
 		})
 		for i, id := range ids {
 			res := &results[i]
 			ix.Stats.LPCalls += res.lpCalls
+			// Commit pair states minted in the parallel phase; the map only
+			// grows here, serially.
+			for _, u := range res.newPairs {
+				cache.pair[u.key] = u.ps
+			}
 			if len(res.parents) > 0 {
 				newParents[id] = res.parents
 				continue
@@ -215,6 +363,11 @@ type ibaState struct {
 	// created marks cells born during this insertion round; they already
 	// account for rj and must never be cloned into an rj-shifted sub-DAG.
 	created map[int32]bool
+	// cache, when non-nil (batch inserts only), carries Definition-2
+	// regions across records so they advance by appending instead of
+	// rebuilding. Requires st.inserted to be the ascending prefix
+	// [0, len) of the option universe, which batch thaw guarantees.
+	cache *insertCache
 }
 
 // regionOver builds the Definition-2 region of a cell with respect to the
@@ -222,6 +375,17 @@ type ibaState struct {
 func (st *ibaState) regionOver(id int32, withRJ bool) *geom.Region {
 	ix := st.ix
 	c := &ix.Cells[id]
+	if st.cache != nil && c.Opt != NoOption {
+		// st.inserted is [0, rj) and rj == len(st.inserted), so the two
+		// universes are the ascending prefixes Pts[:rj] and Pts[:rj+1];
+		// the cached region advances to either by appending, in exactly
+		// the constraint order the uncached build below would produce.
+		target := len(st.inserted)
+		if withRJ {
+			target = int(st.rj) + 1
+		}
+		return ix.advanceRegion(st.cache.regionEntry(id), id, ix.ResultSet(id), target)
+	}
 	reg := geom.NewRegion(ix.RDim())
 	if c.Opt == NoOption {
 		return reg

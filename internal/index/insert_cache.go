@@ -1,0 +1,127 @@
+package index
+
+import (
+	"tlevelindex/internal/geom"
+)
+
+// insertCache is the batch-scoped reuse state that makes InsertBatch cheaper
+// per record than N sequential InsertOption calls. It exploits two
+// monotonicity facts that hold within one batch (options are only ever
+// appended, cells are renumbered only by the final compact):
+//
+//  1. A cell's Definition-2 region only gains halfspaces as records arrive,
+//     and gains them in option-index order — so a cached region advances to
+//     the current universe by appending, producing a constraint list (and
+//     hash) bit-identical to a fresh rebuild instead of paying the
+//     O(options) reassembly every record.
+//
+//  2. Regions only shrink. A parent-intersection test that failed can never
+//     start passing while both result sets are unchanged, so failed pairs
+//     are skipped outright; a test that passed re-verifies in O(d) by
+//     evaluating its cached Chebyshev witness against only the halfspaces
+//     appended since — the full LP reruns only when the witness is cut off.
+//
+// Everything cached here is a pure shortcut: every decision it feeds
+// (classification, parenthood, tombstoning) is provably the one the
+// sequential path would make, which is what keeps a batch-built index
+// byte-identical to the sequentially built one. The cache dies with the
+// batch — compact() renumbers cells, invalidating every key.
+type insertCache struct {
+	// gen counts (R, opt) changes per cell id; key holds the last observed
+	// setKey of the cell's result sequence. Pair certificates are valid only
+	// while both endpoint generations are unchanged.
+	gen map[int32]uint32
+	key map[int32]string
+	// reg caches Definition-2 regions (Bound-free form) per cell id.
+	reg map[int32]*cachedRegion
+	// pair caches parent-intersection outcomes keyed by {child, parent}.
+	pair map[[2]int32]*pairState
+}
+
+func newInsertCache() *insertCache {
+	return &insertCache{
+		gen:  make(map[int32]uint32),
+		key:  make(map[int32]string),
+		reg:  make(map[int32]*cachedRegion),
+		pair: make(map[[2]int32]*pairState),
+	}
+}
+
+// regionEntry returns the cell's region slot, creating it if needed. Only
+// call from single-goroutine contexts (the insert traversal, or the serial
+// prologue of fixupEdges) — the map must not grow during parallel phases.
+func (ic *insertCache) regionEntry(id int32) *cachedRegion {
+	e := ic.reg[id]
+	if e == nil {
+		e = &cachedRegion{}
+		ic.reg[id] = e
+	}
+	return e
+}
+
+// cachedRegion is one cell's Definition-2 region over the universe of the
+// first npts options, together with the result sequence it was derived
+// from (the validity check: a cell whose R changed is rebuilt fresh).
+type cachedRegion struct {
+	reg  *geom.Region
+	r    []int32
+	npts int
+}
+
+// pairState is the cached outcome of one (child, parent) intersection test,
+// valid while both cells' generations match. A failed pair stays failed
+// (regions only shrink). A passing pair carries the witness point of its
+// last full LP plus the constraint counts that witness was verified
+// against; re-verification evaluates only the newer halfspaces.
+type pairState struct {
+	cGen, pGen uint32
+	failed     bool
+	w          []float64
+	slack      float64
+	nc, np     int
+}
+
+// advanceRegion returns id's Definition-2 region over the universe
+// Pts[:target], reusing e's cached constraint set when the cell's result
+// sequence still equals r. The fresh-build path lays halfspaces in exactly
+// regionOver's order (prefix prefs, then non-R options ascending), and the
+// advance path appends the newly arrived options at the tail — which is
+// where a fresh build would put them, since new options always take the
+// largest indices. Constraint order, dedup, and hash are therefore
+// bit-identical to an uncached rebuild.
+func (ix *Index) advanceRegion(e *cachedRegion, id int32, r []int32, target int) *geom.Region {
+	c := &ix.Cells[id]
+	if e.reg == nil || e.npts > target || !int32sEqual(e.r, r) {
+		if e.reg == nil {
+			e.reg = geom.NewRegion(ix.RDim())
+		} else {
+			e.reg.Reset(ix.RDim())
+		}
+		e.r = append(e.r[:0], r...)
+		e.npts = 0
+		opt := ix.Pts[c.Opt]
+		for _, j := range r[:len(r)-1] {
+			e.reg.AddPref(ix.Pts[j], opt)
+		}
+	}
+	opt := ix.Pts[c.Opt]
+	for q := e.npts; q < target; q++ {
+		if !containsID(e.r, int32(q)) {
+			e.reg.AddPref(opt, ix.Pts[q])
+		}
+	}
+	e.npts = target
+	return e.reg
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -413,6 +413,7 @@ func (f *Follower) fetchFull() (*tlx.Index, uint64, error) {
 		return nil, 0, err
 	}
 	rp.Set("records", float64(last-hdr.SnapLSN))
+	rp.Set("chunks", float64((last-hdr.SnapLSN+tailChunk-1)/tailChunk))
 	f.finishSpan(rp, nil)
 	f.observePrimary(last)
 	f.pruneLocal(hdr.SnapLSN)
@@ -450,39 +451,71 @@ func (f *Follower) downloadSnapshot(hdr store.ShipHeader, r io.Reader) (string, 
 	return final, nil
 }
 
-// applyTail replays shipped records LSNs from+1 .. hdr.TailLSN onto ix,
-// cross-checking every re-assigned id against the id the primary
-// acknowledged — the store's replay divergence check, applied over the
-// wire. With live set, ix is the served index: each record applies under
-// the write lock and f.applied advances with it, so a corrupt record
-// aborts the batch with the index still consistent at the last good LSN
-// (returned either way). Without live, ix is private bootstrap state and
-// no lock or counter is touched.
+// tailChunk bounds one batched apply of shipped records: large enough to
+// amortize the engine's thaw/re-freeze maintenance across a deep catch-up,
+// small enough that a live follower's write-lock holds (queries stall
+// underneath them) stay bounded.
+const tailChunk = 256
+
+// errDiverged marks a replay whose re-derived ids contradict the ids the
+// primary acknowledged: the local index no longer matches the primary's
+// history and only a re-bootstrap recovers. It wraps store.ErrCorrupt.
+var errDiverged = fmt.Errorf("%w: follower diverged from primary history", store.ErrCorrupt)
+
+// applyTail replays shipped records LSNs from+1 .. hdr.TailLSN onto ix in
+// contiguous chunks of up to tailChunk records: each chunk is read fully
+// off the wire first — a torn or out-of-order record aborts with nothing
+// from that chunk applied — then applied through the engine's amortized
+// InsertBatch, whose semantics are byte-identical to sequential inserts.
+// Every re-assigned id is cross-checked against the id the primary
+// acknowledged (the store's replay divergence check, applied over the
+// wire); a mismatch or per-record apply error wraps errDiverged, because
+// the chunk's remaining records were already applied and the index has
+// left the primary's history — the follow loop answers by re-bootstrapping.
+//
+// With live set, ix is the served index: each chunk applies under one
+// write-lock hold and f.applied advances once per chunk, so a deep
+// catch-up costs lag/tailChunk lock acquisitions instead of lag. Without
+// live, ix is private bootstrap state and no lock or counter is touched.
 func (f *Follower) applyTail(ix *tlx.Index, hdr store.ShipHeader, r io.Reader, from uint64, live bool) (uint64, error) {
 	last := from
-	for lsn := from + 1; lsn <= hdr.TailLSN; lsn++ {
-		rec, err := store.ReadShipRecord(r)
-		if err != nil {
-			return last, err
-		}
-		if rec.LSN != lsn {
-			return last, fmt.Errorf("%w: shipped record %d where %d expected", store.ErrCorrupt, rec.LSN, lsn)
+	recs := make([]store.ShipRecord, 0, tailChunk)
+	attrs := make([][]float64, 0, tailChunk)
+	for last < hdr.TailLSN {
+		recs, attrs = recs[:0], attrs[:0]
+		for lsn := last + 1; lsn <= hdr.TailLSN && len(recs) < tailChunk; lsn++ {
+			rec, err := store.ReadShipRecord(r)
+			if err != nil {
+				return last, err
+			}
+			if rec.LSN != lsn {
+				return last, fmt.Errorf("%w: shipped record %d where %d expected", store.ErrCorrupt, rec.LSN, lsn)
+			}
+			recs = append(recs, rec)
+			attrs = append(attrs, rec.Attrs)
 		}
 		if live {
 			f.mu.Lock()
 		}
-		id, err := ix.Insert(rec.Attrs)
-		if err == nil && int64(id) != rec.ID {
-			err = fmt.Errorf("%w: replay diverged at record %d: re-assigned id %d, acknowledged id %d",
-				store.ErrCorrupt, lsn, id, rec.ID)
-		}
-		if err == nil {
-			last = lsn
-			if live {
-				f.applied.Store(lsn)
+		results, _ := ix.InsertBatch(attrs)
+		verified := 0
+		var err error
+		for i, res := range results {
+			lsn := last + uint64(i) + 1
+			if res.Err != nil {
+				err = fmt.Errorf("%w: replay failed at record %d: %v", errDiverged, lsn, res.Err)
+				break
 			}
+			if int64(res.ID) != recs[i].ID {
+				err = fmt.Errorf("%w: replay diverged at record %d: re-assigned id %d, acknowledged id %d",
+					errDiverged, lsn, res.ID, recs[i].ID)
+				break
+			}
+			verified++
 		}
+		last += uint64(verified)
 		if live {
+			f.applied.Store(last)
 			f.mu.Unlock()
 		}
 		if err != nil {
@@ -538,12 +571,25 @@ func (f *Follower) followLoop() {
 		f.mu.RLock()
 		ix := f.ix
 		f.mu.RUnlock()
-		_, err := f.fetchTail(ix, f.applied.Load(), true)
+		from := f.applied.Load()
+		last, err := f.fetchTail(ix, from, true)
 		switch {
 		case err == nil:
+			if n := last - from; n > 0 {
+				f.log.Debug("replicate: applied tail", "records", n,
+					"chunks", (n+tailChunk-1)/tailChunk, "appliedLsn", last)
+			}
 		case errors.Is(err, store.ErrShipGap):
 			f.state.Store("rebootstrapping")
 			f.log.Warn("replicate: primary pruned past our LSN; re-bootstrapping")
+			f.rebootstrap()
+			f.state.Store("following")
+		case errors.Is(err, errDiverged):
+			// The served index has records the primary never acknowledged
+			// (a chunk applied past the point of divergence); only a fresh
+			// ship restores it to an exact prefix of the primary's history.
+			f.state.Store("rebootstrapping")
+			f.log.Error("replicate: replay diverged; re-bootstrapping", "err", err)
 			f.rebootstrap()
 			f.state.Store("following")
 		default:

@@ -365,6 +365,44 @@ func TestCorruptStreamExhaustsRetries(t *testing.T) {
 	}
 }
 
+// TestFollowerBatchedCatchUp: a burst wider than one replay chunk lands on
+// the primary in a single group commit, so the follower's next poll must
+// catch up through the chunked batch replay — more than one chunk, one
+// write-lock hold each — and still serve byte-identical answers at the
+// head LSN.
+func TestFollowerBatchedCatchUp(t *testing.T) {
+	srv, st := newPrimary(t, t.TempDir())
+	f := startFollower(t, Options{PrimaryURL: srv.URL, Dir: t.TempDir()})
+	fsrv := httptest.NewServer(serve.NewFollowerHandler(f, serve.Config{CacheEntries: -1}).Mux())
+	defer fsrv.Close()
+	base := f.AppliedLSN()
+
+	// An anti-chain beyond every hotel's first attribute: no option
+	// dominates another and none is dominated, so the τ-skyband accepts
+	// the whole burst and every option logs a record.
+	const burst = tailChunk + 40
+	opts := make([][]float64, burst)
+	for i := range opts {
+		step := float64(i+1) / float64(burst+1)
+		opts[i] = []float64{0.905 + 0.09*step, 0.99 - 0.4*step}
+	}
+	results, _, err := st.InsertBatchLSN(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil || res.ID < 0 {
+			t.Fatalf("burst option %d filtered (id %d, err %v); the catch-up would be narrower than a chunk", i, res.ID, res.Err)
+		}
+	}
+
+	waitCaughtUp(t, f, st.Status().AppliedLSN)
+	if got, want := f.AppliedLSN(), base+burst; got != want {
+		t.Fatalf("follower applied LSN %d after catch-up, want %d", got, want)
+	}
+	assertByteIdentical(t, srv.URL, fsrv.URL)
+}
+
 // goneProxy answers 410 Gone to tail polls while tripped, simulating a
 // primary that pruned past the follower's position; full bootstraps pass
 // through untouched.

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"tlevelindex/internal/obs"
+	"tlevelindex/internal/store"
+)
+
+// POST /v1/insert/batch: many options through one envelope, one engine
+// batch apply, one WAL fsync group, one cache-invalidation LSN advance,
+// and one replica republish. The envelope is {"options": [[attr, ...],
+// ...]} in and {"results": [<item>, ...]} out, index-aligned with the
+// request. A successful item is {"id": n, "lsn": m} — the same fields as a
+// /v1/insert response, with n = -1 for a filtered option — and a failed
+// item is {"error": "...", "status": n} with the status the single-insert
+// endpoint would have answered, failing no neighbors. The whole batch is
+// acknowledged only after every accepted record is fsync'd; per-item LSNs
+// are each record's own durable stamp, exactly as if the options had been
+// POSTed one at a time.
+
+// maxBatchInserts bounds one envelope, mirroring maxBatchQueries: it caps
+// the memory one request can pin and keeps the batch's write-lock hold (and
+// its WAL fsync group) bounded.
+const maxBatchInserts = 1024
+
+// insertBatchRecordsTotal counts options carried by /v1/insert/batch
+// envelopes; compare with tlx_wal_appends_total to see how much of the
+// write load arrives pre-batched.
+var insertBatchRecordsTotal = obs.Default().Counter("tlx_insert_batch_records_total",
+	"Options submitted through the batched insert endpoint.")
+
+// insertBatchItem is one per-option outcome inside the batch envelope. ID
+// and LSN are pointers so a success item always carries both fields (an id
+// of -1 and an LSN of 0 are meaningful) while a failure item carries
+// neither.
+type insertBatchItem struct {
+	ID     *int    `json:"id,omitempty"`
+	LSN    *uint64 `json:"lsn,omitempty"`
+	Error  string  `json:"error,omitempty"`
+	Status int     `json:"status,omitempty"`
+}
+
+func (h *Handler) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Options [][]float64 `json:"options"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		badRequest(w, "bad insert batch body: %v", err)
+		return
+	}
+	if len(body.Options) == 0 {
+		badRequest(w, "empty batch")
+		return
+	}
+	if len(body.Options) > maxBatchInserts {
+		badRequest(w, "batch of %d inserts exceeds the limit of %d", len(body.Options), maxBatchInserts)
+		return
+	}
+	if h.fol != nil {
+		writeJSON(w, http.StatusForbidden, struct {
+			Error   string `json:"error"`
+			Primary string `json:"primary"`
+		}{"follower is read-only; insert on the primary", h.fol.PrimaryURL()})
+		return
+	}
+	insertBatchRecordsTotal.Add(uint64(len(body.Options)))
+	results, _, err := h.applyInsertBatch(r.Context(), body.Options)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// One republish covers every record in the batch: the read-your-writes
+	// argument only needs the replicas current as of the last acknowledged
+	// LSN, and that is exactly what a single post-batch publish installs.
+	h.publishAfterInserts(results)
+	items := make([]insertBatchItem, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			items[i] = insertBatchItem{Error: res.Err.Error(), Status: statusFor(res.Err)}
+			continue
+		}
+		id, lsn := res.ID, res.LSN
+		items[i] = insertBatchItem{ID: &id, LSN: &lsn}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []insertBatchItem `json:"results"`
+	}{items})
+}
+
+// applyInsertBatch runs one batch of options through the write path the
+// handler serves: the store's group-commit WAL in durable mode, the
+// in-memory index under the write lock otherwise. Per-item LSN semantics
+// match N sequential single inserts — each logged record gets its own
+// stamp, filtered and failed items echo the last preceding one — but the
+// in-memory LSN counter is published once, after the whole batch, so
+// concurrent cached readers see one invalidation instead of N.
+func (h *Handler) applyInsertBatch(ctx context.Context, opts [][]float64) ([]store.BatchResult, store.GroupStats, error) {
+	var (
+		results []store.BatchResult
+		stats   store.GroupStats
+		err     error
+	)
+	sc, traced := obs.SpanContextFrom(ctx)
+	var sp obs.Span
+	if traced {
+		sp = obs.StartSpanIn(sc, "insert.batch")
+	}
+	if h.st != nil {
+		// The store groups the batch with any concurrent writers and fsyncs
+		// once before returning: the response below is the durability ack.
+		results, stats, err = h.st.InsertBatchLSN(opts)
+	} else {
+		h.mu.Lock()
+		results, stats = h.memInsertBatch(opts)
+		h.mu.Unlock()
+	}
+	if traced {
+		sp.Err = err
+		sp.Set("records", float64(len(opts)))
+		sp.Set("logged", float64(stats.Logged))
+		sp.Set("thawNs", float64(stats.ThawNS))
+		sp.Set("finalizeNs", float64(stats.FinalizeNS))
+		sp.FinishTo(sc.Tracer)
+	}
+	return results, stats, err
+}
+
+// memInsertBatch is the memory-mode write path; call with h.mu held. It
+// applies the batch through the engine's amortized InsertBatch and stamps
+// per-item LSNs against the in-memory counter, storing the advanced value
+// once at the end — the batch's single cache-invalidation bump.
+func (h *Handler) memInsertBatch(opts [][]float64) ([]store.BatchResult, store.GroupStats) {
+	results, bs := h.ix.InsertBatch(opts)
+	out := make([]store.BatchResult, len(results))
+	lsn := h.memLSN.Load()
+	logged := 0
+	for i, res := range results {
+		if res.Err == nil && res.ID >= 0 {
+			lsn++
+			logged++
+		}
+		out[i] = store.BatchResult{ID: res.ID, LSN: lsn, Err: res.Err}
+	}
+	h.memLSN.Store(lsn)
+	return out, store.GroupStats{
+		Requests: 1, Records: len(opts), Logged: logged,
+		ThawNS: bs.ThawNS, FinalizeNS: bs.FinalizeNS,
+	}
+}
+
+// publishAfterInserts republishes the replica set once when any item in the
+// batch resolved to a dataset id, before the acknowledgement is written —
+// the same read-your-writes ordering the single-insert path keeps.
+func (h *Handler) publishAfterInserts(results []store.BatchResult) {
+	for _, res := range results {
+		if res.Err == nil && res.ID >= 0 {
+			h.publishReplicas()
+			return
+		}
+	}
+}

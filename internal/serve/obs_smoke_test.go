@@ -130,6 +130,13 @@ func TestMetricsEndpoint(t *testing.T) {
 	if code := postJSON(t, srv.URL+"/v1/insert", `{"option":[0.95,0.95]}`, nil); code != 200 {
 		t.Fatalf("insert failed")
 	}
+	// Batched insert load: three options (two fresh, one duplicate) through
+	// one envelope — one fsync group of three records on top of the single
+	// insert's group of one.
+	if code := postJSON(t, srv.URL+"/v1/insert/batch",
+		`{"options":[[0.96,0.9],[0.9,0.96],[0.95,0.95]]}`, nil); code != 200 {
+		t.Fatalf("batch insert failed")
+	}
 
 	body := scrapeMetrics(t, srv.URL)
 	required := []string{
@@ -141,10 +148,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"tlx_build_verdict_cache_hit_ratio",
 		"tlx_wal_append_seconds_bucket",
 		"tlx_wal_fsync_seconds_bucket",
-		"tlx_wal_ack_seconds_count 1",
-		"tlx_wal_appends_total 1",
+		"tlx_wal_ack_seconds_count 2",
+		"tlx_wal_appends_total 4",
+		"tlx_wal_fsyncs_total 2",
+		"tlx_wal_group_size_count 2",
+		"tlx_insert_batch_records_total 3",
 		"tlx_snapshot_bytes",
-		"tlx_store_applied_lsn 1",
+		"tlx_store_applied_lsn 4",
 		"tlx_lp_solves_total",
 		"tlx_dykstra_calls_total",
 		`tlx_witness_fastpath_total{kind="settle"}`,

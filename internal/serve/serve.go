@@ -39,6 +39,9 @@
 // Updates are POST:
 //
 //	/v1/insert                      add an option to the index
+//	/v1/insert/batch                add up to 1024 options through one
+//	                                engine batch apply, one WAL fsync
+//	                                group, and one replica republish
 //
 // # JSON envelope
 //
@@ -405,6 +408,7 @@ func (h *Handler) Mux() *http.ServeMux {
 	}
 	register("/stats", get(h.handleStats))
 	register("/insert", post(h.handleInsert))
+	register("/insert/batch", post(h.handleInsertBatch))
 	register("/metrics", get(obs.Default().Handler().ServeHTTP))
 	register("/admin/trace", get(h.handleTrace))
 	register("/admin/hotcells", get(h.handleHotCells))
@@ -525,35 +529,24 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}{"follower is read-only; insert on the primary", h.fol.PrimaryURL()})
 		return
 	}
-	var (
-		id  int
-		lsn uint64
-		err error
-	)
-	if h.st != nil {
-		// The store locks internally and fsyncs the WAL record before
-		// returning: the 200 below is the durability acknowledgement.
-		id, lsn, err = h.st.InsertLSN(body.Option)
-	} else {
-		h.mu.Lock()
-		id, err = h.ix.Insert(body.Option)
-		if err == nil && id >= 0 {
-			lsn = h.memLSN.Add(1)
-		} else {
-			lsn = h.memLSN.Load()
-		}
-		h.mu.Unlock()
-	}
+	// A single insert is a batch of one through the shared write path: the
+	// store groups it with any concurrent writers' records under one WAL
+	// fsync (group commit), and the memory path takes the same amortized
+	// engine batch. The wire contract is unchanged.
+	results, _, err := h.applyInsertBatch(r.Context(), [][]float64{body.Option})
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	res := results[0]
+	if res.Err != nil {
+		writeErr(w, res.Err)
 		return
 	}
 	// Republish the replicas before acknowledging so a client that sees
 	// this 200 can never read a pre-insert answer afterwards
 	// (read-your-writes). Filtered options change nothing; skip the swap.
-	if id >= 0 {
-		h.publishReplicas()
-	}
+	h.publishAfterInserts(results)
 	// The acknowledged LSN is this insert's own version stamp (captured
 	// under the write lock), not the LSN at response time: a concurrent
 	// not-yet-published insert must not leak into the ack, or a client
@@ -561,7 +554,7 @@ func (h *Handler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		ID  int    `json:"id"`
 		LSN uint64 `json:"lsn"`
-	}{id, lsn})
+	}{res.ID, res.LSN})
 }
 
 func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {

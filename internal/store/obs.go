@@ -25,6 +25,11 @@ var (
 		obs.LatencyBuckets())
 	walAppendsTotal = obs.Default().Counter("tlx_wal_appends_total",
 		"WAL records appended and fsync'd.")
+	walFsyncsTotal = obs.Default().Counter("tlx_wal_fsyncs_total",
+		"WAL fsync calls. Under group commit this grows slower than tlx_wal_appends_total; the ratio is fsyncs per record.")
+	walGroupSize = obs.Default().Histogram("tlx_wal_group_size",
+		"Records committed per WAL fsync group.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	walAppendBytesTotal = obs.Default().Counter("tlx_wal_append_bytes_total",
 		"Bytes appended to the WAL.")
 	snapshotsTotal = obs.Default().Counter("tlx_snapshots_total",

@@ -15,6 +15,16 @@
 // against the acknowledged id stored in the record, so silent divergence is
 // impossible — the recovered index is byte-identical to the pre-crash one.
 //
+// Writes commit in groups: concurrent Insert/InsertBatchLSN callers
+// coalesce into one leader-driven commit that applies every option in one
+// amortized index batch, lays down all WAL records, and pays the device a
+// single fsync (see commit). The contract is unchanged — no caller is
+// acknowledged before the fsync covering its own records returns — but N
+// concurrent writers cost far fewer than N fsyncs, and a crash lands on a
+// group boundary: either all of a group's records are durable or replay
+// stops at the torn tail inside it, and every record past the last
+// completed fsync was unacknowledged by construction.
+//
 // # File layout
 //
 //	<dir>/snapshot-<LSN>.idx   index serialization (X2, self-checksummed)
@@ -113,6 +123,61 @@ type Store struct {
 	done    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
+
+	// Group commit (see commit): pending insert requests queue under qmu;
+	// whoever holds leaderMu drains the queue and commits the whole group
+	// with one index batch apply and one WAL fsync.
+	qmu      sync.Mutex
+	queue    []*insertReq
+	leaderMu sync.Mutex
+}
+
+// insertReq is one caller's pending insert work: a batch of options (a
+// single Insert is a batch of one) and the channel its commit outcome is
+// delivered on — strictly after the fsync covering its records returns.
+type insertReq struct {
+	opts  [][]float64
+	start time.Time
+	done  chan insertGroupRes
+}
+
+// insertGroupRes is the commit outcome delivered to one caller: its
+// per-option results plus the stats of the group it rode in. err is a
+// store-level failure (closed, read-only, WAL error) voiding the whole
+// group; per-option failures live in results[i].Err.
+type insertGroupRes struct {
+	results []BatchResult
+	stats   GroupStats
+	err     error
+}
+
+// BatchResult is the outcome of one option of a batch insert: the dataset
+// id it resolved to (-1 when filtered or errored), the LSN stamping it (for
+// filtered or errored options, the LSN of the last preceding accepted
+// record — the version a reader must be at to observe this item's
+// non-effect), and its per-option error.
+type BatchResult struct {
+	ID  int
+	LSN uint64
+	Err error
+}
+
+// GroupStats describes the commit group a request rode in: how many caller
+// requests and options were coalesced, how many records were logged under
+// the group's single fsync, and the engine's amortized maintenance times.
+type GroupStats struct {
+	// Requests is the number of concurrent callers coalesced into the group.
+	Requests int
+	// Records is the total option count across the group.
+	Records int
+	// Logged counts options that were appended to the WAL (accepted by the
+	// index or resolved to a duplicate — exactly the records replay will
+	// re-apply). The group paid one fsync for all of them.
+	Logged int
+	// ThawNS and FinalizeNS are the engine's shared maintenance phases for
+	// the whole group (see tlevelindex.BatchInsertStats).
+	ThawNS     int64
+	FinalizeNS int64
 }
 
 // Open recovers a Store from dir. An empty directory is initialized from
@@ -318,52 +383,164 @@ func (s *Store) Insert(option []float64) (int, error) {
 // InsertLSN is Insert also reporting the LSN of the accepted record — the
 // exact version stamp of this insert, not whatever the store has applied
 // by return time. A filtered option reports the unchanged current LSN.
+//
+// Concurrent callers coalesce: each call commits as a group of one or more
+// requests sharing a single WAL fsync (see commit), so N writers cost far
+// fewer than N fsyncs while every acknowledgement still waits for the
+// fsync covering its own record.
 func (s *Store) InsertLSN(option []float64) (int, uint64, error) {
-	start := time.Now()
+	res := s.commit(&insertReq{opts: [][]float64{option}, start: time.Now(),
+		done: make(chan insertGroupRes, 1)})
+	if res.err != nil {
+		return -1, s.appliedA.Load(), res.err
+	}
+	r := res.results[0]
+	return r.ID, r.LSN, r.Err
+}
+
+// InsertBatchLSN applies a whole batch of options under one lock hold —
+// one amortized index batch apply, one group of WAL appends, one fsync —
+// and reports a per-option BatchResult in input order plus the stats of
+// the commit group the batch rode in. The returned error is a store-level
+// failure (closed, read-only, WAL write error) voiding every item;
+// per-option rejections are reported in their BatchResult only.
+func (s *Store) InsertBatchLSN(options [][]float64) ([]BatchResult, GroupStats, error) {
+	if len(options) == 0 {
+		return nil, GroupStats{}, nil
+	}
+	res := s.commit(&insertReq{opts: options, start: time.Now(),
+		done: make(chan insertGroupRes, 1)})
+	return res.results, res.stats, res.err
+}
+
+// commit runs the leader/follower group-commit protocol: the request joins
+// the pending queue, then contends for leadership. The leader drains the
+// queue and commits everyone's records together (processGroup); followers
+// simply find their outcome already delivered when they next hold the
+// leader slot. No outcome is delivered before the fsync covering its
+// records returns, so an acknowledged insert is always durable.
+func (s *Store) commit(req *insertReq) insertGroupRes {
+	s.qmu.Lock()
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
+	s.leaderMu.Lock()
+	select {
+	case res := <-req.done:
+		// A previous leader drained us into its group and committed it.
+		s.leaderMu.Unlock()
+		return res
+	default:
+	}
+	s.qmu.Lock()
+	group := s.queue
+	s.queue = nil
+	s.qmu.Unlock()
+	s.processGroup(group)
+	s.leaderMu.Unlock()
+	return <-req.done
+}
+
+// processGroup commits one group: a single index batch apply, one WAL
+// record per logged option at consecutive LSNs, one fsync, then delivery.
+// The store lock is held across apply+log+fsync so snapshots can never
+// capture records the device has not confirmed.
+func (s *Store) processGroup(group []*insertReq) {
+	total := 0
+	for _, r := range group {
+		total += len(r.opts)
+	}
+	all := make([][]float64, 0, total)
+	for _, r := range group {
+		all = append(all, r.opts...)
+	}
 	s.mu.Lock()
 	if s.closed {
-		lsn := s.applied
 		s.mu.Unlock()
-		return -1, lsn, errors.New("store: closed")
+		deliverErr(group, errors.New("store: closed"))
+		return
 	}
 	if s.failed != nil {
-		lsn := s.applied
+		err := fmt.Errorf("store: read-only after WAL failure: %v", s.failed)
 		s.mu.Unlock()
-		return -1, lsn, fmt.Errorf("store: read-only after WAL failure: %v", s.failed)
+		deliverErr(group, err)
+		return
 	}
-	id, err := s.ix.Insert(option)
-	if err != nil || id < 0 {
-		lsn := s.applied
-		s.mu.Unlock()
-		return id, lsn, err
+	results, bstats := s.ix.InsertBatch(all)
+	items := make([]BatchResult, total)
+	next := s.applied
+	var werr error
+	var nbytes int64
+	for i, res := range results {
+		if werr == nil && res.Err == nil && res.ID >= 0 {
+			// Accepted or duplicate: exactly the options the sequential path
+			// logs, so replay re-derives identical ids.
+			next++
+			n, e := s.seg.writeRecord(record{lsn: next, id: int64(res.ID), attrs: all[i]})
+			if e != nil {
+				werr = e
+			}
+			nbytes += int64(n)
+		}
+		items[i] = BatchResult{ID: res.ID, LSN: next, Err: res.Err}
 	}
-	n, werr := s.seg.append(record{lsn: s.applied + 1, id: int64(id), attrs: option})
+	if werr == nil && next > s.applied {
+		werr = s.seg.sync()
+	}
 	if werr != nil {
-		// The in-memory index has the option but the log does not; any
-		// further write would make replay assign ids that contradict the
-		// acknowledged ones. Fail the store for writes.
+		// The in-memory index has the group's options but the log does not;
+		// any further write would make replay assign ids that contradict the
+		// acknowledged ones. Fail the store for writes; nothing in this
+		// group is acknowledged.
 		s.failed = werr
-		lsn := s.applied
 		s.mu.Unlock()
 		s.log.Error("store: WAL append failed, store is now read-only", "err", werr)
-		return -1, lsn, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr)
+		deliverErr(group, fmt.Errorf("store: WAL append failed, store is now read-only: %v", werr))
+		return
 	}
-	s.applied++
-	s.appliedA.Store(s.applied)
-	lsn := s.applied
-	s.recsSinceSnap++
-	s.bytesSinceSnap += int64(n)
-	walAckSeconds.Observe(time.Since(start).Seconds())
+	logged := int(next - s.applied)
+	// One visibility bump for the whole group: caches and replicas see the
+	// applied LSN jump from its old value to next in a single store.
+	s.applied = next
+	s.appliedA.Store(next)
+	s.recsSinceSnap += logged
+	s.bytesSinceSnap += nbytes
 	trip := (s.opts.SnapshotRecords > 0 && s.recsSinceSnap >= s.opts.SnapshotRecords) ||
 		(s.opts.SnapshotBytes > 0 && s.bytesSinceSnap >= s.opts.SnapshotBytes)
 	s.mu.Unlock()
+	if logged > 0 {
+		walGroupSize.Observe(float64(logged))
+	}
+	stats := GroupStats{Requests: len(group), Records: total, Logged: logged,
+		ThawNS: bstats.ThawNS, FinalizeNS: bstats.FinalizeNS}
+	now := time.Now()
+	off := 0
+	for _, r := range group {
+		res := items[off : off+len(r.opts)]
+		// Ack latency keeps the sequential path's meaning: only requests
+		// that actually logged a record observe (filtered and rejected
+		// inserts never paid for an append or fsync).
+		for _, it := range res {
+			if it.Err == nil && it.ID >= 0 {
+				walAckSeconds.Observe(now.Sub(r.start).Seconds())
+				break
+			}
+		}
+		r.done <- insertGroupRes{results: res, stats: stats}
+		off += len(r.opts)
+	}
 	if trip {
 		select {
 		case s.trigger <- struct{}{}:
 		default:
 		}
 	}
-	return id, lsn, nil
+}
+
+// deliverErr voids a whole group with one store-level error.
+func deliverErr(group []*insertReq, err error) {
+	for _, r := range group {
+		r.done <- insertGroupRes{err: err}
+	}
 }
 
 // SnapshotInfo describes one snapshot attempt.

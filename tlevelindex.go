@@ -418,6 +418,59 @@ func (ix *Index) Insert(option []float64) (int, error) {
 	return id, nil
 }
 
+// InsertResult is one item of an InsertBatch outcome: the dataset id the
+// option resolved to (an existing id for exact duplicates, -1 when the
+// option was filtered out or Err is non-nil) and its per-item error.
+type InsertResult struct {
+	ID  int
+	Err error
+}
+
+// BatchInsertStats summarizes the amortized work of one InsertBatch call:
+// how many options actually mutated the index, and the wall time of the
+// two shared maintenance phases (the single staging thaw and the single
+// CSR re-freeze) that per-record Insert would have paid once per option.
+type BatchInsertStats struct {
+	Accepted   int
+	ThawNS     int64
+	FinalizeNS int64
+}
+
+// InsertBatch applies a batch of newly arrived options in order with
+// exactly the semantics of N sequential Insert calls — same ids, same
+// filtering, byte-identical index — while paying the O(index-size)
+// thaw/re-freeze maintenance once for the whole batch instead of once per
+// record. Item errors are per-item (a dimensionality mismatch rejects only
+// that option); ErrExtended rejects every item. Like Insert, InsertBatch
+// requires exclusive access to the index.
+func (ix *Index) InsertBatch(options [][]float64) ([]InsertResult, BatchInsertStats) {
+	fids, errs, bs := ix.inner.InsertBatch(options)
+	out := make([]InsertResult, len(options))
+	touched := false
+	for i, fid := range fids {
+		switch {
+		case errs[i] != nil:
+			out[i] = InsertResult{ID: -1, Err: mapErr(errs[i])}
+		case fid < 0:
+			out[i] = InsertResult{ID: -1}
+		case ix.inner.OrigIDs[fid] >= 0:
+			// Duplicate of an already-represented option (possibly one
+			// accepted earlier in this very batch): resolve to its id.
+			out[i] = InsertResult{ID: ix.origID(fid)}
+		default:
+			id := ix.nextExternal
+			ix.nextExternal++
+			ix.inner.OrigIDs[fid] = id
+			out[i] = InsertResult{ID: id}
+			touched = true
+		}
+	}
+	if touched {
+		ix.idMap.Store(nil)
+	}
+	return out, BatchInsertStats{Accepted: bs.Accepted, ThawNS: bs.ThawNS, FinalizeNS: bs.FinalizeNS}
+}
+
 // ExtendTau deepens the index to newTau levels permanently — the paper's
 // "set a smaller τ first, then expand it on demand" workflow (§7.3).
 func (ix *Index) ExtendTau(newTau int) error {

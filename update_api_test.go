@@ -51,6 +51,56 @@ func TestInsertPublic(t *testing.T) {
 	}
 }
 
+func TestInsertBatchPublic(t *testing.T) {
+	seq, bat := buildHotels(t), buildHotels(t)
+	batch := [][]float64{
+		{0.95, 0.95}, // accepted: dominates everything
+		{0.02, 0.02}, // filtered: hopeless
+		{0.95, 0.95}, // duplicate of the first batch member
+		{0.9, 0.2},   // accepted
+	}
+	var wantIDs []int
+	for _, r := range batch {
+		id, err := seq.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIDs = append(wantIDs, id)
+	}
+	results, stats := bat.InsertBatch(batch)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("item %d: %v", i, res.Err)
+		}
+		if res.ID != wantIDs[i] {
+			t.Fatalf("item %d: batch id %d, sequential id %d", i, res.ID, wantIDs[i])
+		}
+	}
+	if stats.Accepted != 2 {
+		t.Fatalf("accepted = %d, want 2", stats.Accepted)
+	}
+	// The batch-built index answers exactly like the sequentially built one.
+	top, err := bat.TopK([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.TopK([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(top, want) {
+		t.Fatalf("top-2 after batch = %v, sequential = %v", top, want)
+	}
+	// Extension rejects the whole batch.
+	if _, err := bat.TopK([]float64{0.5, 0.5}, bat.Tau()+1); err != nil {
+		t.Fatal(err)
+	}
+	results, _ = bat.InsertBatch([][]float64{{0.99, 0.99}})
+	if results[0].Err == nil {
+		t.Error("InsertBatch after extension should fail")
+	}
+}
+
 func TestExtendTauPublic(t *testing.T) {
 	ix := buildHotels(t)
 	if err := ix.ExtendTau(4); err != nil {
